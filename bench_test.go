@@ -1,0 +1,203 @@
+package eflora_test
+
+import (
+	"testing"
+
+	"eflora/internal/alloc"
+	"eflora/internal/core"
+	"eflora/internal/exp"
+	"eflora/internal/geo"
+	"eflora/internal/lora"
+	"eflora/internal/lorawan"
+	"eflora/internal/model"
+	"eflora/internal/phy"
+	"eflora/internal/rng"
+	"eflora/internal/sim"
+)
+
+// benchCfg keeps whole-experiment benchmarks in the sub-second range per
+// iteration; raise -scale via cmd/eflora-exp for paper-scale runs.
+func benchCfg() exp.Config {
+	return exp.Config{Scale: 0.02, Trials: 1, PacketsPerDevice: 15, Seed: 3}
+}
+
+// benchExperiment runs one experiment driver per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(id, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper table and figure (DESIGN.md experiment index).
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+
+// Hot-path micro-benchmarks.
+
+func BenchmarkTimeOnAir(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += lora.TimeOnAir(21, lora.SF7+lora.SF(i%6), 125e3, lora.CR47)
+	}
+	_ = sink
+}
+
+func benchNetwork(n, g int) (*model.Network, model.Params, model.Allocation) {
+	r := rng.New(1)
+	net := &model.Network{
+		Devices:  geo.UniformDisc(n, 4000, r),
+		Gateways: geo.GridGateways(g, 4000),
+	}
+	p := model.DefaultParams()
+	gains := model.Gains(net, p)
+	a := model.NewAllocation(n, p.Plan)
+	for i := 0; i < n; i++ {
+		sf, ok := model.MinFeasibleSF(gains, i, p.Plan.MaxTxPowerDBm)
+		if !ok {
+			sf = lora.MaxSF
+		}
+		a.SF[i] = sf
+		a.TPdBm[i] = p.Plan.MaxTxPowerDBm
+		a.Channel[i] = i % p.Plan.NumChannels()
+	}
+	return net, p, a
+}
+
+// BenchmarkEvaluatorBuild measures constructing the analytical model for a
+// 1000-device network.
+func BenchmarkEvaluatorBuild(b *testing.B) {
+	net, p, a := benchNetwork(1000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.NewEvaluator(net, p, a, model.ModeExact); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinEEIf measures one greedy candidate evaluation — the inner
+// loop of Algorithm 1.
+func BenchmarkMinEEIf(b *testing.B) {
+	net, p, a := benchNetwork(1000, 3)
+	ev, err := model.NewEvaluator(net, p, a, model.ModeExact)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cur, _ := ev.MinEE()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += ev.MinEEIfAbove(i%1000, lora.SF9, 8, i%8, cur)
+	}
+	_ = sink
+}
+
+// BenchmarkSetDevice measures a committed single-device reallocation.
+func BenchmarkSetDevice(b *testing.B) {
+	net, p, a := benchNetwork(1000, 3)
+	ev, err := model.NewEvaluator(net, p, a, model.ModeExact)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sf := lora.SF7 + lora.SF(i%6)
+		if err := ev.SetDevice(i%1000, sf, 8, i%8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEFLoRaAllocate measures a full greedy allocation on a
+// 300-device network.
+func BenchmarkEFLoRaAllocate(b *testing.B) {
+	net, p, _ := benchNetwork(300, 3)
+	ef := alloc.NewEFLoRa(alloc.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ef.Allocate(net, p, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator measures the packet simulator's event loop
+// (1000 devices x 20 packets x 3 gateways).
+func BenchmarkSimulator(b *testing.B) {
+	net, p, a := benchNetwork(1000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(net, p, a, sim.Config{PacketsPerDevice: 20, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChirpDemod measures the FFT chirp demodulator (SF9).
+func BenchmarkChirpDemod(b *testing.B) {
+	m, err := phy.NewModem(lora.SF9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sig, err := m.Modulate(123)
+	if err != nil {
+		b.Fatal(err)
+	}
+	noisy := phy.AWGN(sig, 0, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Demodulate(noisy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoRaWANEncode measures frame serialization + MIC + encryption.
+func BenchmarkLoRaWANEncode(b *testing.B) {
+	var keys lorawan.Keys
+	for i := range keys.NwkSKey {
+		keys.NwkSKey[i] = byte(i)
+		keys.AppSKey[i] = byte(i * 3)
+	}
+	f := lorawan.Frame{
+		MType: lorawan.UnconfirmedDataUp, DevAddr: 0x2601AABB,
+		FPort: 7, Payload: make([]byte, 8),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.FCnt = uint32(i)
+		if _, err := lorawan.Encode(f, keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeline measures the full build -> allocate -> simulate
+// pipeline the experiments iterate.
+func BenchmarkPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		netw, err := core.Build(core.Scenario{Devices: 200, Gateways: 3, RadiusM: 4000, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := netw.Allocate("eflora", alloc.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := netw.Simulate(a, sim.Config{PacketsPerDevice: 15, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args []string) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run(args, f); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestExpList(t *testing.T) {
+	out := capture(t, []string{"-list"})
+	for _, want := range []string{"table1", "fig4", "fig10", "ablation-order"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpSingleExperiment(t *testing.T) {
+	out := capture(t, []string{"-exp", "table1"})
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "39") {
+		t.Errorf("table1 output malformed:\n%s", out)
+	}
+}
+
+func TestExpUnknownID(t *testing.T) {
+	f, _ := os.CreateTemp(t.TempDir(), "out")
+	defer f.Close()
+	if err := run([]string{"-exp", "fig99"}, f); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExpTinyFigure(t *testing.T) {
+	out := capture(t, []string{"-exp", "fig10", "-scale", "0.02", "-trials", "1", "-packets", "10"})
+	if !strings.Contains(out, "Convergence time") {
+		t.Errorf("fig10 output malformed:\n%s", out)
+	}
+}
+
+func TestExpJSONOutput(t *testing.T) {
+	out := capture(t, []string{"-exp", "table4", "-json"})
+	var parsed map[string]map[string]float64
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if parsed["table4"]["snr_sf12"] != -20 {
+		t.Errorf("JSON values wrong: %v", parsed)
+	}
+}

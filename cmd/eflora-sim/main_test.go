@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args []string) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run(args, f); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestSimBasic(t *testing.T) {
+	out := capture(t, []string{"-devices", "50", "-gateways", "2", "-packets", "15"})
+	for _, want := range []string{"PRR:", "EE:", "Lifetime", "delivered"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimConfirmed(t *testing.T) {
+	out := capture(t, []string{"-devices", "40", "-gateways", "1", "-packets", "10", "-confirmed"})
+	if !strings.Contains(out, "retransmissions") {
+		t.Errorf("confirmed output missing retransmissions:\n%s", out)
+	}
+}
+
+func TestSimTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	out := capture(t, []string{"-devices", "30", "-gateways", "1", "-packets", "10", "-trace", path})
+	if !strings.Contains(out, "packet records") {
+		t.Errorf("missing trace confirmation:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "device,start_s,outcome,gateway") {
+		t.Error("trace CSV missing header")
+	}
+}
+
+func TestSimScenarioInput(t *testing.T) {
+	// Round-trip through the eflora tool's scenario writer.
+	scenarioPath := filepath.Join(t.TempDir(), "net.json")
+	eflora := filepath.Join(t.TempDir(), "eflora-bin")
+	build := exec.Command("go", "build", "-o", eflora, "eflora/cmd/eflora")
+	if outb, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building eflora: %v\n%s", err, outb)
+	}
+	gen := exec.Command(eflora, "-devices", "25", "-gateways", "1", "-out", scenarioPath)
+	if outb, err := gen.CombinedOutput(); err != nil {
+		t.Fatalf("generating scenario: %v\n%s", err, outb)
+	}
+	out := capture(t, []string{"-in", scenarioPath, "-packets", "10"})
+	if !strings.Contains(out, "25 devices / 1 gateways") {
+		t.Errorf("scenario input not honored:\n%s", out)
+	}
+}
+
+func TestSimRejectsMissingScenario(t *testing.T) {
+	f, _ := os.CreateTemp(t.TempDir(), "out")
+	defer f.Close()
+	if err := run([]string{"-in", "/does/not/exist.json"}, f); err == nil {
+		t.Error("missing scenario accepted")
+	}
+}

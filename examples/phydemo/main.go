@@ -1,0 +1,79 @@
+// PHY demo: validates the paper's physical-layer assumptions from first
+// principles using the chirp-level modem in internal/phy —
+//
+//  1. why the paper fixes coding rate 4/7 (a fully corrupted chirp symbol
+//     is repaired; CR 4/5 only detects it), and
+//  2. why larger spreading factors decode at lower SNR (Table IV),
+//     measured as symbol error rates across an AWGN channel.
+//
+// Run with:
+//
+//	go run ./examples/phydemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eflora/internal/lora"
+	"eflora/internal/phy"
+	"eflora/internal/rng"
+)
+
+func main() {
+	fmt.Println("1. Coding-rate rationale (paper Section III-A)")
+	payload := []byte("EF-LoRa")
+	for _, cr := range []lora.CodingRate{lora.CR45, lora.CR47} {
+		codec, err := phy.NewCodec(lora.SF8, cr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		symbols := codec.Encode(payload)
+		symbols[2] ^= 0x5A // destroy one chirp symbol
+		got, corrected, bad, err := codec.Decode(symbols, len(payload))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := string(got) == string(payload) && bad == 0
+		fmt.Printf("   CR %v: one corrupted symbol -> recovered=%v (corrected %d codewords, %d uncorrectable)\n",
+			cr, ok, corrected, bad)
+	}
+
+	fmt.Println("\n2. Spreading-factor processing gain (paper Table IV)")
+	fmt.Printf("   %-6s", "SNR")
+	sfs := []lora.SF{lora.SF7, lora.SF9, lora.SF11}
+	for _, sf := range sfs {
+		fmt.Printf("  %8v", sf)
+	}
+	fmt.Println()
+	r := rng.New(42)
+	for _, snr := range []float64{-6, -10, -14, -18} {
+		fmt.Printf("   %-4.0fdB", snr)
+		for _, sf := range sfs {
+			modem, err := phy.NewModem(sf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			const trials = 40
+			errs := 0
+			for i := 0; i < trials; i++ {
+				s := r.Intn(modem.SymbolCount())
+				sig, err := modem.Modulate(s)
+				if err != nil {
+					log.Fatal(err)
+				}
+				got, err := modem.Demodulate(phy.AWGN(sig, snr, r))
+				if err != nil {
+					log.Fatal(err)
+				}
+				if got != s {
+					errs++
+				}
+			}
+			fmt.Printf("  %7.0f%%", 100*float64(errs)/trials)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n   (symbol error rate: larger SFs stay clean at SNRs where SF7 fails,")
+	fmt.Println("    the mechanism behind the per-SF demodulation thresholds)")
+}

@@ -1,0 +1,88 @@
+// Throughput fairness: the paper's future-work variant of the max-min
+// objective (Section III-B mentions extending the model to throughput
+// fairness). The same greedy machinery optimizes delivered bits per second
+// instead of bits per joule; this example shows how the two objectives
+// allocate the same network differently and what each one buys.
+//
+// Run with:
+//
+//	go run ./examples/throughput
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eflora/internal/alloc"
+	"eflora/internal/core"
+	"eflora/internal/lora"
+	"eflora/internal/model"
+	"eflora/internal/stats"
+)
+
+func main() {
+	const (
+		devices  = 500
+		gateways = 2
+	)
+	run := func(objective model.Objective) (model.Allocation, *core.Network) {
+		p := model.DefaultParams()
+		p.TrafficDutyCycle = 0.05 // congested regime
+		p.Objective = objective
+		netw, err := core.Build(core.Scenario{
+			Devices: devices, Gateways: gateways, RadiusM: 4000, Seed: 5, Params: &p,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := netw.Allocate("eflora", alloc.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return a, netw
+	}
+
+	eeAlloc, eeNet := run(model.ObjectiveEnergyEfficiency)
+	tpAlloc, tpNet := run(model.ObjectiveThroughput)
+
+	// Score both allocations under both metrics.
+	score := func(netw *core.Network, a model.Allocation, objective model.Objective) float64 {
+		p := netw.Params
+		p.Objective = objective
+		ev, err := model.NewEvaluator(netw.Net, p, a, model.ModeExact)
+		if err != nil {
+			log.Fatal(err)
+		}
+		min, _ := ev.MinEE()
+		return min
+	}
+	fmt.Printf("%-28s %20s %22s\n", "allocation optimized for", "min EE (bits/mJ)", "min throughput (bit/s)")
+	fmt.Printf("%-28s %20.3f %22.4f\n", "energy efficiency (paper)",
+		core.BitsPerMilliJoule(score(eeNet, eeAlloc, model.ObjectiveEnergyEfficiency)),
+		score(eeNet, eeAlloc, model.ObjectiveThroughput))
+	fmt.Printf("%-28s %20.3f %22.4f\n", "throughput (future work)",
+		core.BitsPerMilliJoule(score(tpNet, tpAlloc, model.ObjectiveEnergyEfficiency)),
+		score(tpNet, tpAlloc, model.ObjectiveThroughput))
+
+	// How do the SF choices differ?
+	hist := func(a model.Allocation) map[lora.SF]int {
+		m := make(map[lora.SF]int)
+		for _, s := range a.SF {
+			m[s]++
+		}
+		return m
+	}
+	he, ht := hist(eeAlloc), hist(tpAlloc)
+	fmt.Println("\nSF distribution (EE-optimized vs throughput-optimized):")
+	for _, s := range lora.SFs() {
+		fmt.Printf("  %v: %4d vs %4d\n", s, he[s], ht[s])
+	}
+
+	mean := func(a model.Allocation) float64 {
+		return stats.Mean(a.TPdBm)
+	}
+	fmt.Printf("\nMean TX power: %.1f dBm (EE) vs %.1f dBm (throughput)\n", mean(eeAlloc), mean(tpAlloc))
+	fmt.Println("\nUnder duty-cycle traffic air time is proportional to the reporting rate,")
+	fmt.Println("so the throughput objective cares only about reliability while the EE")
+	fmt.Println("objective also pays for every extra dB and symbol.")
+}

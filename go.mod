@@ -1,0 +1,3 @@
+module eflora
+
+go 1.22

@@ -1,0 +1,119 @@
+package adrloop
+
+import (
+	"strings"
+	"testing"
+
+	"eflora/internal/alloc"
+	"eflora/internal/geo"
+	"eflora/internal/lora"
+	"eflora/internal/model"
+	"eflora/internal/rng"
+)
+
+func testNetwork(nDev, nGW int, seed uint64) *model.Network {
+	r := rng.New(seed)
+	return &model.Network{
+		Devices:  geo.UniformDisc(nDev, 3000, r),
+		Gateways: geo.GridGateways(nGW, 3000),
+	}
+}
+
+func TestLoopLowersSFsOverTime(t *testing.T) {
+	net := testNetwork(80, 2, 1)
+	p := model.DefaultParams()
+	res, err := Run(net, p, Config{Epochs: 10, PacketsPerEpoch: 25, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joined at SF12 everywhere; after the loop most devices should sit
+	// far below SF12 (the deployment is 3 km, SF7 reaches ~3.1 km).
+	below := 0
+	for _, sf := range res.Final.SF {
+		if sf < lora.SF12 {
+			below++
+		}
+	}
+	if below < 60 {
+		t.Errorf("only %d/80 devices left SF12", below)
+	}
+	if len(res.PerEpoch) != 10 {
+		t.Fatalf("epochs recorded: %d", len(res.PerEpoch))
+	}
+	// The first epoch must adjust many devices (everyone has margin).
+	if res.PerEpoch[0].Changed < 40 {
+		t.Errorf("first-epoch adjustments = %d, want many", res.PerEpoch[0].Changed)
+	}
+}
+
+func TestLoopConverges(t *testing.T) {
+	net := testNetwork(50, 2, 3)
+	p := model.DefaultParams()
+	res, err := Run(net, p, Config{Epochs: 25, PacketsPerEpoch: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ADR stabilizes within a couple dozen epochs on a calm network:
+	// changes in the last epochs should be minimal even if fading noise
+	// keeps a device or two oscillating.
+	last := res.PerEpoch[len(res.PerEpoch)-1]
+	if last.Changed > 5 {
+		t.Errorf("still %d changes in the final epoch", last.Changed)
+	}
+	if !strings.Contains(res.Summary(), "epoch") {
+		t.Error("summary malformed")
+	}
+}
+
+func TestLoopEnergyEfficiencyImproves(t *testing.T) {
+	net := testNetwork(60, 2, 5)
+	p := model.DefaultParams()
+	res, err := Run(net, p, Config{Epochs: 12, PacketsPerEpoch: 25, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.PerEpoch[0].MinEE
+	lastStats := res.PerEpoch[len(res.PerEpoch)-1]
+	if lastStats.MinEE <= first {
+		t.Errorf("min EE did not improve: %v -> %v", first, lastStats.MinEE)
+	}
+}
+
+func TestConvergedADRBelowEFLoRa(t *testing.T) {
+	// The point of the comparison: even converged ADR (link-local) does
+	// not beat EF-LoRa's network-wide max-min allocation under the model.
+	net := testNetwork(80, 2, 7)
+	p := model.DefaultParams()
+	p.TrafficDutyCycle = 0.05
+	res, err := Run(net, p, Config{Epochs: 15, PacketsPerEpoch: 25, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adrMin, err := alloc.EvaluateMinEE(net, p, res.Final, model.ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := alloc.NewEFLoRa(alloc.Options{}).Allocate(net, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	efMin, err := alloc.EvaluateMinEE(net, p, ef, model.ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if efMin <= adrMin {
+		t.Errorf("EF-LoRa min EE %v should beat converged ADR %v", efMin, adrMin)
+	}
+}
+
+func TestLoopValidatesInputs(t *testing.T) {
+	p := model.DefaultParams()
+	if _, err := Run(&model.Network{}, p, Config{}); err == nil {
+		t.Error("empty network accepted")
+	}
+	bad := p
+	bad.PacketIntervalS = -1
+	if _, err := Run(testNetwork(10, 1, 9), bad, Config{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

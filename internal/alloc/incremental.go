@@ -1,0 +1,179 @@
+package alloc
+
+import (
+	"fmt"
+
+	"eflora/internal/geo"
+	"eflora/internal/lora"
+	"eflora/internal/model"
+)
+
+// Incremental maintains an EF-LoRa allocation under device additions and
+// removals without re-optimizing the whole network — the incremental
+// algorithm the paper's discussion section (III-E) sketches as future
+// work. An added device greedily picks the (SF, TP, channel) maximizing
+// the network minimum EE given everyone else's settings; removals keep the
+// survivors' settings unchanged. Call Reoptimize to run the full greedy
+// when enough churn has accumulated.
+type Incremental struct {
+	opts  Options
+	p     model.Params
+	net   model.Network
+	alloc model.Allocation
+}
+
+// NewIncremental seeds an incremental maintainer from a full allocation.
+func NewIncremental(net *model.Network, p model.Params, alloc model.Allocation, opts Options) (*Incremental, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(p); err != nil {
+		return nil, err
+	}
+	if err := alloc.Validate(net.N(), p); err != nil {
+		return nil, err
+	}
+	inc := &Incremental{
+		opts: opts.withDefaults(),
+		p:    p,
+		net: model.Network{
+			Devices:  append([]geo.Point(nil), net.Devices...),
+			Gateways: append([]geo.Point(nil), net.Gateways...),
+		},
+		alloc: alloc.Clone(),
+	}
+	if net.Env != nil {
+		inc.net.Env = append([]int(nil), net.Env...)
+	}
+	if net.IntervalS != nil {
+		inc.net.IntervalS = append([]float64(nil), net.IntervalS...)
+	}
+	return inc, nil
+}
+
+// N returns the current number of devices.
+func (inc *Incremental) N() int { return inc.net.N() }
+
+// Allocation returns a snapshot of the current allocation.
+func (inc *Incremental) Allocation() model.Allocation { return inc.alloc.Clone() }
+
+// Network returns a copy of the current deployment.
+func (inc *Incremental) Network() *model.Network {
+	cp := model.Network{
+		Devices:  append([]geo.Point(nil), inc.net.Devices...),
+		Gateways: append([]geo.Point(nil), inc.net.Gateways...),
+	}
+	if inc.net.Env != nil {
+		cp.Env = append([]int(nil), inc.net.Env...)
+	}
+	if inc.net.IntervalS != nil {
+		cp.IntervalS = append([]float64(nil), inc.net.IntervalS...)
+	}
+	return &cp
+}
+
+// AddDevice joins a new device at pos (environment class env) and assigns
+// it the resources that maximize the resulting network minimum EE while
+// every existing device keeps its settings. It returns the new device's
+// index.
+func (inc *Incremental) AddDevice(pos geo.Point, env int) (int, error) {
+	if env != 0 && (inc.net.Env == nil || env >= len(inc.p.Environments)) {
+		if env >= len(inc.p.Environments) {
+			return 0, fmt.Errorf("alloc: environment %d out of range", env)
+		}
+	}
+	if inc.net.Env == nil && env != 0 {
+		inc.net.Env = make([]int, inc.net.N())
+	}
+	inc.net.Devices = append(inc.net.Devices, pos)
+	if inc.net.Env != nil {
+		inc.net.Env = append(inc.net.Env, env)
+	}
+	if inc.net.IntervalS != nil {
+		inc.net.IntervalS = append(inc.net.IntervalS, inc.p.PacketIntervalS)
+	}
+	i := inc.net.N() - 1
+
+	// Provisional settings for the newcomer, then greedy improvement of
+	// only that device.
+	gains := model.Gains(&inc.net, inc.p)
+	sf, ok := model.MinFeasibleSF(gains, i, inc.p.Plan.MaxTxPowerDBm)
+	if !ok {
+		sf = lora.MaxSF
+	}
+	tp := inc.p.Plan.MaxTxPowerDBm
+	if mtp, ok := model.MinFeasibleTP(gains, i, sf, inc.p.Plan); ok {
+		tp = mtp
+	}
+	inc.alloc.SF = append(inc.alloc.SF, sf)
+	inc.alloc.TPdBm = append(inc.alloc.TPdBm, tp)
+	inc.alloc.Channel = append(inc.alloc.Channel, 0)
+
+	ev, err := model.NewEvaluator(&inc.net, inc.p, inc.alloc, inc.opts.Mode)
+	if err != nil {
+		return 0, err
+	}
+	bestEE, _ := ev.MinEE()
+	bestSF, bestTP, bestCh := sf, tp, 0
+	tpLevels := inc.p.Plan.TxPowerLevels()
+	if inc.opts.FixedTPdBm != nil {
+		tpLevels = []float64{*inc.opts.FixedTPdBm}
+	}
+	for _, s := range lora.SFs() {
+		for _, t := range tpLevels {
+			if !model.Feasible(gains, i, s, t) {
+				continue
+			}
+			for c := 0; c < inc.p.Plan.NumChannels(); c++ {
+				got := ev.MinEEIfAbove(i, s, t, c, bestEE)
+				if got > bestEE {
+					bestEE, bestSF, bestTP, bestCh = got, s, t, c
+				}
+			}
+		}
+	}
+	inc.alloc.SF[i] = bestSF
+	inc.alloc.TPdBm[i] = bestTP
+	inc.alloc.Channel[i] = bestCh
+	return i, nil
+}
+
+// RemoveDevice deletes device i; the remaining devices keep their
+// settings (indices above i shift down by one).
+func (inc *Incremental) RemoveDevice(i int) error {
+	n := inc.net.N()
+	if i < 0 || i >= n {
+		return fmt.Errorf("alloc: remove index %d out of range [0,%d)", i, n)
+	}
+	if n == 1 {
+		return fmt.Errorf("alloc: cannot remove the last device")
+	}
+	inc.net.Devices = append(inc.net.Devices[:i], inc.net.Devices[i+1:]...)
+	if inc.net.Env != nil {
+		inc.net.Env = append(inc.net.Env[:i], inc.net.Env[i+1:]...)
+	}
+	if inc.net.IntervalS != nil {
+		inc.net.IntervalS = append(inc.net.IntervalS[:i], inc.net.IntervalS[i+1:]...)
+	}
+	inc.alloc.SF = append(inc.alloc.SF[:i], inc.alloc.SF[i+1:]...)
+	inc.alloc.TPdBm = append(inc.alloc.TPdBm[:i], inc.alloc.TPdBm[i+1:]...)
+	inc.alloc.Channel = append(inc.alloc.Channel[:i], inc.alloc.Channel[i+1:]...)
+	return nil
+}
+
+// MinEE evaluates the current allocation's minimum energy efficiency.
+func (inc *Incremental) MinEE() (float64, error) {
+	return EvaluateMinEE(&inc.net, inc.p, inc.alloc, inc.opts.Mode)
+}
+
+// Reoptimize runs the full EF-LoRa greedy on the current deployment,
+// replacing the incrementally maintained allocation.
+func (inc *Incremental) Reoptimize() (Report, error) {
+	ef := NewEFLoRa(inc.opts)
+	a, rep, err := ef.AllocateWithReport(&inc.net, inc.p, nil)
+	if err != nil {
+		return rep, err
+	}
+	inc.alloc = a
+	return rep, nil
+}

@@ -1,0 +1,131 @@
+package alloc
+
+import (
+	"testing"
+
+	"eflora/internal/geo"
+	"eflora/internal/model"
+	"eflora/internal/rng"
+)
+
+func newIncremental(t *testing.T, nDev int) *Incremental {
+	t.Helper()
+	net := testNetwork(nDev, 2, 31)
+	p := model.DefaultParams()
+	base, err := NewEFLoRa(Options{}).Allocate(net, p, rng.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncremental(net, p, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inc
+}
+
+func TestIncrementalAddDevice(t *testing.T) {
+	inc := newIncremental(t, 60)
+	n0 := inc.N()
+	idx, err := inc.AddDevice(geo.Point{X: 500, Y: 500}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != n0 || inc.N() != n0+1 {
+		t.Fatalf("AddDevice index %d, N %d; want %d, %d", idx, inc.N(), n0, n0+1)
+	}
+	a := inc.Allocation()
+	p := model.DefaultParams()
+	if err := a.Validate(inc.N(), p); err != nil {
+		t.Fatalf("post-add allocation invalid: %v", err)
+	}
+	// The newcomer must have a feasible assignment.
+	gains := model.Gains(inc.Network(), p)
+	if !model.Feasible(gains, idx, a.SF[idx], a.TPdBm[idx]) {
+		t.Errorf("newcomer got infeasible (%v, %v dBm)", a.SF[idx], a.TPdBm[idx])
+	}
+}
+
+func TestIncrementalAddKeepsOthersUnchanged(t *testing.T) {
+	inc := newIncremental(t, 50)
+	before := inc.Allocation()
+	if _, err := inc.AddDevice(geo.Point{X: -800, Y: 200}, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := inc.Allocation()
+	for i := 0; i < len(before.SF); i++ {
+		if before.SF[i] != after.SF[i] || before.TPdBm[i] != after.TPdBm[i] || before.Channel[i] != after.Channel[i] {
+			t.Fatalf("existing device %d changed during incremental add", i)
+		}
+	}
+}
+
+func TestIncrementalRemoveDevice(t *testing.T) {
+	inc := newIncremental(t, 40)
+	allocBefore := inc.Allocation()
+	if err := inc.RemoveDevice(10); err != nil {
+		t.Fatal(err)
+	}
+	if inc.N() != 39 {
+		t.Fatalf("N after remove = %d", inc.N())
+	}
+	after := inc.Allocation()
+	// Device 11 shifted into slot 10.
+	if after.SF[10] != allocBefore.SF[11] {
+		t.Error("remove did not shift subsequent devices")
+	}
+	if _, err := inc.MinEE(); err != nil {
+		t.Fatalf("post-remove state unusable: %v", err)
+	}
+}
+
+func TestIncrementalRemoveBounds(t *testing.T) {
+	inc := newIncremental(t, 5)
+	if err := inc.RemoveDevice(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := inc.RemoveDevice(99); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	for i := 0; i < 4; i++ {
+		if err := inc.RemoveDevice(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inc.RemoveDevice(0); err == nil {
+		t.Error("removing the last device should fail")
+	}
+}
+
+func TestIncrementalReoptimize(t *testing.T) {
+	inc := newIncremental(t, 50)
+	// Churn the network, then reoptimize; min EE must not regress versus
+	// the churned state.
+	for i := 0; i < 5; i++ {
+		if _, err := inc.AddDevice(geo.Point{X: float64(200 * i), Y: -300}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	churned, err := inc.MinEE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := inc.Reoptimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh greedy follows its own trajectory and may land marginally
+	// below a well-maintained incremental state; it must stay in the same
+	// ballpark.
+	if rep.FinalMinEE < 0.9*churned {
+		t.Errorf("reoptimize regressed min EE: %v -> %v", churned, rep.FinalMinEE)
+	}
+}
+
+func TestNewIncrementalValidates(t *testing.T) {
+	net := testNetwork(10, 1, 33)
+	p := model.DefaultParams()
+	short := model.NewAllocation(3, p.Plan)
+	if _, err := NewIncremental(net, p, short, Options{}); err == nil {
+		t.Error("mis-sized allocation accepted")
+	}
+}

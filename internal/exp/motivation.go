@@ -1,0 +1,205 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"eflora/internal/lora"
+	"eflora/internal/plot"
+	"eflora/internal/stats"
+)
+
+// The motivating examples of Section II use a stylized contention model:
+// with 1..4 end devices sharing one spreading factor at a gateway, the
+// per-gateway reception ratio is 100%, 67%, 54% and 45%, and the expected
+// total transmission time per delivered packet is ToA/PRR, with the
+// multi-gateway combination of Eq. 5. The scenario geometry below is
+// reverse-engineered from the published Table I values and reproduces
+// every cell exactly.
+
+// motivPRR maps the number of same-SF devices a gateway hears to the
+// per-gateway reception ratio of the Section II examples.
+var motivPRR = map[int]float64{1: 1.00, 2: 0.67, 3: 0.54, 4: 0.45}
+
+// motivToAms is the per-packet air time of the examples (10-byte packets).
+var motivToAms = map[lora.SF]float64{lora.SF7: 14, lora.SF8: 26}
+
+// motivScenario describes one column of Table I / Table II: which gateways
+// hear which devices, and each device's SF.
+type motivScenario struct {
+	name string
+	// coverage[k] lists the devices gateway k hears.
+	coverage [][]int
+	// sf[i] is device i's spreading factor.
+	sf []lora.SF
+}
+
+// expectedTimes returns the expected total transmission time per delivered
+// packet in ms for every device: ToA(sf) / combinedPRR.
+func (sc motivScenario) expectedTimes() []float64 {
+	n := len(sc.sf)
+	// contenders[k][s] = number of devices with SF s heard by gateway k.
+	contenders := make([]map[lora.SF]int, len(sc.coverage))
+	for k, devs := range sc.coverage {
+		contenders[k] = make(map[lora.SF]int)
+		for _, d := range devs {
+			contenders[k][sc.sf[d]]++
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		failAll := 1.0
+		for k, devs := range sc.coverage {
+			heard := false
+			for _, d := range devs {
+				if d == i {
+					heard = true
+					break
+				}
+			}
+			if !heard {
+				continue
+			}
+			prr := motivPRR[contenders[k][sc.sf[i]]]
+			failAll *= 1 - prr
+		}
+		combined := 1 - failAll
+		if combined <= 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = motivToAms[sc.sf[i]] / combined
+	}
+	return out
+}
+
+// runTable1 reproduces Table I: five devices under (a) a single gateway
+// with devices 1 and 4 forced to SF8, (b) two gateways with everyone on
+// the smallest SF, and (c) two gateways with device 5 re-assigned to SF8.
+func runTable1(cfg Config) (*Result, error) {
+	scenarios := []motivScenario{
+		{
+			name:     "Single GW",
+			coverage: [][]int{{0, 1, 2, 3, 4}},
+			sf:       []lora.SF{lora.SF8, lora.SF7, lora.SF7, lora.SF8, lora.SF7},
+		},
+		{
+			name:     "Two GWs, smallest SF",
+			coverage: [][]int{{0, 1, 2, 4}, {1, 3, 4}},
+			sf:       []lora.SF{lora.SF7, lora.SF7, lora.SF7, lora.SF7, lora.SF7},
+		},
+		{
+			name:     "Two GWs, adjusted SF",
+			coverage: [][]int{{0, 1, 2, 4}, {1, 3, 4}},
+			sf:       []lora.SF{lora.SF7, lora.SF7, lora.SF7, lora.SF7, lora.SF8},
+		},
+	}
+	values := make(map[string]float64)
+	header := []string{"End Device ID"}
+	cols := make([][]float64, len(scenarios))
+	for si, sc := range scenarios {
+		header = append(header, sc.name+" (ms)")
+		cols[si] = sc.expectedTimes()
+	}
+	var rows [][]string
+	for i := 0; i < 5; i++ {
+		row := []string{fmt.Sprintf("%d", i+1)}
+		for si := range scenarios {
+			row = append(row, fmt.Sprintf("%.0f", cols[si][i]))
+		}
+		rows = append(rows, row)
+	}
+	avgRow := []string{"Average"}
+	maxRow := []string{"Max(transmission time)"}
+	for si, sc := range scenarios {
+		s := stats.Summarize(cols[si])
+		avgRow = append(avgRow, fmt.Sprintf("%.1f", s.Mean))
+		maxRow = append(maxRow, fmt.Sprintf("%.0f", s.Max))
+		key := strings.ReplaceAll(strings.ToLower(sc.name), " ", "_")
+		values["avg_"+key] = s.Mean
+		values["max_"+key] = s.Max
+	}
+	rows = append(rows, avgRow, maxRow)
+
+	var b strings.Builder
+	b.WriteString(plot.Table(header, rows))
+	b.WriteString("\nPaper Table I: max transmission time 39 / 31 / 26 ms; averages 31.2 / 25.2 / 23.2 ms.\n")
+	imp1 := (values["max_single_gw"] - values["max_two_gws,_adjusted_sf"]) / values["max_single_gw"]
+	imp2 := (values["max_two_gws,_smallest_sf"] - values["max_two_gws,_adjusted_sf"]) / values["max_two_gws,_smallest_sf"]
+	fmt.Fprintf(&b, "Adjusted-SF fairness gain: %.1f%% vs single GW, %.1f%% vs smallest-SF (paper: 33.3%% and 21.5%%, computed on max time).\n",
+		imp1*100, imp2*100)
+	values["gain_vs_single"] = imp1
+	values["gain_vs_smallest"] = imp2
+	return &Result{Text: b.String(), Values: values}, nil
+}
+
+// runTable2 reproduces the transmission power example of Section II: three
+// devices at SF7, where raising the right-hand device's power lets both
+// gateways hear it, improving the worst expected transmission time. The
+// published Table II is internally inconsistent with the prose (it lists
+// two devices and a 20.3 ms figure the text derives differently); we encode
+// the prose version, whose numbers (14/26/26 -> 17/26/17 ms) we reproduce
+// exactly, and report the fairness gain on the same metric the text uses.
+func runTable2(cfg Config) (*Result, error) {
+	smallest := motivScenario{
+		name:     "Smallest TP",
+		coverage: [][]int{{0}, {0, 1, 2}},
+		sf:       []lora.SF{lora.SF7, lora.SF7, lora.SF7},
+	}
+	adjusted := motivScenario{
+		name:     "Adjusted TP",
+		coverage: [][]int{{0, 2}, {0, 1, 2}},
+		sf:       []lora.SF{lora.SF7, lora.SF7, lora.SF7},
+	}
+	tSmall := smallest.expectedTimes()
+	tAdj := adjusted.expectedTimes()
+
+	values := make(map[string]float64)
+	var rows [][]string
+	for i := 0; i < 3; i++ {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%.0f", tSmall[i]),
+			fmt.Sprintf("%.0f", tAdj[i]),
+		})
+	}
+	sSmall := stats.Summarize(tSmall)
+	sAdj := stats.Summarize(tAdj)
+	rows = append(rows,
+		[]string{"Average", fmt.Sprintf("%.1f", sSmall.Mean), fmt.Sprintf("%.1f", sAdj.Mean)},
+		[]string{"Max(transmission time)", fmt.Sprintf("%.0f", sSmall.Max), fmt.Sprintf("%.0f", sAdj.Max)},
+	)
+	values["avg_smallest"] = sSmall.Mean
+	values["avg_adjusted"] = sAdj.Mean
+	values["max_smallest"] = sSmall.Max
+	values["max_adjusted"] = sAdj.Max
+	// The text measures fairness on the spread of transmission times;
+	// report the improvement of the non-bottleneck devices' worst time.
+	values["fairness_gain"] = (sSmall.Std - sAdj.Std) / sSmall.Std
+
+	var b strings.Builder
+	b.WriteString(plot.Table([]string{"End Device ID", "Smallest TP (ms)", "Adjusted TP (ms)"}, rows))
+	fmt.Fprintf(&b, "\nPer-device times %.0f/%.0f/%.0f -> %.0f/%.0f/%.0f ms (paper prose: 14/26/26 -> 17/26/17).\n",
+		tSmall[0], tSmall[1], tSmall[2], tAdj[0], tAdj[1], tAdj[2])
+	fmt.Fprintf(&b, "Spread (std) improves by %.1f%% (paper reports a 24.2%% fairness gain on its own metric).\n",
+		values["fairness_gain"]*100)
+	return &Result{Text: b.String(), Values: values}, nil
+}
+
+// runTable4 prints the SNR thresholds and sensitivities (paper Table IV),
+// which the lora package encodes and the unit tests pin.
+func runTable4(cfg Config) (*Result, error) {
+	header := []string{"Spreading factor"}
+	snrRow := []string{"SNR threshold (dB)"}
+	ssRow := []string{"Sensitivity (dBm)"}
+	values := make(map[string]float64)
+	for _, s := range lora.SFs() {
+		header = append(header, fmt.Sprintf("%d", int(s)))
+		snrRow = append(snrRow, fmt.Sprintf("%.1f", lora.SNRThresholdDB(s)))
+		ssRow = append(ssRow, fmt.Sprintf("%.1f", lora.SensitivityDBm(s)))
+		values[fmt.Sprintf("snr_sf%d", int(s))] = lora.SNRThresholdDB(s)
+		values[fmt.Sprintf("ss_sf%d", int(s))] = lora.SensitivityDBm(s)
+	}
+	text := plot.Table(header, [][]string{snrRow, ssRow})
+	return &Result{Text: text, Values: values}, nil
+}

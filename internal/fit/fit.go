@@ -1,0 +1,119 @@
+// Package fit estimates path-loss model parameters from received-signal
+// measurements, the calibration step a real EF-LoRa deployment needs
+// before the analytical model can be trusted: the paper sets β = 2.7/4.0
+// from testbed observations, and its Fig. 9 shows the allocation's
+// sensitivity to getting β wrong.
+package fit
+
+import (
+	"fmt"
+	"math"
+
+	"eflora/internal/model"
+)
+
+// Sample is one received-power observation at a known distance.
+type Sample struct {
+	// DistanceM is the transmitter-receiver distance.
+	DistanceM float64
+	// TxPowerDBm and RxPowerDBm are the transmit and measured receive
+	// power.
+	TxPowerDBm, RxPowerDBm float64
+}
+
+// Estimate is a fitted path-loss model.
+type Estimate struct {
+	// Exponent is the fitted β of the power-law attenuation a(d) =
+	// (c/4πfd)^β.
+	Exponent float64
+	// FrequencyHz is carried through from the fit input.
+	FrequencyHz float64
+	// ResidualDB is the root-mean-square residual of the fit in dB —
+	// under Rayleigh fading expect ~5.6 dB even for a perfect β.
+	ResidualDB float64
+	// N is the number of samples used.
+	N int
+}
+
+// PathLoss converts the estimate into a model.PathLoss.
+func (e Estimate) PathLoss() model.PathLoss {
+	return model.LoSPathLoss(e.FrequencyHz, e.Exponent)
+}
+
+// FitExponent fits β by least squares on the dB-domain model
+//
+//	loss_dB = β · 10·log10(4π·f·d/c),
+//
+// i.e. a straight line through the origin in x = 10·log10(4πfd/c). It
+// needs samples spanning a range of distances; distances below 1 m are
+// clamped like the model's attenuation function. At least two samples at
+// distinct distances are required.
+func FitExponent(samples []Sample, freqHz float64) (Estimate, error) {
+	if freqHz <= 0 {
+		return Estimate{}, fmt.Errorf("fit: frequency %v must be positive", freqHz)
+	}
+	if len(samples) < 2 {
+		return Estimate{}, fmt.Errorf("fit: need at least 2 samples, got %d", len(samples))
+	}
+	ref := model.SpeedOfLight / (4 * math.Pi * freqHz)
+	var sxx, sxy float64
+	distinct := make(map[float64]struct{})
+	xs := make([]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		d := s.DistanceM
+		if d < 1 {
+			d = 1
+		}
+		distinct[d] = struct{}{}
+		x := 10 * math.Log10(d/ref) // positive for d >> ref
+		y := s.TxPowerDBm - s.RxPowerDBm
+		xs[i], ys[i] = x, y
+		sxx += x * x
+		sxy += x * y
+	}
+	if len(distinct) < 2 {
+		return Estimate{}, fmt.Errorf("fit: samples at a single distance cannot determine the exponent")
+	}
+	if sxx == 0 {
+		return Estimate{}, fmt.Errorf("fit: degenerate distances")
+	}
+	beta := sxy / sxx
+	var ss float64
+	for i := range xs {
+		r := ys[i] - beta*xs[i]
+		ss += r * r
+	}
+	return Estimate{
+		Exponent:    beta,
+		FrequencyHz: freqHz,
+		ResidualDB:  math.Sqrt(ss / float64(len(samples))),
+		N:           len(samples),
+	}, nil
+}
+
+// CollectSamples generates calibration samples from a network using a
+// path-loss environment and a fading generator: the synthetic stand-in
+// for a drive-test measurement campaign. fading returns a linear power
+// gain per observation (pass nil for a noiseless campaign).
+func CollectSamples(net *model.Network, env model.PathLoss, tpDBm float64, fading func() float64) []Sample {
+	var out []Sample
+	for _, d := range net.Devices {
+		for _, g := range net.Gateways {
+			dist := d.Dist(g)
+			gain := env.Gain(dist)
+			if fading != nil {
+				gain *= fading()
+			}
+			if gain <= 0 {
+				continue
+			}
+			out = append(out, Sample{
+				DistanceM:  dist,
+				TxPowerDBm: tpDBm,
+				RxPowerDBm: tpDBm + 10*math.Log10(gain),
+			})
+		}
+	}
+	return out
+}

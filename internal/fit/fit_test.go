@@ -1,0 +1,122 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"eflora/internal/geo"
+	"eflora/internal/model"
+	"eflora/internal/rng"
+)
+
+func TestFitRecoversExponentNoiseless(t *testing.T) {
+	for _, beta := range []float64{2.0, 2.4, 2.7, 3.0, 4.0} {
+		env := model.LoSPathLoss(903e6, beta)
+		r := rng.New(uint64(beta * 100))
+		net := &model.Network{
+			Devices:  geo.UniformDisc(100, 4000, r),
+			Gateways: geo.GridGateways(2, 4000),
+		}
+		samples := CollectSamples(net, env, 14, nil)
+		est, err := FitExponent(samples, 903e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est.Exponent-beta) > 1e-9 {
+			t.Errorf("β=%v: fitted %v", beta, est.Exponent)
+		}
+		if est.ResidualDB > 1e-9 {
+			t.Errorf("β=%v: noiseless residual %v dB", beta, est.ResidualDB)
+		}
+	}
+}
+
+func TestFitRecoversExponentUnderFading(t *testing.T) {
+	env := model.LoSPathLoss(903e6, 2.7)
+	r := rng.New(7)
+	net := &model.Network{
+		Devices:  geo.UniformDisc(400, 4000, r),
+		Gateways: geo.GridGateways(3, 4000),
+	}
+	samples := CollectSamples(net, env, 14, r.RayleighPowerGain)
+	est, err := FitExponent(samples, 903e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Exponent-2.7) > 0.1 {
+		t.Errorf("fitted β = %v, want ~2.7", est.Exponent)
+	}
+	// Rayleigh power fading in dB has std ≈ 5.6 dB.
+	if est.ResidualDB < 3 || est.ResidualDB > 9 {
+		t.Errorf("residual %v dB, want Rayleigh-scale (~5.6)", est.ResidualDB)
+	}
+	if est.N != len(samples) {
+		t.Errorf("N = %d, want %d", est.N, len(samples))
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitExponent(nil, 903e6); err == nil {
+		t.Error("no samples accepted")
+	}
+	one := []Sample{{DistanceM: 100, TxPowerDBm: 14, RxPowerDBm: -80}}
+	if _, err := FitExponent(one, 903e6); err == nil {
+		t.Error("single sample accepted")
+	}
+	same := []Sample{
+		{DistanceM: 100, TxPowerDBm: 14, RxPowerDBm: -80},
+		{DistanceM: 100, TxPowerDBm: 14, RxPowerDBm: -82},
+	}
+	if _, err := FitExponent(same, 903e6); err == nil {
+		t.Error("single-distance samples accepted")
+	}
+	two := []Sample{
+		{DistanceM: 100, TxPowerDBm: 14, RxPowerDBm: -80},
+		{DistanceM: 1000, TxPowerDBm: 14, RxPowerDBm: -110},
+	}
+	if _, err := FitExponent(two, 0); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if _, err := FitExponent(two, 903e6); err != nil {
+		t.Errorf("valid two-point fit rejected: %v", err)
+	}
+}
+
+func TestEstimatePathLossRoundTrip(t *testing.T) {
+	env := model.LoSPathLoss(903e6, 2.7)
+	r := rng.New(11)
+	net := &model.Network{
+		Devices:  geo.UniformDisc(50, 3000, r),
+		Gateways: []geo.Point{{}},
+	}
+	samples := CollectSamples(net, env, 14, nil)
+	est, err := FitExponent(samples, 903e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted := est.PathLoss()
+	// The fitted model must reproduce the generating attenuation.
+	for _, d := range []float64{100, 1000, 3000} {
+		if math.Abs(fitted.GainDB(d)-env.GainDB(d)) > 1e-6 {
+			t.Errorf("at %v m: fitted %v dB vs true %v dB", d, fitted.GainDB(d), env.GainDB(d))
+		}
+	}
+}
+
+func TestFitFeedsAllocatorSensibly(t *testing.T) {
+	// End-to-end calibration story: measure under fading, fit, and check
+	// that an allocation computed with the fitted model scores within a
+	// few percent (under the true model) of one computed with the true β.
+	trueEnv := model.LoSPathLoss(903e6, 2.7)
+	r := rng.New(13)
+	devices := geo.UniformDisc(80, 3500, r)
+	net := &model.Network{Devices: devices, Gateways: geo.GridGateways(2, 3500)}
+	samples := CollectSamples(net, trueEnv, 14, r.RayleighPowerGain)
+	est, err := FitExponent(samples, 903e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Exponent-2.7) > 0.15 {
+		t.Fatalf("fit too far off to be useful: %v", est.Exponent)
+	}
+}

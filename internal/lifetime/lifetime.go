@@ -1,0 +1,67 @@
+// Package lifetime computes network-lifetime metrics from per-device power
+// draws: the paper's evaluation (Fig. 8) defines network lifetime as the
+// time until 10% of the end devices have exhausted their batteries.
+package lifetime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"eflora/internal/radio"
+)
+
+// DefaultDeadFraction is the paper's network-death criterion: the network
+// is considered broken once 10% of the devices have run out of battery.
+const DefaultDeadFraction = 0.10
+
+// Result describes the lifetime outcome of a deployment.
+type Result struct {
+	// PerDeviceS is each device's individual battery lifetime in seconds.
+	PerDeviceS []float64
+	// NetworkS is the time at which deadFraction of the devices are dead.
+	NetworkS float64
+	// FirstDeathS is the minimum per-device lifetime (the strictest
+	// definition, used in the paper's Section II example).
+	FirstDeathS float64
+}
+
+// Compute derives lifetimes from per-device average power draws and a
+// shared battery. deadFraction in (0, 1] selects the network-death
+// criterion; pass DefaultDeadFraction for the paper's 10% rule.
+func Compute(avgPowerW []float64, battery radio.Battery, deadFraction float64) (Result, error) {
+	if len(avgPowerW) == 0 {
+		return Result{}, fmt.Errorf("lifetime: no devices")
+	}
+	if deadFraction <= 0 || deadFraction > 1 {
+		return Result{}, fmt.Errorf("lifetime: dead fraction %v outside (0, 1]", deadFraction)
+	}
+	if battery.CapacityJoules <= 0 {
+		return Result{}, fmt.Errorf("lifetime: battery capacity %v must be positive", battery.CapacityJoules)
+	}
+	res := Result{PerDeviceS: make([]float64, len(avgPowerW))}
+	for i, p := range avgPowerW {
+		if p < 0 {
+			return Result{}, fmt.Errorf("lifetime: device %d has negative power %v", i, p)
+		}
+		res.PerDeviceS[i] = battery.LifetimeSeconds(p)
+	}
+	sorted := make([]float64, len(res.PerDeviceS))
+	copy(sorted, res.PerDeviceS)
+	sort.Float64s(sorted)
+	res.FirstDeathS = sorted[0]
+	// The network dies when ceil(deadFraction·N) devices are dead, i.e.
+	// at the k-th smallest lifetime.
+	k := int(math.Ceil(deadFraction*float64(len(sorted)))) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(sorted) {
+		k = len(sorted) - 1
+	}
+	res.NetworkS = sorted[k]
+	return res, nil
+}
+
+// Days converts seconds to days for reporting.
+func Days(seconds float64) float64 { return seconds / 86400 }

@@ -1,0 +1,120 @@
+package lifetime
+
+import (
+	"math"
+	"testing"
+
+	"eflora/internal/radio"
+)
+
+func battery() radio.Battery {
+	return radio.NewBatteryFromMilliampHours(2400, 3.3)
+}
+
+func TestComputeBasic(t *testing.T) {
+	// 10 devices, powers 1..10 mW. With the 10% rule, the network dies
+	// with the first device: the one drawing 10 mW.
+	powers := make([]float64, 10)
+	for i := range powers {
+		powers[i] = float64(i+1) * 1e-3
+	}
+	res, err := Compute(powers, battery(), DefaultDeadFraction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFirst := battery().CapacityJoules / 10e-3
+	if math.Abs(res.FirstDeathS-wantFirst) > 1e-6 {
+		t.Errorf("FirstDeathS = %v, want %v", res.FirstDeathS, wantFirst)
+	}
+	if res.NetworkS != res.FirstDeathS {
+		t.Errorf("10%% of 10 devices is 1 death: NetworkS = %v, want %v", res.NetworkS, res.FirstDeathS)
+	}
+	if len(res.PerDeviceS) != 10 {
+		t.Fatalf("PerDeviceS len = %d", len(res.PerDeviceS))
+	}
+	for i := 1; i < 10; i++ {
+		if res.PerDeviceS[i] >= res.PerDeviceS[i-1] {
+			t.Errorf("lifetime should fall with power draw: device %d", i)
+		}
+	}
+}
+
+func TestComputeHalfDeadFraction(t *testing.T) {
+	powers := []float64{1e-3, 2e-3, 4e-3, 8e-3}
+	res, err := Compute(powers, battery(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50% of 4 devices = 2 deaths: second-smallest lifetime (4 mW device).
+	want := battery().CapacityJoules / 4e-3
+	if math.Abs(res.NetworkS-want) > 1e-6 {
+		t.Errorf("NetworkS = %v, want %v", res.NetworkS, want)
+	}
+}
+
+func TestComputeFullFraction(t *testing.T) {
+	powers := []float64{1e-3, 5e-3}
+	res, err := Compute(powers, battery(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := battery().CapacityJoules / 1e-3 // last device to die
+	if math.Abs(res.NetworkS-want) > 1e-6 {
+		t.Errorf("NetworkS = %v, want %v", res.NetworkS, want)
+	}
+}
+
+func TestComputeZeroPowerDevice(t *testing.T) {
+	res, err := Compute([]float64{0, 1e-3}, battery(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.PerDeviceS[0], 1) {
+		t.Errorf("zero-power device lifetime = %v, want +Inf", res.PerDeviceS[0])
+	}
+	if !math.IsInf(res.NetworkS, 1) {
+		t.Errorf("with fraction 1 and an immortal device, NetworkS = %v, want +Inf", res.NetworkS)
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(nil, battery(), 0.1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Compute([]float64{1e-3}, battery(), 0); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, err := Compute([]float64{1e-3}, battery(), 1.5); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := Compute([]float64{-1}, battery(), 0.1); err == nil {
+		t.Error("negative power accepted")
+	}
+	if _, err := Compute([]float64{1e-3}, radio.Battery{}, 0.1); err == nil {
+		t.Error("zero-capacity battery accepted")
+	}
+}
+
+func TestDays(t *testing.T) {
+	if got := Days(86400 * 30); got != 30 {
+		t.Errorf("Days = %v", got)
+	}
+}
+
+func TestFairPowersExtendNetworkLifetime(t *testing.T) {
+	// The paper's core argument: equalizing consumption extends the
+	// network lifetime for the same total energy budget.
+	unfair := []float64{8e-3, 1e-3, 1e-3, 1e-3, 1e-3}
+	fair := []float64{2.4e-3, 2.4e-3, 2.4e-3, 2.4e-3, 2.4e-3} // same total
+	ru, err := Compute(unfair, battery(), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Compute(fair, battery(), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.NetworkS <= ru.NetworkS {
+		t.Errorf("fair allocation lifetime %v should exceed unfair %v", rf.NetworkS, ru.NetworkS)
+	}
+}

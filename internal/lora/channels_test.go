@@ -1,0 +1,90 @@
+package lora
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEU868Plan(t *testing.T) {
+	p := EU868()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NumChannels(); got != 8 {
+		t.Errorf("EU868 channels = %d, want 8", got)
+	}
+	for _, ch := range p.Uplink {
+		if ch.BandwidthHz != 125e3 {
+			t.Errorf("channel %d bandwidth = %v, want 125 kHz", ch.Index, ch.BandwidthHz)
+		}
+		if ch.CenterHz < 867e6 || ch.CenterHz > 869e6 {
+			t.Errorf("channel %d center %v outside EU868 band", ch.Index, ch.CenterHz)
+		}
+	}
+}
+
+func TestUS915Sub1Plan(t *testing.T) {
+	p := US915Sub1()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NumChannels(); got != 8 {
+		t.Errorf("US915 channels = %d, want 8", got)
+	}
+	// Paper evaluation: 902.3 to 903.7 MHz.
+	if p.Uplink[0].CenterHz != 902.3e6 {
+		t.Errorf("first channel = %v, want 902.3 MHz", p.Uplink[0].CenterHz)
+	}
+	if math.Abs(p.Uplink[7].CenterHz-903.7e6) > 1 {
+		t.Errorf("last channel = %v, want 903.7 MHz", p.Uplink[7].CenterHz)
+	}
+	// Uniform 200 kHz spacing.
+	for i := 1; i < 8; i++ {
+		if d := p.Uplink[i].CenterHz - p.Uplink[i-1].CenterHz; math.Abs(d-200e3) > 1 {
+			t.Errorf("spacing between channel %d and %d = %v, want 200 kHz", i-1, i, d)
+		}
+	}
+}
+
+func TestTxPowerLevels(t *testing.T) {
+	p := EU868()
+	levels := p.TxPowerLevels()
+	want := []float64{2, 4, 6, 8, 10, 12, 14}
+	if len(levels) != len(want) {
+		t.Fatalf("EU868 TX power levels = %v, want %v", levels, want)
+	}
+	for i := range want {
+		if math.Abs(levels[i]-want[i]) > 1e-9 {
+			t.Errorf("level[%d] = %v, want %v", i, levels[i], want[i])
+		}
+	}
+}
+
+func TestTxPowerLevelsZeroStep(t *testing.T) {
+	p := Plan{Name: "fixed", MaxTxPowerDBm: 14}
+	levels := p.TxPowerLevels()
+	if len(levels) != 1 || levels[0] != 14 {
+		t.Errorf("zero-step plan levels = %v, want [14]", levels)
+	}
+}
+
+func TestPlanValidateFailures(t *testing.T) {
+	tests := []struct {
+		name string
+		plan Plan
+	}{
+		{"empty", Plan{Name: "x"}},
+		{"bad index", Plan{Name: "x", Uplink: []Channel{{Index: 1, CenterHz: 1, BandwidthHz: 1}}}},
+		{"zero freq", Plan{Name: "x", Uplink: []Channel{{Index: 0, BandwidthHz: 1}}}},
+		{"power inverted", Plan{
+			Name:          "x",
+			Uplink:        []Channel{{Index: 0, CenterHz: 1, BandwidthHz: 1}},
+			MinTxPowerDBm: 14, MaxTxPowerDBm: 2,
+		}},
+	}
+	for _, tt := range tests {
+		if err := tt.plan.Validate(); err == nil {
+			t.Errorf("Validate(%s) = nil, want error", tt.name)
+		}
+	}
+}

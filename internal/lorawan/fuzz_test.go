@@ -1,0 +1,72 @@
+package lorawan
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"eflora/internal/rng"
+)
+
+// TestQuickRoundTrip property-checks Encode/Decode over random frames.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(devAddr uint32, fcntLow uint16, fportRaw uint8, payload []byte, adr bool, keySeed uint64) bool {
+		if len(payload) > 200 {
+			payload = payload[:200]
+		}
+		r := rng.New(keySeed)
+		var keys Keys
+		for i := range keys.NwkSKey {
+			keys.NwkSKey[i] = byte(r.Intn(256))
+			keys.AppSKey[i] = byte(r.Intn(256))
+		}
+		frame := Frame{
+			MType:   UnconfirmedDataUp,
+			DevAddr: devAddr,
+			ADR:     adr,
+			FCnt:    uint32(fcntLow),
+			FPort:   1 + fportRaw%223,
+			Payload: payload,
+		}
+		phy, err := Encode(frame, keys)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(phy, keys, 0)
+		if err != nil {
+			return false
+		}
+		return got.DevAddr == frame.DevAddr &&
+			got.FCnt == frame.FCnt &&
+			got.FPort == frame.FPort &&
+			got.ADR == frame.ADR &&
+			bytes.Equal(got.Payload, frame.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTamperDetection property-checks that any single-bit flip in a
+// frame is rejected.
+func TestQuickTamperDetection(t *testing.T) {
+	keys := testKeys()
+	f := func(payload []byte, flipByteRaw, flipBitRaw uint8) bool {
+		if len(payload) > 64 {
+			payload = payload[:64]
+		}
+		phy, err := Encode(Frame{
+			MType: UnconfirmedDataUp, DevAddr: 0xABCD, FCnt: 7, FPort: 3, Payload: payload,
+		}, keys)
+		if err != nil {
+			return false
+		}
+		i := int(flipByteRaw) % len(phy)
+		phy[i] ^= 1 << (flipBitRaw % 8)
+		_, err = Decode(phy, keys, 0)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,240 @@
+package lorawan
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"testing"
+
+	"eflora/internal/model"
+)
+
+// RFC 4493 AES-CMAC test vectors (key 2b7e...).
+func rfc4493Key() [16]byte {
+	var k [16]byte
+	b, _ := hex.DecodeString("2b7e151628aed2a6abf7158809cf4f3c")
+	copy(k[:], b)
+	return k
+}
+
+func TestAESCMACRFC4493Vectors(t *testing.T) {
+	key := rfc4493Key()
+	msgFull, _ := hex.DecodeString(
+		"6bc1bee22e409f96e93d7e117393172a" +
+			"ae2d8a571e03ac9c9eb76fac45af8e51" +
+			"30c81c46a35ce411e5fbc1191a0a52ef" +
+			"f69f2445df4f9b17ad2b417be66c3710")
+	tests := []struct {
+		name string
+		msg  []byte
+		want string
+	}{
+		{"empty", nil, "bb1d6929e95937287fa37d129b756746"},
+		{"16 bytes", msgFull[:16], "070a16b46b4d4144f79bdd9dd04a287c"},
+		{"40 bytes", msgFull[:40], "dfa66747de9ae63030ca32611497c827"},
+		{"64 bytes", msgFull, "51f0bebf7e3b9d92fc49741779363cfe"},
+	}
+	for _, tt := range tests {
+		got, err := aesCMAC(key, tt.msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := hex.DecodeString(tt.want)
+		if !bytes.Equal(got[:], want) {
+			t.Errorf("%s: CMAC = %x, want %s", tt.name, got, tt.want)
+		}
+	}
+}
+
+func testKeys() Keys {
+	var k Keys
+	for i := range k.NwkSKey {
+		k.NwkSKey[i] = byte(i + 1)
+		k.AppSKey[i] = byte(0xA0 + i)
+	}
+	return k
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	keys := testKeys()
+	f := Frame{
+		MType:   UnconfirmedDataUp,
+		DevAddr: 0x26011BDA,
+		ADR:     true,
+		FCnt:    42,
+		FPort:   7,
+		Payload: []byte("sensor#1"),
+	}
+	phy, err := Encode(f, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phy) != PHYPayloadBytes(len(f.Payload)) {
+		t.Fatalf("PHY size = %d, want %d", len(phy), PHYPayloadBytes(len(f.Payload)))
+	}
+	got, err := Decode(phy, keys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MType != f.MType || got.DevAddr != f.DevAddr || got.FCnt != f.FCnt ||
+		got.FPort != f.FPort || got.ADR != f.ADR || !bytes.Equal(got.Payload, f.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, f)
+	}
+}
+
+func TestPaperPayloadAccounting(t *testing.T) {
+	// The paper: "application payload of 8 bytes, which implied a PHY
+	// payload of 21 bytes" — exactly this codec's overhead.
+	if got := PHYPayloadBytes(8); got != 21 {
+		t.Fatalf("PHYPayloadBytes(8) = %d, want 21", got)
+	}
+	keys := testKeys()
+	phy, err := Encode(Frame{
+		MType: UnconfirmedDataUp, DevAddr: 1, FCnt: 0, FPort: 1,
+		Payload: make([]byte, 8),
+	}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phy) != 21 {
+		t.Fatalf("encoded 8-byte app payload into %d PHY bytes, want 21", len(phy))
+	}
+	// And that is what model.DefaultParams configures.
+	p := model.DefaultParams()
+	if p.PHYPayloadBytes != PHYPayloadBytes(p.AppPayloadBytes) {
+		t.Errorf("model params %d/%d inconsistent with LoRaWAN framing (%d)",
+			p.AppPayloadBytes, p.PHYPayloadBytes, PHYPayloadBytes(p.AppPayloadBytes))
+	}
+}
+
+func TestPayloadIsEncryptedOnAir(t *testing.T) {
+	keys := testKeys()
+	payload := []byte("plaintext!")
+	phy, err := Encode(Frame{
+		MType: UnconfirmedDataUp, DevAddr: 5, FCnt: 9, FPort: 2, Payload: payload,
+	}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(phy, payload) {
+		t.Error("plaintext payload visible in the PHY payload")
+	}
+}
+
+func TestEncryptionVariesWithFrameCounter(t *testing.T) {
+	keys := testKeys()
+	mk := func(fcnt uint32) []byte {
+		phy, err := Encode(Frame{
+			MType: UnconfirmedDataUp, DevAddr: 5, FCnt: fcnt, FPort: 2,
+			Payload: []byte("same-payload"),
+		}, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return phy[9 : len(phy)-4]
+	}
+	if bytes.Equal(mk(1), mk(2)) {
+		t.Error("ciphertext identical across frame counters (counter mode broken)")
+	}
+}
+
+func TestDecodeDetectsTampering(t *testing.T) {
+	keys := testKeys()
+	phy, err := Encode(Frame{
+		MType: UnconfirmedDataUp, DevAddr: 7, FCnt: 3, FPort: 10, Payload: []byte{1, 2, 3, 4},
+	}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, flip := range []int{0, 4, 9, len(phy) - 1} {
+		bad := append([]byte(nil), phy...)
+		bad[flip] ^= 0x01
+		if _, err := Decode(bad, keys, 0); err == nil {
+			t.Errorf("tampered byte %d accepted", flip)
+		}
+	}
+	// Wrong network key must fail the MIC.
+	other := testKeys()
+	other.NwkSKey[0] ^= 0xFF
+	if _, err := Decode(phy, other, 0); !errors.Is(err, ErrBadMIC) {
+		t.Errorf("wrong key error = %v, want ErrBadMIC", err)
+	}
+}
+
+func TestDecodeFCntHigh(t *testing.T) {
+	keys := testKeys()
+	// FCnt 0x1002A: only 0x002A goes on air; the receiver supplies the
+	// high half for the MIC.
+	f := Frame{MType: ConfirmedDataUp, DevAddr: 9, FCnt: 0x1002A, FPort: 1, Payload: []byte{0xAB}}
+	phy, err := Encode(f, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(phy, keys, 0); !errors.Is(err, ErrBadMIC) {
+		t.Errorf("decode with wrong fCntHigh = %v, want ErrBadMIC", err)
+	}
+	got, err := Decode(phy, keys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FCnt != 0x1002A {
+		t.Errorf("FCnt = %#x, want 0x1002A", got.FCnt)
+	}
+}
+
+func TestEncodeRejectsBadInput(t *testing.T) {
+	keys := testKeys()
+	if _, err := Encode(Frame{MType: JoinRequest, FPort: 1}, keys); !errors.Is(err, ErrBadMType) {
+		t.Errorf("join request accepted: %v", err)
+	}
+	if _, err := Encode(Frame{MType: UnconfirmedDataUp, FPort: 0}, keys); !errors.Is(err, ErrBadFPort) {
+		t.Errorf("FPort 0 accepted: %v", err)
+	}
+	if _, err := Encode(Frame{MType: UnconfirmedDataUp, FPort: 224}, keys); !errors.Is(err, ErrBadFPort) {
+		t.Errorf("FPort 224 accepted: %v", err)
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	keys := testKeys()
+	if _, err := Decode(make([]byte, 5), keys, 0); !errors.Is(err, ErrTooShort) {
+		t.Error("short frame accepted")
+	}
+	// Downlink MType.
+	phy, _ := Encode(Frame{MType: UnconfirmedDataUp, DevAddr: 1, FPort: 1, Payload: []byte{1}}, keys)
+	bad := append([]byte(nil), phy...)
+	bad[0] = byte(UnconfirmedDataDown) << 5
+	if _, err := Decode(bad, keys, 0); !errors.Is(err, ErrBadMType) && !errors.Is(err, ErrBadMIC) {
+		t.Errorf("downlink accepted: %v", err)
+	}
+	// Non-empty FOpts length field.
+	bad = append([]byte(nil), phy...)
+	bad[5] |= 0x03
+	if _, err := Decode(bad, keys, 0); err == nil {
+		t.Error("FOpts frame accepted")
+	}
+}
+
+func TestMTypeString(t *testing.T) {
+	if UnconfirmedDataUp.String() != "UnconfirmedDataUp" {
+		t.Error("MType string")
+	}
+	if MType(42).String() != "MType(42)" {
+		t.Error("unknown MType string")
+	}
+}
+
+func TestEmptyPayloadFrame(t *testing.T) {
+	keys := testKeys()
+	phy, err := Encode(Frame{MType: UnconfirmedDataUp, DevAddr: 2, FPort: 1}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(phy, keys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != 0 {
+		t.Errorf("payload = %v, want empty", got.Payload)
+	}
+}

@@ -1,0 +1,238 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"eflora/internal/rng"
+)
+
+// bruteAtMost enumerates all 2^n outcomes (n <= ~20) to compute P{N <= k}.
+func bruteAtMost(ps []float64, k int) float64 {
+	n := len(ps)
+	total := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		prob := 1.0
+		successes := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				prob *= ps[i]
+				successes++
+			} else {
+				prob *= 1 - ps[i]
+			}
+		}
+		if successes <= k {
+			total += prob
+		}
+	}
+	return total
+}
+
+func TestPoissonBinomialMatchesBruteForce(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(12)
+		ps := make([]float64, n)
+		for i := range ps {
+			ps[i] = r.Float64()
+		}
+		pb := NewPoissonBinomial(8)
+		for _, p := range ps {
+			pb.Add(p)
+		}
+		for k := 0; k <= 7; k++ {
+			got := pb.ProbAtMost(k)
+			want := bruteAtMost(ps, k)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: P{N<=%d} = %v, brute = %v (ps=%v)", trial, k, got, want, ps)
+			}
+		}
+	}
+}
+
+func TestPoissonBinomialEmpty(t *testing.T) {
+	pb := NewPoissonBinomial(8)
+	if got := pb.ProbAtMost(0); got != 1 {
+		t.Errorf("empty P{N<=0} = %v, want 1", got)
+	}
+	if pb.Len() != 0 {
+		t.Errorf("empty Len = %d", pb.Len())
+	}
+}
+
+func TestPoissonBinomialCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPoissonBinomial(0) did not panic")
+		}
+	}()
+	NewPoissonBinomial(0)
+}
+
+func TestPoissonBinomialAddRemoveRoundTrip(t *testing.T) {
+	r := rng.New(2)
+	pb := NewPoissonBinomial(8)
+	ps := make([]float64, 50)
+	for i := range ps {
+		ps[i] = r.Float64() * 0.9 // keep away from 1 for stable removal
+		pb.Add(ps[i])
+	}
+	snapshot := make([]float64, 8)
+	for k := 0; k < 8; k++ {
+		snapshot[k] = pb.ProbAtMost(k)
+	}
+	// Remove and re-add a handful of trials; distribution must return.
+	for _, i := range []int{0, 7, 23, 49} {
+		pb.Remove(ps[i])
+		pb.Add(ps[i])
+	}
+	for k := 0; k < 8; k++ {
+		if math.Abs(pb.ProbAtMost(k)-snapshot[k]) > 1e-9 {
+			t.Fatalf("P{N<=%d} drifted after remove/add: %v vs %v", k, pb.ProbAtMost(k), snapshot[k])
+		}
+	}
+}
+
+func TestPoissonBinomialRemoveMatchesRebuild(t *testing.T) {
+	r := rng.New(3)
+	ps := make([]float64, 20)
+	for i := range ps {
+		ps[i] = r.Float64() * 0.95
+	}
+	pb := NewPoissonBinomial(8)
+	for _, p := range ps {
+		pb.Add(p)
+	}
+	pb.Remove(ps[5])
+	rebuilt := NewPoissonBinomial(8)
+	for i, p := range ps {
+		if i == 5 {
+			continue
+		}
+		rebuilt.Add(p)
+	}
+	for k := 0; k < 8; k++ {
+		if math.Abs(pb.ProbAtMost(k)-rebuilt.ProbAtMost(k)) > 1e-8 {
+			t.Fatalf("remove diverges from rebuild at k=%d: %v vs %v",
+				k, pb.ProbAtMost(k), rebuilt.ProbAtMost(k))
+		}
+	}
+}
+
+func TestPoissonBinomialRemoveFromEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Remove from empty did not panic")
+		}
+	}()
+	NewPoissonBinomial(8).Remove(0.5)
+}
+
+func TestProbAtMostExcludingMatchesCloneRemove(t *testing.T) {
+	r := rng.New(4)
+	ps := make([]float64, 30)
+	pb := NewPoissonBinomial(8)
+	for i := range ps {
+		ps[i] = r.Float64() * 0.9
+		pb.Add(ps[i])
+	}
+	for _, p := range ps {
+		fast := pb.ProbAtMostExcluding(p, 7)
+		slow := pb.Clone()
+		slow.Remove(p)
+		want := slow.ProbAtMost(7)
+		if math.Abs(fast-want) > 1e-9 {
+			t.Fatalf("ProbAtMostExcluding(%v) = %v, clone+remove = %v", p, fast, want)
+		}
+	}
+}
+
+func TestProbAtMostExcludingEdges(t *testing.T) {
+	pb := NewPoissonBinomial(8)
+	pb.Add(0.5)
+	if got := pb.ProbAtMostExcluding(0.5, -1); got != 0 {
+		t.Errorf("k=-1: %v, want 0", got)
+	}
+	if got := pb.ProbAtMostExcluding(0.5, 8); got != 1 {
+		t.Errorf("k=cap: %v, want 1", got)
+	}
+}
+
+func TestPoissonBinomialCertainSuccesses(t *testing.T) {
+	pb := NewPoissonBinomial(4)
+	for i := 0; i < 3; i++ {
+		pb.Add(1.0)
+	}
+	if got := pb.ProbAtMost(2); math.Abs(got) > 1e-12 {
+		t.Errorf("P{N<=2} with 3 certain successes = %v, want 0", got)
+	}
+	if got := pb.ProbAtMost(3); math.Abs(got-1) > 1e-12 {
+		t.Errorf("P{N<=3} = %v, want 1", got)
+	}
+	pb.Remove(1.0)
+	if got := pb.ProbAtMost(2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("after removing one certain success, P{N<=2} = %v, want 1", got)
+	}
+}
+
+func TestPoissonBinomialProbabilitiesValid(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := 1 + int(nRaw)%64
+		pb := NewPoissonBinomial(8)
+		for i := 0; i < n; i++ {
+			pb.Add(r.Float64())
+		}
+		prev := 0.0
+		for k := 0; k < 8; k++ {
+			p := pb.ProbAtMost(k)
+			if p < prev-1e-12 || p < 0 || p > 1+1e-12 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonBinomialClampsInputs(t *testing.T) {
+	pb := NewPoissonBinomial(8)
+	pb.Add(-0.5) // clamped to 0
+	pb.Add(1.5)  // clamped to 1
+	pb.Add(math.NaN())
+	if got := pb.ProbAtMost(0); math.Abs(got) > 1e-12 {
+		t.Errorf("with one certain success, P{N<=0} = %v, want 0", got)
+	}
+	if got := pb.ProbAtMost(1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("P{N<=1} = %v, want 1", got)
+	}
+}
+
+func BenchmarkPoissonBinomialAdd(b *testing.B) {
+	pb := NewPoissonBinomial(8)
+	for i := 0; i < b.N; i++ {
+		pb.Add(0.01)
+		if pb.Len() > 10000 {
+			pb = NewPoissonBinomial(8)
+		}
+	}
+}
+
+func BenchmarkProbAtMostExcluding(b *testing.B) {
+	r := rng.New(1)
+	pb := NewPoissonBinomial(8)
+	for i := 0; i < 3000; i++ {
+		pb.Add(r.Float64() * 0.02)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += pb.ProbAtMostExcluding(0.01, 7)
+	}
+	_ = sink
+}

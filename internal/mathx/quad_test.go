@@ -1,0 +1,117 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntegratePolynomial(t *testing.T) {
+	// ∫₀¹ x² dx = 1/3
+	got := Integrate(func(x float64) float64 { return x * x }, 0, 1, 1e-10)
+	if math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("∫x² = %v, want 1/3", got)
+	}
+}
+
+func TestIntegrateSine(t *testing.T) {
+	// ∫₀^π sin x dx = 2
+	got := Integrate(math.Sin, 0, math.Pi, 1e-10)
+	if math.Abs(got-2) > 1e-8 {
+		t.Errorf("∫sin = %v, want 2", got)
+	}
+}
+
+func TestIntegrateReversedInterval(t *testing.T) {
+	// Simpson handles b < a by sign convention.
+	got := Integrate(func(x float64) float64 { return 1 }, 1, 0, 1e-10)
+	if math.Abs(got+1) > 1e-9 {
+		t.Errorf("∫₁⁰ 1 dx = %v, want -1", got)
+	}
+}
+
+func TestIntegrateToInfExponential(t *testing.T) {
+	// ∫₀^∞ e^{-x} dx = 1
+	got := IntegrateToInf(func(x float64) float64 { return math.Exp(-x) }, 0, 1e-10)
+	if math.Abs(got-1) > 1e-7 {
+		t.Errorf("∫e^-x = %v, want 1", got)
+	}
+}
+
+func TestIntegrateToInfShifted(t *testing.T) {
+	// ∫₂^∞ e^{-x} dx = e^{-2}
+	got := IntegrateToInf(func(x float64) float64 { return math.Exp(-x) }, 2, 1e-10)
+	want := math.Exp(-2)
+	if math.Abs(got-want) > 1e-8 {
+		t.Errorf("∫₂^∞ e^-x = %v, want %v", got, want)
+	}
+}
+
+func TestPathLossIntegralClosedFormAnchors(t *testing.T) {
+	// β=4: ∫₀^∞ r/(1+r⁴) dr = π/4.
+	if got := PathLossIntegral(4); math.Abs(got-math.Pi/4) > 1e-12 {
+		t.Errorf("PathLossIntegral(4) = %v, want π/4", got)
+	}
+	// β=3: (π/3)/sin(2π/3) = (π/3)/(√3/2) = 2π/(3√3).
+	want := 2 * math.Pi / (3 * math.Sqrt(3))
+	if got := PathLossIntegral(3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PathLossIntegral(3) = %v, want %v", got, want)
+	}
+}
+
+func TestPathLossIntegralMatchesQuadrature(t *testing.T) {
+	// The core cross-validation property from DESIGN.md.
+	for beta := 2.1; beta <= 6.0; beta += 0.233 {
+		closed := PathLossIntegral(beta)
+		numeric := PathLossIntegralNumeric(beta, 1e-11)
+		if math.Abs(closed-numeric) > 1e-6*math.Max(1, closed) {
+			t.Errorf("β=%.3f: closed=%v numeric=%v", beta, closed, numeric)
+		}
+	}
+}
+
+func TestPathLossIntegralDivergesAtBeta2(t *testing.T) {
+	for _, beta := range []float64{1.5, 2.0} {
+		if got := PathLossIntegral(beta); !math.IsInf(got, 1) {
+			t.Errorf("PathLossIntegral(%v) = %v, want +Inf", beta, got)
+		}
+	}
+}
+
+func TestLaplacePPPInterferenceProperties(t *testing.T) {
+	// L(0) = 1 (no interference term), L in (0,1], decreasing in s and λ.
+	if got := LaplacePPPInterference(0, 10, 1e-4, 3); got != 1 {
+		t.Errorf("L(0) = %v, want 1", got)
+	}
+	if got := LaplacePPPInterference(1, 10, 0, 3); got != 1 {
+		t.Errorf("L with λ=0 = %v, want 1", got)
+	}
+	prev := 1.0
+	for s := 0.1; s < 100; s *= 3 {
+		l := LaplacePPPInterference(s, 10, 1e-5, 3.5)
+		if l <= 0 || l > 1 {
+			t.Fatalf("L(%v) = %v outside (0,1]", s, l)
+		}
+		if l > prev {
+			t.Fatalf("L not decreasing at s=%v: %v > %v", s, l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestLaplacePPPInterferenceDensityMonotone(t *testing.T) {
+	prev := 1.0
+	for lambda := 1e-8; lambda < 1e-2; lambda *= 10 {
+		l := LaplacePPPInterference(2, 10, lambda, 4)
+		if l >= prev {
+			t.Fatalf("L not decreasing in λ at %v", lambda)
+		}
+		prev = l
+	}
+}
+
+func TestLaplacePPPBeta2Degenerate(t *testing.T) {
+	// β <= 2 means divergent mean interference: transform collapses to 0.
+	if got := LaplacePPPInterference(1, 10, 1e-4, 2); got != 0 {
+		t.Errorf("L with β=2 = %v, want 0", got)
+	}
+}

@@ -1,0 +1,61 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"eflora/internal/lora"
+)
+
+// SFRings reports, for one path-loss environment and transmission power,
+// the maximum distance at which each spreading factor still closes the
+// link (mean channel, no fading margin) — the concentric coverage rings of
+// the classic LoRa cell picture.
+func SFRings(env PathLoss, tpDBm float64) map[lora.SF]float64 {
+	rings := make(map[lora.SF]float64, 6)
+	for _, s := range lora.SFs() {
+		rings[s] = env.MaxRange(tpDBm, lora.SensitivityDBm(s))
+	}
+	return rings
+}
+
+// CoverageReport summarizes how a deployment maps onto SF rings.
+type CoverageReport struct {
+	// RingM is the max range per SF at maximum plan power.
+	RingM map[lora.SF]float64
+	// MinFeasible histograms devices by their minimum feasible SF;
+	// Unreachable counts devices that cannot close a link at all.
+	MinFeasible map[lora.SF]int
+	Unreachable int
+}
+
+// Coverage analyses a network's feasibility structure under params.
+func Coverage(net *Network, p Params) CoverageReport {
+	gains := Gains(net, p)
+	rep := CoverageReport{
+		RingM:       SFRings(p.Environments[0], p.Plan.MaxTxPowerDBm),
+		MinFeasible: make(map[lora.SF]int, 6),
+	}
+	for i := 0; i < net.N(); i++ {
+		sf, ok := MinFeasibleSF(gains, i, p.Plan.MaxTxPowerDBm)
+		if !ok {
+			rep.Unreachable++
+			continue
+		}
+		rep.MinFeasible[sf]++
+	}
+	return rep
+}
+
+// String renders the report.
+func (r CoverageReport) String() string {
+	var b strings.Builder
+	b.WriteString("SF coverage rings (max plan power):\n")
+	for _, s := range lora.SFs() {
+		fmt.Fprintf(&b, "  %v: %.0f m, %d devices bound to it\n", s, r.RingM[s], r.MinFeasible[s])
+	}
+	if r.Unreachable > 0 {
+		fmt.Fprintf(&b, "  unreachable: %d devices\n", r.Unreachable)
+	}
+	return b.String()
+}

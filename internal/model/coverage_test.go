@@ -1,0 +1,71 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"eflora/internal/geo"
+	"eflora/internal/lora"
+)
+
+func TestSFRingsOrdering(t *testing.T) {
+	env := LoSPathLoss(903e6, 2.7)
+	rings := SFRings(env, 14)
+	prev := 0.0
+	for _, s := range lora.SFs() {
+		r := rings[s]
+		if r <= prev {
+			t.Fatalf("%v ring %v not larger than previous %v", s, r, prev)
+		}
+		prev = r
+	}
+	// Each SF step buys ~2.5-3 dB, i.e. a ring-radius ratio of
+	// 10^(3/(10*2.7)) ≈ 1.29.
+	ratio := rings[lora.SF8] / rings[lora.SF7]
+	if ratio < 1.2 || ratio > 1.4 {
+		t.Errorf("SF8/SF7 ring ratio = %v, want ~1.29", ratio)
+	}
+}
+
+func TestSFRingsGrowWithPower(t *testing.T) {
+	env := LoSPathLoss(903e6, 2.7)
+	lo := SFRings(env, 2)
+	hi := SFRings(env, 14)
+	for _, s := range lora.SFs() {
+		if hi[s] <= lo[s] {
+			t.Errorf("%v: ring at 14 dBm (%v) not beyond 2 dBm (%v)", s, hi[s], lo[s])
+		}
+	}
+}
+
+func TestCoverageAccountsForEveryDevice(t *testing.T) {
+	net := testNetwork(200, 3, 97)
+	p := DefaultParams()
+	rep := Coverage(net, p)
+	total := rep.Unreachable
+	for _, c := range rep.MinFeasible {
+		total += c
+	}
+	if total != 200 {
+		t.Errorf("coverage accounts for %d of 200 devices", total)
+	}
+}
+
+func TestCoverageUnreachable(t *testing.T) {
+	net := &Network{
+		Devices:  []geo.Point{{X: 100, Y: 0}, {X: 90000, Y: 0}},
+		Gateways: []geo.Point{{}},
+	}
+	p := DefaultParams()
+	rep := Coverage(net, p)
+	if rep.Unreachable != 1 {
+		t.Errorf("unreachable = %d, want 1", rep.Unreachable)
+	}
+	if rep.MinFeasible[lora.SF7] != 1 {
+		t.Errorf("near device should be SF7-bound: %v", rep.MinFeasible)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "unreachable: 1") || !strings.Contains(s, "SF7") {
+		t.Errorf("report text malformed:\n%s", s)
+	}
+}

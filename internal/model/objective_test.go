@@ -1,0 +1,115 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"eflora/internal/geo"
+	"eflora/internal/lora"
+)
+
+func TestObjectiveValidation(t *testing.T) {
+	p := DefaultParams()
+	p.Objective = Objective(7)
+	if err := p.Validate(); err == nil {
+		t.Error("invalid objective accepted")
+	}
+	p.Objective = ObjectiveThroughput
+	if err := p.Validate(); err != nil {
+		t.Errorf("throughput objective rejected: %v", err)
+	}
+}
+
+func TestThroughputMetricValues(t *testing.T) {
+	net := testNetwork(50, 2, 71)
+	p := DefaultParams()
+	p.Objective = ObjectiveThroughput
+	a := feasibleAllocation(net, DefaultParams())
+	e, err := NewEvaluator(net, p, a, ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput = L·PRR/T_g: with the fixed 181 s interval and a
+	// 64-bit payload, per-device throughput is under 0.36 bit/s.
+	for i := 0; i < 50; i++ {
+		tput := e.EE(i) // the metric slot carries throughput now
+		if tput < 0 || tput > p.AppPayloadBits()/p.PacketIntervalS+1e-9 {
+			t.Fatalf("device %d throughput %v outside [0, %v]",
+				i, tput, p.AppPayloadBits()/p.PacketIntervalS)
+		}
+		prr := e.PRR(i)
+		if prr < -1e-9 || prr > 1+1e-9 {
+			t.Fatalf("device %d PRR %v", i, prr)
+		}
+		// Inverting the metric must reproduce PRR.
+		want := tput * p.PacketIntervalS / p.AppPayloadBits()
+		if math.Abs(prr-want) > 1e-12 {
+			t.Fatalf("PRR inversion mismatch: %v vs %v", prr, want)
+		}
+	}
+}
+
+func TestThroughputObjectiveFixedIntervalPrefersReliability(t *testing.T) {
+	// With a fixed interval, throughput is proportional to PRR, so air
+	// time is free: a lone far device's best throughput SF is a robust
+	// one, while its best EE SF trades reliability against energy.
+	net := &Network{
+		Devices:  []geo.Point{{X: 3000, Y: 0}},
+		Gateways: []geo.Point{{}},
+	}
+	_ = net
+	pEE := DefaultParams()
+	pTP := DefaultParams()
+	pTP.Objective = ObjectiveThroughput
+	bestSF := func(p Params) lora.SF {
+		best, bestVal := lora.SF7, -1.0
+		for _, sf := range lora.SFs() {
+			a := NewAllocation(1, p.Plan)
+			a.SF[0] = sf
+			a.TPdBm[0] = 14
+			e, err := NewEvaluator(net, p, a, ModeExact)
+			if err != nil {
+				panic(err)
+			}
+			if v := e.EE(0); v > bestVal {
+				best, bestVal = sf, v
+			}
+		}
+		return best
+	}
+	sfEE := bestSF(pEE)
+	sfTP := bestSF(pTP)
+	if sfTP < sfEE {
+		t.Errorf("throughput objective picked a less robust SF (%v) than EE (%v)", sfTP, sfEE)
+	}
+	if sfTP != lora.SF12 {
+		t.Errorf("with free air time the most robust SF should win, got %v", sfTP)
+	}
+}
+
+func TestThroughputObjectiveInGreedyEvaluator(t *testing.T) {
+	// The incremental machinery must stay consistent under the
+	// throughput objective too.
+	net := testNetwork(60, 2, 73)
+	p := DefaultParams()
+	p.Objective = ObjectiveThroughput
+	a := feasibleAllocation(net, DefaultParams())
+	e, err := NewEvaluator(net, p, a, ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetDevice(5, lora.SF10, 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	e.RecomputeAll()
+	fresh, err := NewEvaluator(net, p, e.Allocation(), ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := e.EEAll(), fresh.EEAll()
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9*math.Max(1e-12, want[i]) {
+			t.Fatalf("metric[%d]: incremental %v vs fresh %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGainDecreasesWithDistance(t *testing.T) {
+	pl := LoSPathLoss(903e6, 2.7)
+	prev := math.Inf(1)
+	for d := 1.0; d <= 1e5; d *= 1.7 {
+		g := pl.Gain(d)
+		if g <= 0 || g >= prev {
+			t.Fatalf("Gain(%v) = %v, previous %v", d, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestGainSlopeMatchesExponent(t *testing.T) {
+	// Doubling distance must cost exactly 10·β·log10(2) dB (Eq. 9).
+	for _, beta := range []float64{2.4, 2.7, 3.0, 4.0} {
+		pl := LoSPathLoss(903e6, beta)
+		lossDB := pl.GainDB(1000) - pl.GainDB(2000)
+		want := 10 * beta * math.Log10(2)
+		if math.Abs(lossDB-want) > 1e-9 {
+			t.Errorf("β=%v: doubling cost = %v dB, want %v", beta, lossDB, want)
+		}
+	}
+}
+
+func TestGainFreeSpaceAnchor(t *testing.T) {
+	// With β=2 this is the Friis free-space loss: at 903 MHz and 1 km,
+	// FSPL = 20log10(4πdf/c) ≈ 91.6 dB.
+	pl := LoSPathLoss(903e6, 2)
+	got := -pl.GainDB(1000)
+	want := 20 * math.Log10(4*math.Pi*1000*903e6/SpeedOfLight)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("FSPL(1km) = %v dB, want %v", got, want)
+	}
+	if math.Abs(want-91.6) > 0.2 {
+		t.Errorf("sanity: FSPL(1km, 903MHz) should be ~91.6 dB, formula gives %v", want)
+	}
+}
+
+func TestNearFieldClamp(t *testing.T) {
+	pl := LoSPathLoss(903e6, 2.7)
+	if pl.Gain(0) != pl.Gain(1) || pl.Gain(0.01) != pl.Gain(1) {
+		t.Error("distances below 1 m should clamp to the 1 m gain")
+	}
+}
+
+func TestNLoSSteeperBeyondBreakpoint(t *testing.T) {
+	los := LoSPathLoss(903e6, 2.7)
+	nlos := NLoSPathLoss(903e6, 2.7, 4.0, 300)
+	// Identical up to the breakpoint.
+	if math.Abs(nlos.GainDB(200)-los.GainDB(200)) > 1e-9 {
+		t.Error("NLoS should match LoS below the breakpoint")
+	}
+	// Beyond it, slope is 4: doubling from 1 km to 2 km costs 40log10(2).
+	lossDB := nlos.GainDB(1000) - nlos.GainDB(2000)
+	want := 10 * 4.0 * math.Log10(2)
+	if math.Abs(lossDB-want) > 1e-9 {
+		t.Errorf("NLoS doubling cost = %v dB, want %v", lossDB, want)
+	}
+	// And NLoS is strictly worse than LoS out there.
+	if nlos.Gain(5000) >= los.Gain(5000) {
+		t.Error("NLoS gain should be below LoS at 5 km")
+	}
+}
+
+func TestMaxRange(t *testing.T) {
+	pl := LoSPathLoss(903e6, 2.7)
+	// The range should satisfy rx(range) == floor.
+	r := pl.MaxRange(14, -123)
+	rx := 14 + pl.GainDB(r)
+	if math.Abs(rx-(-123)) > 1e-6 {
+		t.Errorf("rx at MaxRange = %v, want -123", rx)
+	}
+	// SF7 at 14 dBm under β=2.7 reaches kilometers, not meters; this
+	// anchors the scenario scale used by the experiments.
+	if r < 1000 || r > 10000 {
+		t.Errorf("SF7 range = %v m, want km-scale", r)
+	}
+	// SF12 reaches farther than SF7.
+	r12 := pl.MaxRange(14, -137)
+	if r12 <= r {
+		t.Errorf("SF12 range %v should exceed SF7 range %v", r12, r)
+	}
+}
+
+func TestMaxRangeMonotoneInPower(t *testing.T) {
+	pl := LoSPathLoss(903e6, 2.7)
+	f := func(raw uint8) bool {
+		tp := 2 + float64(raw%12)
+		return pl.MaxRange(tp+2, -130) > pl.MaxRange(tp, -130)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxRangeUnreachable(t *testing.T) {
+	pl := NLoSPathLoss(903e6, 4.5, 6, 10)
+	if r := pl.MaxRange(-100, -60); r != 0 {
+		t.Errorf("unreachable link MaxRange = %v, want 0", r)
+	}
+}
+
+func TestPathLossValidate(t *testing.T) {
+	good := LoSPathLoss(903e6, 2.7)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := []PathLoss{
+		{FrequencyHz: 0, Exponent: 2.7},
+		{FrequencyHz: 903e6, Exponent: 0},
+		{FrequencyHz: 903e6, Exponent: 2.7, ExtraExponent: -1},
+		{FrequencyHz: 903e6, Exponent: 2.7, ExtraExponent: 1.3, BreakpointM: 0},
+	}
+	for i, pl := range bad {
+		if err := pl.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}

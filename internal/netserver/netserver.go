@@ -1,0 +1,200 @@
+// Package netserver implements the LoRaWAN network-server role of the
+// paper's system model (Section III-A): gateways forward every reception
+// with metadata to a central server, which de-duplicates the copies (an
+// uplink heard by several gateways counts once), verifies and decrypts
+// the frames, tracks per-device counters and retains the best-gateway
+// statistics that drive downlink routing and ADR.
+package netserver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"eflora/internal/lorawan"
+)
+
+// Uplink is one gateway's reception of a frame, as forwarded to the
+// server.
+type Uplink struct {
+	// Gateway is the reporting gateway's index.
+	Gateway int
+	// ReceivedAtS is the reception timestamp in seconds.
+	ReceivedAtS float64
+	// RSSIdBm and SNRdB are the reception quality metadata.
+	RSSIdBm, SNRdB float64
+	// PHYPayload is the raw frame.
+	PHYPayload []byte
+}
+
+// Delivery is a de-duplicated, verified and decrypted uplink.
+type Delivery struct {
+	DevAddr uint32
+	FCnt    uint32
+	FPort   uint8
+	Payload []byte
+	// Gateways lists every gateway that reported a copy, best SNR first.
+	Gateways []Uplink
+}
+
+// Device is a provisioned end device.
+type Device struct {
+	DevAddr uint32
+	Keys    lorawan.Keys
+}
+
+// Server is the network server. It is safe for concurrent use by multiple
+// gateway forwarders.
+type Server struct {
+	mu      sync.Mutex
+	devices map[uint32]lorawan.Keys
+	// lastFCnt tracks the highest accepted counter per device for replay
+	// protection and FCnt roll-over reconstruction.
+	lastFCnt map[uint32]uint32
+	seen     map[uint32]bool // whether the device has sent before
+	// pending groups copies of the current frame per device until the
+	// dedup window closes.
+	pending map[uint32]*pendingFrame
+	// DedupWindowS is how long the server waits for more gateway copies
+	// before finalizing a delivery (default 0.2 s).
+	DedupWindowS float64
+
+	deliveries []Delivery
+	// Duplicates counts redundant gateway copies that were merged;
+	// Rejected counts frames that failed verification or replay checks.
+	Duplicates, Rejected int
+}
+
+type pendingFrame struct {
+	fcnt    uint32
+	fport   uint8
+	payload []byte
+	firstAt float64
+	copies  []Uplink
+}
+
+// New creates a server with the given provisioned devices.
+func New(devices []Device) *Server {
+	s := &Server{
+		devices:      make(map[uint32]lorawan.Keys, len(devices)),
+		lastFCnt:     make(map[uint32]uint32),
+		seen:         make(map[uint32]bool),
+		pending:      make(map[uint32]*pendingFrame),
+		DedupWindowS: 0.2,
+	}
+	for _, d := range devices {
+		s.devices[d.DevAddr] = d.Keys
+	}
+	return s
+}
+
+// HandleUplink ingests one gateway reception. Frames that fail MIC
+// verification, belong to unknown devices, or replay an old counter are
+// counted in Rejected. Copies of a frame already pending are merged.
+func (s *Server) HandleUplink(up Uplink) error {
+	if len(up.PHYPayload) < lorawan.FrameOverheadBytes {
+		s.mu.Lock()
+		s.Rejected++
+		s.mu.Unlock()
+		return fmt.Errorf("netserver: frame too short (%d bytes)", len(up.PHYPayload))
+	}
+	// DevAddr is at bytes 1..4; look the keys up before full decode.
+	devAddr := uint32(up.PHYPayload[1]) | uint32(up.PHYPayload[2])<<8 |
+		uint32(up.PHYPayload[3])<<16 | uint32(up.PHYPayload[4])<<24
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys, ok := s.devices[devAddr]
+	if !ok {
+		s.Rejected++
+		return fmt.Errorf("netserver: unknown device %08x", devAddr)
+	}
+	f, err := lorawan.Decode(up.PHYPayload, keys, s.lastFCnt[devAddr]>>16)
+	if err != nil {
+		s.Rejected++
+		return fmt.Errorf("netserver: %w", err)
+	}
+
+	// Flush a pending frame whose window has closed.
+	if pf, ok := s.pending[devAddr]; ok {
+		if f.FCnt != pf.fcnt || up.ReceivedAtS-pf.firstAt > s.DedupWindowS {
+			s.finalizeLocked(devAddr, pf)
+			delete(s.pending, devAddr)
+		}
+	}
+
+	if pf, ok := s.pending[devAddr]; ok && pf.fcnt == f.FCnt {
+		// Redundant gateway copy of the pending frame.
+		pf.copies = append(pf.copies, up)
+		s.Duplicates++
+		return nil
+	}
+
+	// Replay protection: a finalized or pending counter must be fresh.
+	if s.seen[devAddr] && f.FCnt <= s.lastFCnt[devAddr] {
+		s.Rejected++
+		return fmt.Errorf("netserver: replayed FCnt %d (last %d)", f.FCnt, s.lastFCnt[devAddr])
+	}
+	s.pending[devAddr] = &pendingFrame{
+		fcnt:    f.FCnt,
+		fport:   f.FPort,
+		payload: f.Payload,
+		firstAt: up.ReceivedAtS,
+		copies:  []Uplink{up},
+	}
+	s.lastFCnt[devAddr] = f.FCnt
+	s.seen[devAddr] = true
+	return nil
+}
+
+// finalizeLocked turns a pending frame into a delivery. Callers hold mu.
+func (s *Server) finalizeLocked(devAddr uint32, pf *pendingFrame) {
+	sort.SliceStable(pf.copies, func(i, j int) bool {
+		return pf.copies[i].SNRdB > pf.copies[j].SNRdB
+	})
+	s.deliveries = append(s.deliveries, Delivery{
+		DevAddr:  devAddr,
+		FCnt:     pf.fcnt,
+		FPort:    pf.fport,
+		Payload:  pf.payload,
+		Gateways: pf.copies,
+	})
+}
+
+// Flush finalizes every pending frame (end of a simulation or batch).
+func (s *Server) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addrs := make([]uint32, 0, len(s.pending))
+	for a := range s.pending {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		s.finalizeLocked(a, s.pending[a])
+		delete(s.pending, a)
+	}
+}
+
+// Deliveries returns the finalized, de-duplicated uplinks in arrival
+// order.
+func (s *Server) Deliveries() []Delivery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Delivery, len(s.deliveries))
+	copy(out, s.deliveries)
+	return out
+}
+
+// BestGateway returns the gateway that most recently delivered the
+// device's traffic with the best SNR — the downlink routing choice.
+func (s *Server) BestGateway(devAddr uint32) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.deliveries) - 1; i >= 0; i-- {
+		if s.deliveries[i].DevAddr == devAddr && len(s.deliveries[i].Gateways) > 0 {
+			return s.deliveries[i].Gateways[0].Gateway, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,203 @@
+package netserver
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"eflora/internal/lorawan"
+)
+
+func deviceFixture(addr uint32) Device {
+	var k lorawan.Keys
+	for i := range k.NwkSKey {
+		k.NwkSKey[i] = byte(addr) + byte(i)
+		k.AppSKey[i] = byte(addr) ^ byte(i*7)
+	}
+	return Device{DevAddr: addr, Keys: k}
+}
+
+func encode(t *testing.T, d Device, fcnt uint32, payload []byte) []byte {
+	t.Helper()
+	phy, err := lorawan.Encode(lorawan.Frame{
+		MType: lorawan.UnconfirmedDataUp, DevAddr: d.DevAddr,
+		FCnt: fcnt, FPort: 1, Payload: payload,
+	}, d.Keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return phy
+}
+
+func TestDeduplicatesGatewayCopies(t *testing.T) {
+	dev := deviceFixture(0x100)
+	s := New([]Device{dev})
+	phy := encode(t, dev, 1, []byte("reading-1"))
+	// Three gateways report the same frame within the window.
+	for gw := 0; gw < 3; gw++ {
+		if err := s.HandleUplink(Uplink{
+			Gateway: gw, ReceivedAtS: 10 + float64(gw)*0.01,
+			SNRdB: float64(gw), PHYPayload: phy,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	ds := s.Deliveries()
+	if len(ds) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(ds))
+	}
+	if s.Duplicates != 2 {
+		t.Errorf("duplicates = %d, want 2", s.Duplicates)
+	}
+	if len(ds[0].Gateways) != 3 {
+		t.Fatalf("gateway copies = %d, want 3", len(ds[0].Gateways))
+	}
+	// Best SNR first: gateway 2 reported SNR 2.
+	if ds[0].Gateways[0].Gateway != 2 {
+		t.Errorf("best gateway = %d, want 2", ds[0].Gateways[0].Gateway)
+	}
+	if !bytes.Equal(ds[0].Payload, []byte("reading-1")) {
+		t.Errorf("payload = %q", ds[0].Payload)
+	}
+}
+
+func TestSeparateFramesDelivered(t *testing.T) {
+	dev := deviceFixture(0x200)
+	s := New([]Device{dev})
+	for fcnt := uint32(1); fcnt <= 5; fcnt++ {
+		phy := encode(t, dev, fcnt, []byte{byte(fcnt)})
+		if err := s.HandleUplink(Uplink{Gateway: 0, ReceivedAtS: float64(fcnt) * 10, PHYPayload: phy}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	ds := s.Deliveries()
+	if len(ds) != 5 {
+		t.Fatalf("deliveries = %d, want 5", len(ds))
+	}
+	for i, d := range ds {
+		if d.FCnt != uint32(i+1) {
+			t.Errorf("delivery %d FCnt = %d", i, d.FCnt)
+		}
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	dev := deviceFixture(0x300)
+	s := New([]Device{dev})
+	phy5 := encode(t, dev, 5, []byte("x"))
+	phy4 := encode(t, dev, 4, []byte("y"))
+	if err := s.HandleUplink(Uplink{ReceivedAtS: 1, PHYPayload: phy5}); err != nil {
+		t.Fatal(err)
+	}
+	// An older (or equal) counter arriving after the window is a replay.
+	if err := s.HandleUplink(Uplink{ReceivedAtS: 10, PHYPayload: phy4}); err == nil {
+		t.Error("replayed counter accepted")
+	}
+	if err := s.HandleUplink(Uplink{ReceivedAtS: 20, PHYPayload: phy5}); err == nil {
+		t.Error("duplicate old frame accepted after window")
+	}
+	if s.Rejected != 2 {
+		t.Errorf("rejected = %d, want 2", s.Rejected)
+	}
+}
+
+func TestUnknownDeviceAndBadMIC(t *testing.T) {
+	dev := deviceFixture(0x400)
+	stranger := deviceFixture(0x999)
+	s := New([]Device{dev})
+	if err := s.HandleUplink(Uplink{PHYPayload: encode(t, stranger, 1, []byte("?"))}); err == nil {
+		t.Error("unknown device accepted")
+	}
+	// Known DevAddr but wrong keys -> MIC failure.
+	evil := stranger
+	evil.DevAddr = dev.DevAddr
+	if err := s.HandleUplink(Uplink{PHYPayload: encode(t, evil, 1, []byte("!"))}); err == nil {
+		t.Error("forged frame accepted")
+	}
+	if err := s.HandleUplink(Uplink{PHYPayload: []byte{1, 2}}); err == nil {
+		t.Error("runt frame accepted")
+	}
+	if s.Rejected != 3 {
+		t.Errorf("rejected = %d, want 3", s.Rejected)
+	}
+}
+
+func TestLateCopyOutsideWindowNotMerged(t *testing.T) {
+	dev := deviceFixture(0x500)
+	s := New([]Device{dev})
+	phy := encode(t, dev, 1, []byte("z"))
+	if err := s.HandleUplink(Uplink{Gateway: 0, ReceivedAtS: 1, PHYPayload: phy}); err != nil {
+		t.Fatal(err)
+	}
+	// Same frame, but far outside the dedup window: it flushes the
+	// pending frame and is then rejected as a replay.
+	if err := s.HandleUplink(Uplink{Gateway: 1, ReceivedAtS: 5, PHYPayload: phy}); err == nil {
+		t.Error("stale duplicate accepted")
+	}
+	ds := s.Deliveries()
+	if len(ds) != 1 || len(ds[0].Gateways) != 1 {
+		t.Fatalf("deliveries = %+v", ds)
+	}
+}
+
+func TestBestGateway(t *testing.T) {
+	dev := deviceFixture(0x600)
+	s := New([]Device{dev})
+	if _, ok := s.BestGateway(dev.DevAddr); ok {
+		t.Error("best gateway before any traffic")
+	}
+	phy := encode(t, dev, 1, []byte("a"))
+	_ = s.HandleUplink(Uplink{Gateway: 4, SNRdB: -3, ReceivedAtS: 1, PHYPayload: phy})
+	_ = s.HandleUplink(Uplink{Gateway: 2, SNRdB: 6, ReceivedAtS: 1.05, PHYPayload: phy})
+	s.Flush()
+	gw, ok := s.BestGateway(dev.DevAddr)
+	if !ok || gw != 2 {
+		t.Errorf("best gateway = (%d, %v), want (2, true)", gw, ok)
+	}
+}
+
+func TestConcurrentForwarders(t *testing.T) {
+	devs := make([]Device, 8)
+	for i := range devs {
+		devs[i] = deviceFixture(uint32(0x700 + i))
+	}
+	s := New(devs)
+	var wg sync.WaitGroup
+	for gw := 0; gw < 4; gw++ {
+		wg.Add(1)
+		go func(gw int) {
+			defer wg.Done()
+			for f := uint32(1); f <= 20; f++ {
+				for _, d := range devs {
+					phy, err := lorawan.Encode(lorawan.Frame{
+						MType: lorawan.UnconfirmedDataUp, DevAddr: d.DevAddr,
+						FCnt: f, FPort: 1, Payload: []byte{byte(f)},
+					}, d.Keys)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					// Errors (replays across goroutines) are expected;
+					// the server must just stay consistent.
+					_ = s.HandleUplink(Uplink{
+						Gateway: gw, ReceivedAtS: float64(f) * 10, PHYPayload: phy,
+					})
+				}
+			}
+		}(gw)
+	}
+	wg.Wait()
+	s.Flush()
+	ds := s.Deliveries()
+	// Each (device, fcnt) pair delivers at most once.
+	seen := make(map[[2]uint32]bool)
+	for _, d := range ds {
+		key := [2]uint32{d.DevAddr, d.FCnt}
+		if seen[key] {
+			t.Fatalf("duplicate delivery %08x/%d", d.DevAddr, d.FCnt)
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,116 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"eflora/internal/lora"
+	"eflora/internal/rng"
+)
+
+// Modem modulates and demodulates chirp-spread-spectrum symbols at one
+// spreading factor: a symbol s in [0, 2^SF) is an up-chirp starting at
+// frequency offset s, and demodulation multiplies by the conjugate base
+// chirp (dechirping) and locates the resulting tone with an FFT — the
+// coherent processing gain of 2^SF per symbol is exactly why larger SFs
+// decode at lower SNR (paper Table IV).
+type Modem struct {
+	sf lora.SF
+	n  int
+}
+
+// NewModem returns a modem for the given spreading factor.
+func NewModem(sf lora.SF) (*Modem, error) {
+	if !sf.Valid() {
+		return nil, fmt.Errorf("phy: invalid spreading factor %d", int(sf))
+	}
+	return &Modem{sf: sf, n: 1 << uint(sf)}, nil
+}
+
+// SymbolCount returns the alphabet size 2^SF.
+func (m *Modem) SymbolCount() int { return m.n }
+
+// Modulate produces the N = 2^SF baseband samples of symbol s.
+func (m *Modem) Modulate(s int) ([]complex128, error) {
+	if s < 0 || s >= m.n {
+		return nil, fmt.Errorf("phy: symbol %d outside [0, %d)", s, m.n)
+	}
+	out := make([]complex128, m.n)
+	nf := float64(m.n)
+	for i := 0; i < m.n; i++ {
+		t := float64(i)
+		// Instantaneous frequency ((s + t) mod N)/N cycles/sample;
+		// integrated phase of the shifted up-chirp.
+		phase := 2 * math.Pi * (t*t/(2*nf) + t*float64(s)/nf)
+		out[i] = cmplx.Exp(complex(0, phase))
+	}
+	return out, nil
+}
+
+// Demodulate dechirps the samples and returns the most likely symbol.
+func (m *Modem) Demodulate(sig []complex128) (int, error) {
+	if len(sig) != m.n {
+		return 0, fmt.Errorf("phy: got %d samples, want %d", len(sig), m.n)
+	}
+	nf := float64(m.n)
+	work := make([]complex128, m.n)
+	for i := 0; i < m.n; i++ {
+		t := float64(i)
+		phase := -2 * math.Pi * t * t / (2 * nf)
+		work[i] = sig[i] * cmplx.Exp(complex(0, phase))
+	}
+	fft(work)
+	best, bestPow := 0, 0.0
+	for k, v := range work {
+		p := real(v)*real(v) + imag(v)*imag(v)
+		if p > bestPow {
+			best, bestPow = k, p
+		}
+	}
+	return best, nil
+}
+
+// AWGN adds complex white Gaussian noise at the given per-sample SNR (dB)
+// to a unit-power signal.
+func AWGN(sig []complex128, snrDB float64, r *rng.RNG) []complex128 {
+	// Unit signal power; noise variance per complex sample = 1/snr,
+	// split across I and Q.
+	sigma := math.Sqrt(1 / lora.DBToLinear(snrDB) / 2)
+	out := make([]complex128, len(sig))
+	for i, v := range sig {
+		out[i] = v + complex(sigma*r.NormFloat64(), sigma*r.NormFloat64())
+	}
+	return out
+}
+
+// fft is an in-place iterative radix-2 Cooley-Tukey transform; len(x)
+// must be a power of two (guaranteed by the modem's 2^SF frame sizes).
+func fft(x []complex128) {
+	n := len(x)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}

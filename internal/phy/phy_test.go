@@ -1,0 +1,390 @@
+package phy
+
+import (
+	"bytes"
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"eflora/internal/lora"
+	"eflora/internal/rng"
+)
+
+func TestHammingRoundTripAllNibbles(t *testing.T) {
+	for _, cr := range []lora.CodingRate{lora.CR45, lora.CR46, lora.CR47, lora.CR48} {
+		for n := byte(0); n < 16; n++ {
+			cw := hammingEncode(n, cr)
+			got, corrected, bad := hammingDecode(cw, cr)
+			if got != n || corrected || bad {
+				t.Fatalf("CR %v nibble %x: decode(%x) = (%x, %v, %v)", cr, n, cw, got, corrected, bad)
+			}
+		}
+	}
+}
+
+func TestHamming47CorrectsEverySingleBitError(t *testing.T) {
+	// The paper's rationale for CR 4/7: single bit errors are corrected.
+	for n := byte(0); n < 16; n++ {
+		cw := hammingEncode(n, lora.CR47)
+		for bit := 0; bit < 7; bit++ {
+			got, corrected, bad := hammingDecode(cw^1<<bit, lora.CR47)
+			if got != n || !corrected || bad {
+				t.Fatalf("nibble %x bit %d: decode = (%x, %v, %v), want corrected", n, bit, got, corrected, bad)
+			}
+		}
+	}
+}
+
+func TestHamming48CorrectsSingleDetectsDouble(t *testing.T) {
+	for n := byte(0); n < 16; n++ {
+		cw := hammingEncode(n, lora.CR48)
+		for bit := 0; bit < 8; bit++ {
+			got, corrected, bad := hammingDecode(cw^1<<bit, lora.CR48)
+			if got != n || !corrected || bad {
+				t.Fatalf("single error at bit %d: (%x, %v, %v)", bit, got, corrected, bad)
+			}
+		}
+		// All double errors must be flagged bad, never silently wrong.
+		for b1 := 0; b1 < 8; b1++ {
+			for b2 := b1 + 1; b2 < 8; b2++ {
+				_, _, bad := hammingDecode(cw^1<<b1^1<<b2, lora.CR48)
+				if !bad {
+					t.Fatalf("double error bits %d,%d not detected (nibble %x)", b1, b2, n)
+				}
+			}
+		}
+	}
+}
+
+func TestHamming45DetectsButCannotCorrect(t *testing.T) {
+	// The paper: rates 4/5 and 4/6 are "not capable of correcting bit
+	// errors".
+	for n := byte(0); n < 16; n++ {
+		cw := hammingEncode(n, lora.CR45)
+		for bit := 0; bit < 5; bit++ {
+			_, corrected, bad := hammingDecode(cw^1<<bit, lora.CR45)
+			if corrected {
+				t.Fatalf("CR 4/5 claimed to correct an error")
+			}
+			if !bad {
+				t.Fatalf("CR 4/5 missed a single-bit error at bit %d", bit)
+			}
+		}
+	}
+}
+
+func TestHammingCodewordWidths(t *testing.T) {
+	for _, tt := range []struct {
+		cr   lora.CodingRate
+		bits int
+	}{{lora.CR45, 5}, {lora.CR46, 6}, {lora.CR47, 7}, {lora.CR48, 8}} {
+		for n := byte(0); n < 16; n++ {
+			cw := hammingEncode(n, tt.cr)
+			if cw>>tt.bits != 0 {
+				t.Fatalf("CR %v codeword %x wider than %d bits", tt.cr, cw, tt.bits)
+			}
+		}
+	}
+}
+
+func TestWhitenInvolutive(t *testing.T) {
+	r := rng.New(1)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(r.Intn(256))
+	}
+	w := Whiten(data)
+	if bytes.Equal(w, data) {
+		t.Error("whitening did not change the data")
+	}
+	if !bytes.Equal(Whiten(w), data) {
+		t.Error("whitening is not involutive")
+	}
+}
+
+func TestWhitenBalancesZeros(t *testing.T) {
+	// An all-zero payload must leave the whitener's pseudo-noise pattern
+	// (roughly half ones).
+	w := Whiten(make([]byte, 128))
+	ones := 0
+	for _, b := range w {
+		ones += bits.OnesCount8(b)
+	}
+	frac := float64(ones) / float64(128*8)
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("whitened zeros have %v ones fraction, want ~0.5", frac)
+	}
+}
+
+func TestGrayAdjacency(t *testing.T) {
+	for v := 0; v < 4096; v++ {
+		if grayDecode(grayEncode(v)) != v {
+			t.Fatalf("gray round trip failed at %d", v)
+		}
+		if v > 0 {
+			diff := grayEncode(v) ^ grayEncode(v-1)
+			if bits.OnesCount(uint(diff)) != 1 {
+				t.Fatalf("gray codes of %d and %d differ in %d bits", v-1, v, bits.OnesCount(uint(diff)))
+			}
+		}
+	}
+}
+
+func TestModemRoundTripNoiseless(t *testing.T) {
+	r := rng.New(2)
+	for _, sf := range lora.SFs() {
+		m, err := NewModem(sf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			s := r.Intn(m.SymbolCount())
+			sig, err := m.Modulate(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.Demodulate(sig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != s {
+				t.Fatalf("%v: symbol %d demodulated as %d", sf, s, got)
+			}
+		}
+	}
+}
+
+func TestModemValidation(t *testing.T) {
+	if _, err := NewModem(lora.SF(6)); err == nil {
+		t.Error("invalid SF accepted")
+	}
+	m, _ := NewModem(lora.SF7)
+	if _, err := m.Modulate(-1); err == nil {
+		t.Error("negative symbol accepted")
+	}
+	if _, err := m.Modulate(128); err == nil {
+		t.Error("out-of-range symbol accepted")
+	}
+	if _, err := m.Demodulate(make([]complex128, 5)); err == nil {
+		t.Error("wrong sample count accepted")
+	}
+}
+
+// symbolErrorRate measures the demodulation error rate at a given SNR.
+func symbolErrorRate(t *testing.T, sf lora.SF, snrDB float64, trials int, seed uint64) float64 {
+	t.Helper()
+	m, err := NewModem(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed)
+	errs := 0
+	for i := 0; i < trials; i++ {
+		s := r.Intn(m.SymbolCount())
+		sig, err := m.Modulate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Demodulate(AWGN(sig, snrDB, r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			errs++
+		}
+	}
+	return float64(errs) / float64(trials)
+}
+
+func TestProcessingGainReproducesTableIVOrdering(t *testing.T) {
+	// At -13 dB per-sample SNR, SF7 (processing gain 21 dB) is hopeless
+	// while SF10 (30 dB) still decodes — the spreading-factor/SNR
+	// threshold structure of paper Table IV emerging from first
+	// principles.
+	serSF7 := symbolErrorRate(t, lora.SF7, -13, 60, 3)
+	serSF10 := symbolErrorRate(t, lora.SF10, -13, 60, 4)
+	if serSF7 < 0.3 {
+		t.Errorf("SF7 at -13 dB: SER %v, expected failure", serSF7)
+	}
+	if serSF10 > 0.1 {
+		t.Errorf("SF10 at -13 dB: SER %v, expected success", serSF10)
+	}
+}
+
+func TestSERMonotoneInSNR(t *testing.T) {
+	low := symbolErrorRate(t, lora.SF8, -15, 60, 5)
+	high := symbolErrorRate(t, lora.SF8, -5, 60, 6)
+	if high >= low && low != 0 {
+		t.Errorf("SER at -5 dB (%v) not below -15 dB (%v)", high, low)
+	}
+	if high > 0.02 {
+		t.Errorf("SF8 at -5 dB should be clean, SER %v", high)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	payload := []byte("EF-LoRa PHY pipeline test payload")
+	for _, sf := range []lora.SF{lora.SF7, lora.SF9, lora.SF12} {
+		for _, cr := range []lora.CodingRate{lora.CR45, lora.CR47, lora.CR48} {
+			c, err := NewCodec(sf, cr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			symbols := c.Encode(payload)
+			if len(symbols) != c.SymbolsPerPayload(len(payload)) {
+				t.Fatalf("%v/%v: %d symbols, predicted %d", sf, cr, len(symbols), c.SymbolsPerPayload(len(payload)))
+			}
+			got, corrected, bad, err := c.Decode(symbols, len(payload))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) || corrected != 0 || bad != 0 {
+				t.Fatalf("%v/%v: round trip failed (corrected %d, bad %d)", sf, cr, corrected, bad)
+			}
+		}
+	}
+}
+
+func TestInterleaverLocalizesSymbolLoss(t *testing.T) {
+	// The design rationale the paper leans on: a fully corrupted symbol
+	// touches one bit of each codeword, which CR 4/7 repairs — so the
+	// payload survives the loss of ANY single symbol per block.
+	payload := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x42, 0x13, 0x37, 0x00}
+	c, err := NewCodec(lora.SF8, lora.CR47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := c.Encode(payload)
+	for hit := range clean {
+		corrupted := append([]int(nil), clean...)
+		corrupted[hit] ^= 0xAB // scramble several bits of one symbol
+		got, corrected, bad, err := c.Decode(corrupted, len(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad != 0 {
+			t.Fatalf("symbol %d loss: uncorrectable codewords %d", hit, bad)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("symbol %d loss not repaired", hit)
+		}
+		if corrected == 0 {
+			t.Fatalf("symbol %d loss repaired without corrections?", hit)
+		}
+	}
+}
+
+func TestInterleaverTwoSymbolsOverwhelm45(t *testing.T) {
+	// CR 4/5 cannot correct, so one corrupted symbol must surface as bad
+	// codewords rather than silent corruption.
+	payload := []byte{1, 2, 3, 4}
+	c, err := NewCodec(lora.SF8, lora.CR45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symbols := c.Encode(payload)
+	symbols[0] ^= 0xFF
+	_, _, bad, err := c.Decode(symbols, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad == 0 {
+		t.Error("CR 4/5 did not flag the corrupted block")
+	}
+}
+
+func TestTransmitEndToEnd(t *testing.T) {
+	payload := []byte("hello lora")
+	r := rng.New(7)
+	// 0 dB per-sample SNR: far above threshold for SF7.
+	got, _, bad, err := Transmit(payload, lora.SF7, lora.CR47, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 || !bytes.Equal(got, payload) {
+		t.Fatalf("clean-channel transmit failed (bad=%d, got=%q)", bad, got)
+	}
+}
+
+func TestTransmitLargeSFSurvivesLowSNR(t *testing.T) {
+	// -15 dB per-sample SNR: SF11's 33 dB processing gain decodes it;
+	// SF7 cannot.
+	payload := []byte{0xCA, 0xFE}
+	got, _, _, err := Transmit(payload, lora.SF11, lora.CR47, -15, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("SF11 at -15 dB failed: %x", got)
+	}
+	got7, _, bad7, err := Transmit(payload, lora.SF7, lora.CR47, -15, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got7, payload) && bad7 == 0 {
+		t.Error("SF7 at -15 dB unexpectedly clean")
+	}
+}
+
+func TestCodecValidation(t *testing.T) {
+	if _, err := NewCodec(lora.SF(5), lora.CR47); err == nil {
+		t.Error("bad SF accepted")
+	}
+	if _, err := NewCodec(lora.SF7, lora.CodingRate(9)); err == nil {
+		t.Error("bad CR accepted")
+	}
+	c, _ := NewCodec(lora.SF7, lora.CR47)
+	if _, _, _, err := c.Decode([]int{1, 2, 3}, 1); err == nil {
+		t.Error("non-multiple symbol count accepted")
+	}
+	if _, _, _, err := c.Decode(c.Encode([]byte{1}), 50); err == nil {
+		t.Error("overlong payload request accepted")
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(payload []byte, sfRaw, crRaw uint8) bool {
+		if len(payload) > 96 {
+			payload = payload[:96]
+		}
+		sf := lora.SF7 + lora.SF(sfRaw%6)
+		cr := lora.CR45 + lora.CodingRate(crRaw%4)
+		c, err := NewCodec(sf, cr)
+		if err != nil {
+			return false
+		}
+		got, corrected, bad, err := c.Decode(c.Encode(payload), len(payload))
+		if err != nil || corrected != 0 || bad != 0 {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSingleSymbolLossRepaired(t *testing.T) {
+	// Property over random payloads: CR 4/7 repairs the loss of any one
+	// symbol per interleaver block.
+	f := func(payload []byte, hitRaw uint8, scramble uint8) bool {
+		if len(payload) == 0 {
+			payload = []byte{0}
+		}
+		if len(payload) > 48 {
+			payload = payload[:48]
+		}
+		c, err := NewCodec(lora.SF9, lora.CR47)
+		if err != nil {
+			return false
+		}
+		symbols := c.Encode(payload)
+		hit := int(hitRaw) % len(symbols)
+		symbols[hit] ^= int(scramble) | 1 // guarantee at least one bit flips
+		got, _, bad, err := c.Decode(symbols, len(payload))
+		return err == nil && bad == 0 && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

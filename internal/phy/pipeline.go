@@ -1,0 +1,151 @@
+package phy
+
+import (
+	"fmt"
+
+	"eflora/internal/lora"
+	"eflora/internal/rng"
+)
+
+// Codec runs the full LoRa PHY payload pipeline: whitening → Hamming FEC
+// → block interleaving → Gray mapping → chirp symbols, and the inverse.
+// The interleaver is the heart of LoRa's burst resilience: each block
+// transposes SF codewords of CR bits into CR symbols of SF bits, so a
+// fully corrupted symbol contributes at most ONE flipped bit to each of
+// the SF codewords — which the 4/7 and 4/8 Hamming codes then repair.
+type Codec struct {
+	sf lora.SF
+	cr lora.CodingRate
+}
+
+// NewCodec validates the configuration.
+func NewCodec(sf lora.SF, cr lora.CodingRate) (*Codec, error) {
+	if !sf.Valid() {
+		return nil, fmt.Errorf("phy: invalid spreading factor %d", int(sf))
+	}
+	if !cr.Valid() {
+		return nil, fmt.Errorf("phy: invalid coding rate %d", int(cr))
+	}
+	return &Codec{sf: sf, cr: cr}, nil
+}
+
+// nibbles splits payload bytes into 4-bit nibbles (low nibble first).
+func nibbles(data []byte) []byte {
+	out := make([]byte, 0, 2*len(data))
+	for _, b := range data {
+		out = append(out, b&0x0f, b>>4)
+	}
+	return out
+}
+
+// packNibbles inverts nibbles.
+func packNibbles(ns []byte) []byte {
+	out := make([]byte, len(ns)/2)
+	for i := range out {
+		out[i] = ns[2*i]&0x0f | ns[2*i+1]<<4
+	}
+	return out
+}
+
+// Encode converts a payload into chirp symbols. The payload is padded
+// with zero nibbles to fill the last interleaver block; the caller keeps
+// the original length for Decode.
+func (c *Codec) Encode(payload []byte) []int {
+	sf := int(c.sf)
+	crBits := int(c.cr)
+	ns := nibbles(Whiten(payload))
+	// Pad to a multiple of SF codewords per block.
+	for len(ns)%sf != 0 {
+		ns = append(ns, 0)
+	}
+	var symbols []int
+	for blk := 0; blk < len(ns); blk += sf {
+		cws := make([]byte, sf)
+		for i := 0; i < sf; i++ {
+			cws[i] = hammingEncode(ns[blk+i], c.cr)
+		}
+		// Transpose: symbol j collects bit j of every codeword.
+		for j := 0; j < crBits; j++ {
+			sym := 0
+			for i := 0; i < sf; i++ {
+				sym |= int(cws[i]>>j&1) << i
+			}
+			symbols = append(symbols, grayEncode(sym))
+		}
+	}
+	return symbols
+}
+
+// Decode inverts Encode, returning payloadLen bytes. corrected counts
+// repaired single-bit codeword errors; bad counts uncorrectable
+// codewords (their data nibbles are kept as-is).
+func (c *Codec) Decode(symbols []int, payloadLen int) (payload []byte, corrected, bad int, err error) {
+	sf := int(c.sf)
+	crBits := int(c.cr)
+	if len(symbols)%crBits != 0 {
+		return nil, 0, 0, fmt.Errorf("phy: %d symbols not a multiple of CR %d", len(symbols), crBits)
+	}
+	var ns []byte
+	for blk := 0; blk < len(symbols); blk += crBits {
+		cws := make([]byte, sf)
+		for j := 0; j < crBits; j++ {
+			sym := grayDecode(symbols[blk+j])
+			for i := 0; i < sf; i++ {
+				cws[i] |= byte(sym>>i&1) << j
+			}
+		}
+		for i := 0; i < sf; i++ {
+			n, corr, isBad := hammingDecode(cws[i], c.cr)
+			if corr {
+				corrected++
+			}
+			if isBad {
+				bad++
+			}
+			ns = append(ns, n)
+		}
+	}
+	if payloadLen*2 > len(ns) {
+		return nil, corrected, bad, fmt.Errorf("phy: %d symbols decode to %d nibbles, need %d",
+			len(symbols), len(ns), payloadLen*2)
+	}
+	return Whiten(packNibbles(ns[:payloadLen*2])), corrected, bad, nil
+}
+
+// SymbolsPerPayload returns how many chirp symbols Encode produces for a
+// payload of the given byte length.
+func (c *Codec) SymbolsPerPayload(payloadBytes int) int {
+	sf := int(c.sf)
+	nibbleCount := 2 * payloadBytes
+	blocks := (nibbleCount + sf - 1) / sf
+	return blocks * int(c.cr)
+}
+
+// Transmit runs the whole physical chain — encode, modulate, AWGN
+// channel, demodulate, decode — and returns the received payload plus
+// FEC statistics. It is the package's end-to-end entry point for
+// experiments validating the PHY assumptions.
+func Transmit(payload []byte, sf lora.SF, cr lora.CodingRate, snrDB float64, r *rng.RNG) (got []byte, corrected, bad int, err error) {
+	codec, err := NewCodec(sf, cr)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	modem, err := NewModem(sf)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	rx := make([]int, 0, codec.SymbolsPerPayload(len(payload)))
+	for _, s := range codec.Encode(payload) {
+		samples, err := modem.Modulate(s)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		noisy := AWGN(samples, snrDB, r)
+		sym, err := modem.Demodulate(noisy)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		rx = append(rx, sym)
+	}
+	return codec.Decode(rx, len(payload))
+}

@@ -1,0 +1,134 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartRenderContainsSeries(t *testing.T) {
+	var c Chart
+	c.Title = "Minimum energy efficiency"
+	c.XLabel = "end devices"
+	c.YLabel = "bits/mJ"
+	c.Add("EF-LoRa", []float64{500, 1000, 2000}, []float64{2.0, 1.5, 1.0})
+	c.Add("Legacy", []float64{500, 1000, 2000}, []float64{0.5, 0.4, 0.3})
+	out := c.Render()
+	for _, want := range []string{"Minimum energy efficiency", "EF-LoRa", "Legacy", "end devices", "bits/mJ", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var c Chart
+	c.Title = "empty"
+	out := c.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart should say so:\n%s", out)
+	}
+}
+
+func TestChartSkipsNaNAndInf(t *testing.T) {
+	var c Chart
+	c.Add("s", []float64{1, 2, 3}, []float64{math.NaN(), math.Inf(1), 5})
+	out := c.Render()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked into render:\n%s", out)
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	var c Chart
+	c.Add("flat", []float64{1, 1, 1}, []float64{2, 2, 2})
+	out := c.Render()
+	if out == "" || strings.Contains(out, "(no data)") {
+		t.Errorf("flat series should still render:\n%s", out)
+	}
+}
+
+func TestChartYStartZero(t *testing.T) {
+	var c Chart
+	c.YStartZero = true
+	c.Add("s", []float64{0, 1}, []float64{10, 20})
+	out := c.Render()
+	if !strings.Contains(out, "0") {
+		t.Errorf("YStartZero should pin axis at 0:\n%s", out)
+	}
+}
+
+func TestChartMarkerPlacement(t *testing.T) {
+	// A single point must land in the grid (no panic, marker present).
+	var c Chart
+	c.Width, c.Height = 10, 5
+	c.Add("pt", []float64{5}, []float64{5})
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	out := Bar("lifetimes", []string{"EF-LoRa", "RS-LoRa", "Legacy"}, []float64{100, 80, 50}, 20)
+	if !strings.Contains(out, "EF-LoRa") || !strings.Contains(out, "#") {
+		t.Errorf("bar chart malformed:\n%s", out)
+	}
+	// Largest value gets the longest bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var efBars, legacyBars int
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		if strings.HasPrefix(l, "EF-LoRa") {
+			efBars = n
+		}
+		if strings.HasPrefix(l, "Legacy") {
+			legacyBars = n
+		}
+	}
+	if efBars <= legacyBars {
+		t.Errorf("bar lengths not proportional: EF=%d Legacy=%d\n%s", efBars, legacyBars, out)
+	}
+}
+
+func TestBarEmptyAndMismatched(t *testing.T) {
+	if out := Bar("x", nil, nil, 10); !strings.Contains(out, "(no data)") {
+		t.Error("empty bar should say no data")
+	}
+	if out := Bar("x", []string{"a"}, []float64{1, 2}, 10); !strings.Contains(out, "(no data)") {
+		t.Error("mismatched bar should say no data")
+	}
+}
+
+func TestBarZeroValues(t *testing.T) {
+	out := Bar("z", []string{"a", "b"}, []float64{0, 0}, 10)
+	if strings.Contains(out, "#") {
+		t.Errorf("zero values should draw no bars:\n%s", out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"method", "minEE"}, [][]string{
+		{"EF-LoRa", "1.92"},
+		{"Legacy-LoRa", "0.31"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Header and rows align: the second column starts at the same offset.
+	idx := strings.Index(lines[0], "minEE")
+	if idx < 0 {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[2][idx:], "1.92") && !strings.Contains(lines[2], "1.92") {
+		t.Errorf("row misaligned:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	out := Table([]string{"a", "b"}, [][]string{{"1", "2", "extra"}, {"only"}})
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "only") {
+		t.Errorf("ragged rows mishandled:\n%s", out)
+	}
+}

@@ -1,0 +1,222 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs out of 100", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	// splitmix64 seeding must avoid the all-zero xoshiro state.
+	allZero := true
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("zero seed produced a stuck all-zero stream")
+	}
+}
+
+func TestFloat64Range01(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(7)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if math.Abs(float64(c)-n/10) > 0.05*n/10 {
+			t.Errorf("Intn(10) value %d count = %d, want ~%d", v, c, n/10)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64() = %v < 0", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("ExpFloat64 mean = %v, want ~1", mean)
+	}
+}
+
+func TestRayleighPowerGainUnitMean(t *testing.T) {
+	r := New(13)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.RayleighPowerGain()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.01 {
+		t.Errorf("Rayleigh power gain mean = %v, want ~1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(17)
+	sum, sumSq := 0.0, 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(19)
+	for _, mean := range []float64{0.5, 3, 12, 80} {
+		sum := 0.0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*math.Max(mean, 1) {
+			t.Errorf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonEdgeCases(t *testing.T) {
+	r := New(23)
+	if got := r.Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+	if got := r.Poisson(-5); got != 0 {
+		t.Errorf("Poisson(-5) = %d, want 0", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(29)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid or duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(31)
+	child := parent.Split()
+	// Child stream should not be identical to the continued parent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("split child matched parent %d/100 times", same)
+	}
+}
+
+func TestFloat64RangeBounds(t *testing.T) {
+	r := New(37)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64Range(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Float64Range(-3,7) = %v", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExpFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.ExpFloat64()
+	}
+	_ = sink
+}

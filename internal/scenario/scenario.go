@@ -1,0 +1,168 @@
+// Package scenario serializes deployments and allocations to JSON so the
+// command-line tools can hand results to each other (and to downstream
+// tooling) instead of regenerating networks from seeds.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"eflora/internal/geo"
+	"eflora/internal/lora"
+	"eflora/internal/model"
+)
+
+// File is the on-disk format: a deployment plus an optional allocation.
+type File struct {
+	// Version guards against future format changes.
+	Version int `json:"version"`
+	// Comment is free-form provenance (tool, seed, date).
+	Comment string `json:"comment,omitempty"`
+
+	Devices  []PointJSON `json:"devices"`
+	Gateways []PointJSON `json:"gateways"`
+	// Env holds per-device environment class indices (optional).
+	Env []int `json:"env,omitempty"`
+	// IntervalS holds per-device reporting intervals (optional).
+	IntervalS []float64 `json:"intervalS,omitempty"`
+
+	// Allocation is present when resources have been assigned.
+	Allocation *AllocationJSON `json:"allocation,omitempty"`
+}
+
+// PointJSON is a position in meters.
+type PointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// AllocationJSON carries per-device resource assignments.
+type AllocationJSON struct {
+	SF      []int     `json:"sf"`
+	TPdBm   []float64 `json:"tpDBm"`
+	Channel []int     `json:"channel"`
+}
+
+// CurrentVersion of the format.
+const CurrentVersion = 1
+
+// FromNetwork builds a File from a deployment and optional allocation
+// (pass nil to omit).
+func FromNetwork(net *model.Network, a *model.Allocation, comment string) *File {
+	f := &File{
+		Version: CurrentVersion,
+		Comment: comment,
+	}
+	for _, d := range net.Devices {
+		f.Devices = append(f.Devices, PointJSON{X: d.X, Y: d.Y})
+	}
+	for _, g := range net.Gateways {
+		f.Gateways = append(f.Gateways, PointJSON{X: g.X, Y: g.Y})
+	}
+	if net.Env != nil {
+		f.Env = append([]int(nil), net.Env...)
+	}
+	if net.IntervalS != nil {
+		f.IntervalS = append([]float64(nil), net.IntervalS...)
+	}
+	if a != nil {
+		aj := &AllocationJSON{TPdBm: append([]float64(nil), a.TPdBm...)}
+		for _, s := range a.SF {
+			aj.SF = append(aj.SF, int(s))
+		}
+		aj.Channel = append([]int(nil), a.Channel...)
+		f.Allocation = aj
+	}
+	return f
+}
+
+// Network reconstructs the deployment.
+func (f *File) Network() *model.Network {
+	net := &model.Network{}
+	for _, p := range f.Devices {
+		net.Devices = append(net.Devices, geo.Point{X: p.X, Y: p.Y})
+	}
+	for _, p := range f.Gateways {
+		net.Gateways = append(net.Gateways, geo.Point{X: p.X, Y: p.Y})
+	}
+	if f.Env != nil {
+		net.Env = append([]int(nil), f.Env...)
+	}
+	if f.IntervalS != nil {
+		net.IntervalS = append([]float64(nil), f.IntervalS...)
+	}
+	return net
+}
+
+// AllocationOf reconstructs the allocation; ok is false when the file has
+// none.
+func (f *File) AllocationOf() (model.Allocation, bool) {
+	if f.Allocation == nil {
+		return model.Allocation{}, false
+	}
+	a := model.Allocation{
+		TPdBm:   append([]float64(nil), f.Allocation.TPdBm...),
+		Channel: append([]int(nil), f.Allocation.Channel...),
+	}
+	for _, s := range f.Allocation.SF {
+		a.SF = append(a.SF, lora.SF(s))
+	}
+	return a, true
+}
+
+// Validate checks structural consistency.
+func (f *File) Validate() error {
+	if f.Version != CurrentVersion {
+		return fmt.Errorf("scenario: unsupported version %d (want %d)", f.Version, CurrentVersion)
+	}
+	n := len(f.Devices)
+	if n == 0 {
+		return fmt.Errorf("scenario: no devices")
+	}
+	if len(f.Gateways) == 0 {
+		return fmt.Errorf("scenario: no gateways")
+	}
+	if f.Env != nil && len(f.Env) != n {
+		return fmt.Errorf("scenario: env length %d != devices %d", len(f.Env), n)
+	}
+	if f.IntervalS != nil && len(f.IntervalS) != n {
+		return fmt.Errorf("scenario: intervals length %d != devices %d", len(f.IntervalS), n)
+	}
+	if a := f.Allocation; a != nil {
+		if len(a.SF) != n || len(a.TPdBm) != n || len(a.Channel) != n {
+			return fmt.Errorf("scenario: allocation sized %d/%d/%d for %d devices",
+				len(a.SF), len(a.TPdBm), len(a.Channel), n)
+		}
+		for i, s := range a.SF {
+			if !lora.SF(s).Valid() {
+				return fmt.Errorf("scenario: device %d has invalid SF %d", i, s)
+			}
+		}
+	}
+	return nil
+}
+
+// Write encodes the file as indented JSON.
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("scenario: encode: %w", err)
+	}
+	return nil
+}
+
+// Read decodes and validates a scenario file.
+func Read(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}

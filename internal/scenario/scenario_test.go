@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eflora/internal/geo"
+	"eflora/internal/lora"
+	"eflora/internal/model"
+	"eflora/internal/rng"
+)
+
+func fixture() (*model.Network, model.Allocation) {
+	r := rng.New(1)
+	net := &model.Network{
+		Devices:  geo.UniformDisc(25, 2000, r),
+		Gateways: geo.GridGateways(2, 2000),
+		Env:      make([]int, 25),
+	}
+	p := model.DefaultParams()
+	a := model.NewAllocation(25, p.Plan)
+	for i := range a.SF {
+		a.SF[i] = lora.SF7 + lora.SF(i%6)
+		a.TPdBm[i] = 2 + float64(2*(i%7))
+		a.Channel[i] = i % 8
+	}
+	return net, a
+}
+
+func TestRoundTrip(t *testing.T) {
+	net, a := fixture()
+	f := FromNetwork(net, &a, "test fixture")
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2 := got.Network()
+	if net2.N() != net.N() || net2.G() != net.G() {
+		t.Fatalf("sizes changed: %d/%d", net2.N(), net2.G())
+	}
+	for i := range net.Devices {
+		if net.Devices[i] != net2.Devices[i] {
+			t.Fatalf("device %d moved", i)
+		}
+	}
+	a2, ok := got.AllocationOf()
+	if !ok {
+		t.Fatal("allocation lost")
+	}
+	for i := range a.SF {
+		if a.SF[i] != a2.SF[i] || a.TPdBm[i] != a2.TPdBm[i] || a.Channel[i] != a2.Channel[i] {
+			t.Fatalf("allocation changed at %d", i)
+		}
+	}
+	if got.Comment != "test fixture" {
+		t.Errorf("comment = %q", got.Comment)
+	}
+}
+
+func TestRoundTripWithoutAllocation(t *testing.T) {
+	net, _ := fixture()
+	f := FromNetwork(net, nil, "")
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.AllocationOf(); ok {
+		t.Error("phantom allocation appeared")
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"unknown field": `{"version":1,"devices":[{"x":0,"y":0}],"gateways":[{"x":0,"y":0}],"bogus":1}`,
+		"wrong version": `{"version":99,"devices":[{"x":0,"y":0}],"gateways":[{"x":0,"y":0}]}`,
+		"no devices":    `{"version":1,"devices":[],"gateways":[{"x":0,"y":0}]}`,
+		"no gateways":   `{"version":1,"devices":[{"x":0,"y":0}],"gateways":[]}`,
+		"mis-sized env": `{"version":1,"devices":[{"x":0,"y":0}],"gateways":[{"x":0,"y":0}],"env":[0,0]}`,
+		"bad SF":        `{"version":1,"devices":[{"x":0,"y":0}],"gateways":[{"x":0,"y":0}],"allocation":{"sf":[3],"tpDBm":[14],"channel":[0]}}`,
+		"short alloc":   `{"version":1,"devices":[{"x":0,"y":0},{"x":1,"y":1}],"gateways":[{"x":0,"y":0}],"allocation":{"sf":[7],"tpDBm":[14],"channel":[0]}}`,
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestFileUsableWithEvaluator(t *testing.T) {
+	net, a := fixture()
+	f := FromNetwork(net, &a, "")
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2 := got.Network()
+	a2, _ := got.AllocationOf()
+	p := model.DefaultParams()
+	ev, err := model.NewEvaluator(net2, p, a2, model.ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min, _ := ev.MinEE(); min < 0 {
+		t.Errorf("min EE %v", min)
+	}
+}

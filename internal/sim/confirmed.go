@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+
+	"eflora/internal/lora"
+	"eflora/internal/model"
+	"eflora/internal/rng"
+)
+
+// ConfirmedConfig extends Config for confirmed (acknowledged) uplink
+// traffic: a device that receives no acknowledgement retransmits after an
+// ACK timeout plus random backoff, up to MaxAttempts transmissions per
+// packet — LoRaWAN confirmed-uplink behaviour. Retransmissions add load,
+// which adds collisions, which adds retransmissions: the feedback loop the
+// unconfirmed energy approximation (Result.RetxAvgPowerW) linearizes away.
+type ConfirmedConfig struct {
+	Config
+	// MaxAttempts per packet including the first transmission
+	// (default 8, the LoRaWAN limit).
+	MaxAttempts int
+	// AckTimeoutS is the delay before a retransmission (default 2 s, the
+	// class-A RX-window span), to which a uniform random backoff of up to
+	// BackoffS is added (default 4 s).
+	AckTimeoutS, BackoffS float64
+	// HalfDuplexAcks models the gateway's transmit cost: the gateway that
+	// acknowledges a packet cannot receive while its downlink is in the
+	// air (LoRa gateways are half-duplex), so uplinks arriving during the
+	// ACK are lost at that gateway. The ACK goes out in RX1 (1 s after
+	// the uplink) at the uplink's spreading factor.
+	HalfDuplexAcks bool
+}
+
+func (c ConfirmedConfig) withDefaults() ConfirmedConfig {
+	c.Config = c.Config.withDefaults()
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = MaxTransmissions
+	}
+	if c.AckTimeoutS <= 0 {
+		c.AckTimeoutS = 2
+	}
+	if c.BackoffS <= 0 {
+		c.BackoffS = 4
+	}
+	return c
+}
+
+// ConfirmedResult extends Result with confirmed-traffic accounting.
+type ConfirmedResult struct {
+	Result
+	// Generated counts packets handed to the MAC per device; Attempts in
+	// the embedded Result counts transmissions (>= Generated).
+	Generated []int
+	// Retransmissions counts transmissions beyond each packet's first.
+	Retransmissions int
+	// Abandoned counts packets dropped after MaxAttempts.
+	Abandoned int
+	// AckBlocked counts uplink receptions lost because the gateway was
+	// transmitting an acknowledgement (HalfDuplexAcks only).
+	AckBlocked int
+}
+
+// cTx is one transmission attempt in flight.
+type cTx struct {
+	dev      int
+	attempt  int // 1-based
+	start    float64
+	end      float64
+	sf       lora.SF
+	ch       int
+	tpMW     float64
+	rxMW     []float64 // per gateway
+	locked   []bool
+	collided []bool
+}
+
+// txHeap orders transmissions by a timestamp selected by the less func.
+type txHeap struct {
+	items []*cTx
+	key   func(*cTx) float64
+}
+
+func (h *txHeap) Len() int           { return len(h.items) }
+func (h *txHeap) Less(i, j int) bool { return h.key(h.items[i]) < h.key(h.items[j]) }
+func (h *txHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *txHeap) Push(x interface{}) { h.items = append(h.items, x.(*cTx)) }
+func (h *txHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// RunConfirmed simulates confirmed uplink traffic with retransmissions.
+func RunConfirmed(net *model.Network, p model.Params, a model.Allocation, cfg ConfirmedConfig) (*ConfirmedResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(p); err != nil {
+		return nil, err
+	}
+	if err := a.Validate(net.N(), p); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n, g := net.N(), net.G()
+	r := rng.New(cfg.Seed)
+	gains := model.Gains(net, p)
+	noiseMW := lora.DBmToMilliwatts(p.NoiseDBm)
+	captureLin := lora.DBToLinear(cfg.CaptureThresholdDB)
+
+	toa := make([]float64, n)
+	tpMW := make([]float64, n)
+	interval := make([]float64, n)
+	packets := make([]int, n)
+	simEnd := 0.0
+	for i := 0; i < n; i++ {
+		toa[i] = p.TimeOnAir(a.SF[i])
+		tpMW[i] = lora.DBmToMilliwatts(a.TPdBm[i])
+		interval[i] = p.IntervalFor(net, i, a.SF[i])
+		if t := interval[i] * float64(cfg.PacketsPerDevice); t > simEnd {
+			simEnd = t
+		}
+	}
+	for i := 0; i < n; i++ {
+		packets[i] = int(simEnd / interval[i])
+		if packets[i] < cfg.PacketsPerDevice {
+			packets[i] = cfg.PacketsPerDevice
+		}
+	}
+
+	res := &ConfirmedResult{
+		Result: Result{
+			Attempts:      make([]int, n),
+			Delivered:     make([]int, n),
+			PRR:           make([]float64, n),
+			TxEnergyJ:     make([]float64, n),
+			TotalEnergyJ:  make([]float64, n),
+			EE:            make([]float64, n),
+			AvgPowerW:     make([]float64, n),
+			RetxAvgPowerW: make([]float64, n),
+			SimTimeS:      simEnd,
+		},
+		Generated: make([]int, n),
+	}
+
+	newTx := func(dev int, attempt int, start float64) *cTx {
+		t := &cTx{
+			dev:      dev,
+			attempt:  attempt,
+			start:    start,
+			end:      start + toa[dev],
+			sf:       a.SF[dev],
+			ch:       a.Channel[dev],
+			tpMW:     tpMW[dev],
+			rxMW:     make([]float64, g),
+			locked:   make([]bool, g),
+			collided: make([]bool, g),
+		}
+		for k := 0; k < g; k++ {
+			t.rxMW[k] = t.tpMW * gains[dev][k] * r.RayleighPowerGain()
+		}
+		return t
+	}
+
+	starts := &txHeap{key: func(t *cTx) float64 { return t.start }}
+	ends := &txHeap{key: func(t *cTx) float64 { return t.end }}
+	heap.Init(starts)
+	heap.Init(ends)
+
+	// Initial schedule: one packet per device per period, jittered so a
+	// device never overlaps itself.
+	for i := 0; i < n; i++ {
+		slack := interval[i] - toa[i]
+		if slack < 0 {
+			slack = 0
+		}
+		for m := 0; m < packets[i]; m++ {
+			res.Generated[i]++
+			heap.Push(starts, newTx(i, 1, float64(m)*interval[i]+r.Float64()*slack))
+		}
+	}
+
+	// Per-gateway reception state. ackWins holds the half-duplex ACK
+	// windows during which a gateway's downlink is in the air and it
+	// cannot lock onto uplinks.
+	active := make([][]*cTx, g)
+	lockedCount := make([]int, g)
+	type ackWin struct{ from, to float64 }
+	ackWins := make([][]ackWin, g)
+
+	handleStart := func(t *cTx) {
+		res.Attempts[t.dev]++
+		for k := 0; k < g; k++ {
+			if t.rxMW[k] < lora.DBmToMilliwatts(lora.SensitivityDBm(t.sf)) {
+				res.SensitivityMisses++
+				continue
+			}
+			if cfg.HalfDuplexAcks {
+				// Prune finished ACK windows, then block the uplink if
+				// any remaining downlink overlaps it in time.
+				wins := ackWins[k][:0]
+				blocked := false
+				for _, w := range ackWins[k] {
+					if w.to <= t.start {
+						continue
+					}
+					wins = append(wins, w)
+					if w.from < t.end && t.start < w.to {
+						blocked = true
+					}
+				}
+				ackWins[k] = wins
+				if blocked {
+					res.AckBlocked++
+					continue
+				}
+			}
+			if lockedCount[k] >= p.GatewayCapacity {
+				res.CapacityDrops++
+				continue
+			}
+			t.locked[k] = true
+			lockedCount[k]++
+			for _, o := range active[k] {
+				if !o.locked[k] || o.dev == t.dev || o.sf != t.sf || o.ch != t.ch {
+					continue
+				}
+				if cfg.Capture {
+					switch {
+					case t.rxMW[k] >= captureLin*o.rxMW[k]:
+						o.collided[k] = true
+					case o.rxMW[k] >= captureLin*t.rxMW[k]:
+						t.collided[k] = true
+					default:
+						t.collided[k] = true
+						o.collided[k] = true
+					}
+				} else {
+					t.collided[k] = true
+					o.collided[k] = true
+				}
+			}
+			active[k] = append(active[k], t)
+		}
+	}
+
+	handleEnd := func(t *cTx) {
+		delivered := false
+		ackGateway := -1
+		for k := 0; k < g; k++ {
+			if !t.locked[k] {
+				continue
+			}
+			lockedCount[k]--
+			// Remove from the gateway's active list.
+			lst := active[k]
+			for i, o := range lst {
+				if o == t {
+					lst[i] = lst[len(lst)-1]
+					active[k] = lst[:len(lst)-1]
+					break
+				}
+			}
+			snrOK := t.rxMW[k]/noiseMW >= lora.DBToLinear(lora.SNRThresholdDB(t.sf))
+			if t.collided[k] {
+				res.CollisionLosses++
+			} else if snrOK {
+				delivered = true
+				if ackGateway < 0 {
+					ackGateway = k
+				}
+			}
+		}
+		if delivered && cfg.HalfDuplexAcks && ackGateway >= 0 {
+			// The network server answers through the best gateway in
+			// RX1, one second after the uplink, using the uplink's SF;
+			// that gateway is deaf for the ACK's air time (~13-byte
+			// frame).
+			ackStart := t.end + 1
+			ackEnd := ackStart + lora.TimeOnAir(13, t.sf, p.BandwidthHz, p.CodingRate)
+			ackWins[ackGateway] = append(ackWins[ackGateway], ackWin{from: ackStart, to: ackEnd})
+		}
+		switch {
+		case delivered:
+			res.Delivered[t.dev]++
+		case t.attempt < cfg.MaxAttempts:
+			res.Retransmissions++
+			backoff := cfg.AckTimeoutS + r.Float64()*cfg.BackoffS
+			heap.Push(starts, newTx(t.dev, t.attempt+1, t.end+backoff))
+		default:
+			res.Abandoned++
+		}
+	}
+
+	for starts.Len() > 0 || ends.Len() > 0 {
+		if ends.Len() == 0 || (starts.Len() > 0 && starts.items[0].start < ends.items[0].end) {
+			t := heap.Pop(starts).(*cTx)
+			handleStart(t)
+			heap.Push(ends, t)
+		} else {
+			handleEnd(heap.Pop(ends).(*cTx))
+		}
+	}
+
+	lbits := p.AppPayloadBits()
+	for i := 0; i < n; i++ {
+		res.PRR[i] = float64(res.Delivered[i]) / float64(res.Generated[i])
+		eTx := p.Profile.TransmissionEnergy(a.TPdBm[i], toa[i]) * float64(res.Attempts[i])
+		res.TxEnergyJ[i] = eTx
+		activeT := (p.Profile.OverheadDuration() + toa[i]) * float64(res.Attempts[i])
+		sleep := simEnd - activeT
+		if sleep < 0 {
+			sleep = 0
+		}
+		res.TotalEnergyJ[i] = eTx + p.Profile.SleepPowerDraw()*sleep
+		if eTx > 0 {
+			res.EE[i] = lbits * float64(res.Delivered[i]) / eTx
+		}
+		res.AvgPowerW[i] = res.TotalEnergyJ[i] / simEnd
+		// Under confirmed traffic the energy already contains the
+		// retransmissions, so both power views coincide.
+		res.RetxAvgPowerW[i] = res.AvgPowerW[i]
+		if math.IsNaN(res.PRR[i]) {
+			res.PRR[i] = 0
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"eflora/internal/geo"
+	"eflora/internal/lora"
+	"eflora/internal/model"
+	"eflora/internal/rng"
+)
+
+func TestConfirmedLoneDeviceNoRetransmissions(t *testing.T) {
+	net, p, a := lonePair()
+	res, err := RunConfirmed(net, p, a, ConfirmedConfig{Config: Config{PacketsPerDevice: 300, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated[0] != 300 {
+		t.Fatalf("generated = %d", res.Generated[0])
+	}
+	// Near the gateway almost everything succeeds first try.
+	if res.PRR[0] < 0.99 {
+		t.Errorf("confirmed PRR = %v, want ~1 (retransmissions recover fades)", res.PRR[0])
+	}
+	if res.Attempts[0] < res.Generated[0] {
+		t.Errorf("attempts %d below generated %d", res.Attempts[0], res.Generated[0])
+	}
+}
+
+func TestConfirmedRetransmissionsRecoverFades(t *testing.T) {
+	// A marginal link: unconfirmed PRR well below 1; confirmed delivery
+	// must be substantially higher because each packet gets up to 8
+	// tries.
+	net := &model.Network{
+		Devices:  []geo.Point{{X: 2800, Y: 0}},
+		Gateways: []geo.Point{{}},
+	}
+	p := model.DefaultParams()
+	a := model.NewAllocation(1, p.Plan)
+	a.SF[0] = lora.SF7
+	a.TPdBm[0] = 14
+	un, err := Run(net, p, a, Config{PacketsPerDevice: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := RunConfirmed(net, p, a, ConfirmedConfig{Config: Config{PacketsPerDevice: 400, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un.PRR[0] > 0.9 {
+		t.Fatalf("test setup: unconfirmed PRR %v too high to observe retransmissions", un.PRR[0])
+	}
+	if co.PRR[0] <= un.PRR[0]+0.1 {
+		t.Errorf("confirmed PRR %v should exceed unconfirmed %v by a margin", co.PRR[0], un.PRR[0])
+	}
+	if co.Retransmissions == 0 {
+		t.Error("expected retransmissions")
+	}
+	// Retransmissions cost energy: attempts > generated, energy above
+	// the unconfirmed run.
+	if co.TxEnergyJ[0] <= un.TxEnergyJ[0] {
+		t.Errorf("confirmed TX energy %v should exceed unconfirmed %v", co.TxEnergyJ[0], un.TxEnergyJ[0])
+	}
+}
+
+func TestConfirmedAbandonsAfterMaxAttempts(t *testing.T) {
+	// An out-of-range device abandons every packet after MaxAttempts.
+	net := &model.Network{
+		Devices:  []geo.Point{{X: 60000, Y: 0}},
+		Gateways: []geo.Point{{}},
+	}
+	p := model.DefaultParams()
+	a := model.NewAllocation(1, p.Plan)
+	a.SF[0] = lora.SF12
+	a.TPdBm[0] = 14
+	res, err := RunConfirmed(net, p, a, ConfirmedConfig{
+		Config:      Config{PacketsPerDevice: 20, Seed: 5},
+		MaxAttempts: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Abandoned != 20 {
+		t.Errorf("abandoned = %d, want 20", res.Abandoned)
+	}
+	if res.Attempts[0] != 60 {
+		t.Errorf("attempts = %d, want 20x3", res.Attempts[0])
+	}
+	if res.PRR[0] != 0 {
+		t.Errorf("PRR = %v, want 0", res.PRR[0])
+	}
+}
+
+func TestConfirmedLoadFeedback(t *testing.T) {
+	// Two overloaded same-group devices: retransmissions add load on top
+	// of an already collision-heavy channel, so the confirmed run sends
+	// strictly more packets and still cannot reach unconfirmed-clean PRR.
+	net := &model.Network{
+		Devices:  []geo.Point{{X: 100, Y: 0}, {X: -100, Y: 0}},
+		Gateways: []geo.Point{{}},
+	}
+	p := model.DefaultParams()
+	p.PacketIntervalS = 6
+	a := model.NewAllocation(2, p.Plan)
+	for i := range a.SF {
+		a.SF[i] = lora.SF12
+		a.TPdBm[i] = 14
+		a.Channel[i] = 0
+	}
+	res, err := RunConfirmed(net, p, a, ConfirmedConfig{Config: Config{PacketsPerDevice: 100, Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retransmissions == 0 {
+		t.Fatal("expected heavy retransmission load")
+	}
+	total := res.Attempts[0] + res.Attempts[1]
+	if total <= 200 {
+		t.Errorf("total attempts %d should exceed generated 200", total)
+	}
+}
+
+func TestConfirmedDeterministic(t *testing.T) {
+	r := rng.New(11)
+	net := &model.Network{
+		Devices:  geo.UniformDisc(40, 2500, r),
+		Gateways: geo.GridGateways(2, 2500),
+	}
+	p := model.DefaultParams()
+	a := model.NewAllocation(40, p.Plan)
+	for i := range a.SF {
+		a.SF[i] = lora.SF9
+		a.TPdBm[i] = 10
+		a.Channel[i] = i % 8
+	}
+	r1, err := RunConfirmed(net, p, a, ConfirmedConfig{Config: Config{PacketsPerDevice: 30, Seed: 13}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunConfirmed(net, p, a, ConfirmedConfig{Config: Config{PacketsPerDevice: 30, Seed: 13}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Delivered {
+		if r1.Delivered[i] != r2.Delivered[i] || r1.Attempts[i] != r2.Attempts[i] {
+			t.Fatalf("confirmed run not deterministic at device %d", i)
+		}
+	}
+}
+
+func TestConfirmedPowerViewsCoincide(t *testing.T) {
+	net, p, a := lonePair()
+	res, err := RunConfirmed(net, p, a, ConfirmedConfig{Config: Config{PacketsPerDevice: 50, Seed: 17}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AvgPowerW[0]-res.RetxAvgPowerW[0]) > 1e-15 {
+		t.Errorf("confirmed AvgPowerW %v != RetxAvgPowerW %v", res.AvgPowerW[0], res.RetxAvgPowerW[0])
+	}
+}
+
+func TestConfirmedMatchesUnconfirmedFirstAttemptStats(t *testing.T) {
+	// With MaxAttempts = 1 the confirmed engine degenerates to one try
+	// per packet; aggregate PRR should statistically match the
+	// fixed-schedule engine on the same network.
+	r := rng.New(19)
+	net := &model.Network{
+		Devices:  geo.UniformDisc(60, 3000, r),
+		Gateways: geo.GridGateways(2, 3000),
+	}
+	p := model.DefaultParams()
+	gains := model.Gains(net, p)
+	a := model.NewAllocation(60, p.Plan)
+	for i := range a.SF {
+		sf, ok := model.MinFeasibleSF(gains, i, 14)
+		if !ok {
+			sf = lora.MaxSF
+		}
+		a.SF[i] = sf
+		a.TPdBm[i] = 14
+		a.Channel[i] = i % 8
+	}
+	un, err := Run(net, p, a, Config{PacketsPerDevice: 200, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := RunConfirmed(net, p, a, ConfirmedConfig{
+		Config:      Config{PacketsPerDevice: 200, Seed: 23},
+		MaxAttempts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu, mc float64
+	for i := 0; i < 60; i++ {
+		mu += un.PRR[i]
+		mc += co.PRR[i]
+	}
+	mu /= 60
+	mc /= 60
+	if math.Abs(mu-mc) > 0.05 {
+		t.Errorf("mean PRR: unconfirmed %v vs confirmed(1 attempt) %v", mu, mc)
+	}
+	if co.Retransmissions != 0 {
+		t.Errorf("MaxAttempts=1 produced %d retransmissions", co.Retransmissions)
+	}
+}
+
+func TestConfirmedValidatesInputs(t *testing.T) {
+	net, p, a := lonePair()
+	bad := p
+	bad.PacketIntervalS = 0
+	if _, err := RunConfirmed(net, bad, a, ConfirmedConfig{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	short := model.NewAllocation(5, p.Plan)
+	if _, err := RunConfirmed(net, p, short, ConfirmedConfig{}); err == nil {
+		t.Error("mis-sized allocation accepted")
+	}
+}
+
+func TestHalfDuplexAcksCostReceptions(t *testing.T) {
+	// A busy single-gateway cell with confirmed traffic: modelling the
+	// ACK transmissions must block some uplinks and reduce delivery.
+	r := rng.New(31)
+	net := &model.Network{
+		Devices:  geo.UniformDisc(40, 800, r),
+		Gateways: []geo.Point{{}},
+	}
+	p := model.DefaultParams()
+	p.PacketIntervalS = 12
+	a := model.NewAllocation(40, p.Plan)
+	for i := range a.SF {
+		a.SF[i] = lora.SF9
+		a.TPdBm[i] = 14
+		a.Channel[i] = i % 8
+	}
+	base, err := RunConfirmed(net, p, a, ConfirmedConfig{
+		Config: Config{PacketsPerDevice: 60, Seed: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := RunConfirmed(net, p, a, ConfirmedConfig{
+		Config:         Config{PacketsPerDevice: 60, Seed: 32},
+		HalfDuplexAcks: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.AckBlocked != 0 {
+		t.Errorf("ACK blocking counted without the flag: %d", base.AckBlocked)
+	}
+	if hd.AckBlocked == 0 {
+		t.Fatal("half-duplex ACKs blocked nothing on a busy cell")
+	}
+	var dBase, dHD int
+	for i := range base.Delivered {
+		dBase += base.Delivered[i]
+		dHD += hd.Delivered[i]
+	}
+	if dHD >= dBase {
+		t.Errorf("half-duplex delivery %d should be below free-ACK delivery %d", dHD, dBase)
+	}
+}

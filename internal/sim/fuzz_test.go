@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"eflora/internal/geo"
+	"eflora/internal/lora"
+	"eflora/internal/model"
+	"eflora/internal/rng"
+)
+
+// TestSimFuzzInvariants drives the simulator across random topologies,
+// allocations and traffic settings, checking the physical invariants that
+// must hold in every run.
+func TestSimFuzzInvariants(t *testing.T) {
+	r := rng.New(77001)
+	for trial := 0; trial < 12; trial++ {
+		p := model.DefaultParams()
+		switch trial % 3 {
+		case 1:
+			p.TrafficDutyCycle = 0.02 + 0.08*r.Float64()
+		case 2:
+			p.PacketIntervalS = 10 + 100*r.Float64()
+		}
+		net := &model.Network{
+			Devices:  geo.UniformDisc(20+r.Intn(60), 500+5000*r.Float64(), r),
+			Gateways: geo.GridGateways(1+r.Intn(4), 4000),
+		}
+		a := model.NewAllocation(net.N(), p.Plan)
+		tpLevels := p.Plan.TxPowerLevels()
+		for i := range a.SF {
+			a.SF[i] = lora.SF7 + lora.SF(r.Intn(6))
+			a.TPdBm[i] = tpLevels[r.Intn(len(tpLevels))]
+			a.Channel[i] = r.Intn(p.Plan.NumChannels())
+		}
+		res, err := Run(net, p, a, Config{
+			PacketsPerDevice: 10 + r.Intn(20),
+			Seed:             uint64(trial),
+			Capture:          trial%2 == 0,
+			Trace:            true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalDelivered := 0
+		for i := 0; i < net.N(); i++ {
+			if res.Delivered[i] < 0 || res.Delivered[i] > res.Attempts[i] {
+				t.Fatalf("trial %d: delivered %d of %d attempts", trial, res.Delivered[i], res.Attempts[i])
+			}
+			if res.PRR[i] < 0 || res.PRR[i] > 1 {
+				t.Fatalf("trial %d: PRR %v", trial, res.PRR[i])
+			}
+			if res.TxEnergyJ[i] <= 0 || res.TotalEnergyJ[i] < res.TxEnergyJ[i] {
+				t.Fatalf("trial %d: energy %v/%v", trial, res.TxEnergyJ[i], res.TotalEnergyJ[i])
+			}
+			if res.RetxAvgPowerW[i] < res.AvgPowerW[i]-1e-15 {
+				t.Fatalf("trial %d: retx power %v below plain %v", trial, res.RetxAvgPowerW[i], res.AvgPowerW[i])
+			}
+			if math.IsNaN(res.EE[i]) || res.EE[i] < 0 {
+				t.Fatalf("trial %d: EE %v", trial, res.EE[i])
+			}
+			totalDelivered += res.Delivered[i]
+		}
+		// The trace must agree with the aggregate counters.
+		counts := OutcomeCounts(res.Trace)
+		if counts[OutcomeDelivered] != totalDelivered {
+			t.Fatalf("trial %d: trace delivered %d vs result %d",
+				trial, counts[OutcomeDelivered], totalDelivered)
+		}
+		totalTrace := 0
+		for _, c := range counts {
+			totalTrace += c
+		}
+		totalAttempts := 0
+		for _, at := range res.Attempts {
+			totalAttempts += at
+		}
+		if totalTrace != totalAttempts {
+			t.Fatalf("trial %d: trace %d records vs %d attempts", trial, totalTrace, totalAttempts)
+		}
+		if res.SimTimeS <= 0 {
+			t.Fatalf("trial %d: sim time %v", trial, res.SimTimeS)
+		}
+	}
+}
+
+// TestConfirmedFuzzInvariants does the same for the confirmed engine.
+func TestConfirmedFuzzInvariants(t *testing.T) {
+	r := rng.New(77002)
+	for trial := 0; trial < 6; trial++ {
+		p := model.DefaultParams()
+		p.PacketIntervalS = 20 + 100*r.Float64()
+		net := &model.Network{
+			Devices:  geo.UniformDisc(15+r.Intn(30), 3000, r),
+			Gateways: geo.GridGateways(1+r.Intn(3), 3000),
+		}
+		a := model.NewAllocation(net.N(), p.Plan)
+		tpLevels := p.Plan.TxPowerLevels()
+		for i := range a.SF {
+			a.SF[i] = lora.SF7 + lora.SF(r.Intn(6))
+			a.TPdBm[i] = tpLevels[r.Intn(len(tpLevels))]
+			a.Channel[i] = r.Intn(p.Plan.NumChannels())
+		}
+		res, err := RunConfirmed(net, p, a, ConfirmedConfig{
+			Config:      Config{PacketsPerDevice: 8 + r.Intn(10), Seed: uint64(trial)},
+			MaxAttempts: 1 + r.Intn(8),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		retx := 0
+		for i := 0; i < net.N(); i++ {
+			if res.Attempts[i] < res.Generated[i] {
+				t.Fatalf("trial %d: attempts %d below generated %d", trial, res.Attempts[i], res.Generated[i])
+			}
+			if res.Delivered[i] > res.Generated[i] {
+				t.Fatalf("trial %d: delivered %d above generated %d", trial, res.Delivered[i], res.Generated[i])
+			}
+			retx += res.Attempts[i] - res.Generated[i]
+		}
+		if retx != res.Retransmissions {
+			t.Fatalf("trial %d: per-device retransmissions %d vs counter %d", trial, retx, res.Retransmissions)
+		}
+	}
+}

@@ -1,0 +1,400 @@
+// Package sim is a discrete-event packet-level simulator of multi-gateway
+// LoRaWAN uplink traffic — the repository's substitute for the NS-3 LoRa
+// module the paper evaluates on. It models:
+//
+//   - unslotted-ALOHA periodic senders with a uniformly random phase,
+//   - per-SF time-on-air and per-device transmission power,
+//   - independent Rayleigh fading per transmission and gateway,
+//   - receiver sensitivity and SNR thresholds per spreading factor,
+//   - the paper's collision rule (two overlapping packets with the same SF
+//     and channel at a gateway are both lost, regardless of overlap size),
+//     with an optional capture-effect variant,
+//   - the SX1301 demodulator limit (at most GatewayCapacity concurrent
+//     locks per gateway), and
+//   - network-server de-duplication (a packet is delivered if any gateway
+//     decodes it).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"eflora/internal/lora"
+	"eflora/internal/model"
+	"eflora/internal/rng"
+)
+
+// Config controls a simulation run.
+type Config struct {
+	// PacketsPerDevice is how many reporting periods to simulate
+	// (default 100).
+	PacketsPerDevice int
+	// Seed drives all randomness (phases and fading).
+	Seed uint64
+	// Capture enables the capture-effect variant of the collision rule: a
+	// packet at least CaptureThresholdDB stronger than every overlapping
+	// same-SF same-channel packet survives. Off by default (the paper's
+	// rule).
+	Capture bool
+	// Trace records a PacketRecord per transmission in Result.Trace
+	// (memory proportional to the packet count).
+	Trace bool
+	// MeasureSNR records each device's best delivered-packet SNR in
+	// Result.MaxSNRdB — the uplink quality measurement a network-side ADR
+	// controller consumes.
+	MeasureSNR bool
+	// CaptureThresholdDB is the power advantage needed to capture
+	// (default 6 dB).
+	CaptureThresholdDB float64
+}
+
+// MaxTransmissions caps the expected transmission count of the
+// confirmed-traffic energy approximation (LoRaWAN retries a confirmed
+// uplink at most 8 times).
+const MaxTransmissions = 8
+
+func (c Config) withDefaults() Config {
+	if c.PacketsPerDevice <= 0 {
+		c.PacketsPerDevice = 100
+	}
+	if c.CaptureThresholdDB == 0 {
+		c.CaptureThresholdDB = 6
+	}
+	return c
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	// Attempts and Delivered count packets per device.
+	Attempts, Delivered []int
+	// PRR is Delivered/Attempts per device.
+	PRR []float64
+	// TxEnergyJ is the per-device energy spent on transmission cycles
+	// (radio overheads + air time), the E_s accounting of the model.
+	TxEnergyJ []float64
+	// TotalEnergyJ additionally charges sleep current over the whole
+	// simulated time (used for lifetime).
+	TotalEnergyJ []float64
+	// EE is delivered application bits per joule of transmission energy,
+	// the simulator's counterpart of the model's Eq. 2.
+	EE []float64
+	// AvgPowerW is TotalEnergyJ / SimTimeS, the lifetime driver for
+	// unconfirmed (fire-and-forget) traffic.
+	AvgPowerW []float64
+	// RetxAvgPowerW is the confirmed-traffic approximation the paper's
+	// lifetime evaluation uses: transmission energy is scaled by the
+	// expected transmission count 1/PRR (capped at the LoRaWAN limit of
+	// MaxTransmissions attempts), so unreliable devices drain faster.
+	RetxAvgPowerW []float64
+	// SimTimeS is the simulated duration.
+	SimTimeS float64
+	// CollisionLosses counts gateway-level receptions destroyed by
+	// same-SF same-channel overlap; CapacityDrops counts receptions that
+	// found no free demodulator; SensitivityMisses counts transmissions
+	// that arrived below sensitivity at a gateway.
+	CollisionLosses, CapacityDrops, SensitivityMisses int
+	// Trace holds one record per transmission when Config.Trace is set.
+	Trace []PacketRecord
+	// MaxSNRdB is each device's best delivered-packet SNR when
+	// Config.MeasureSNR is set (-Inf for devices that delivered nothing).
+	MaxSNRdB []float64
+}
+
+// transmission is one packet in the air.
+type transmission struct {
+	dev        int
+	start, end float64
+	sf         lora.SF
+	ch         int
+	tpMW       float64
+}
+
+// rxState tracks one transmission's fate at one gateway.
+type rxState struct {
+	tx       *transmission
+	rxMW     float64
+	locked   bool
+	collided bool
+}
+
+// Run simulates the network under the given allocation and returns
+// per-device statistics.
+func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(p); err != nil {
+		return nil, err
+	}
+	if err := a.Validate(net.N(), p); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n, g := net.N(), net.G()
+	r := rng.New(cfg.Seed)
+
+	gains := model.Gains(net, p)
+	noiseMW := lora.DBmToMilliwatts(p.NoiseDBm)
+	captureLin := lora.DBToLinear(cfg.CaptureThresholdDB)
+
+	// Build the transmission schedule: periodic with random phase. The
+	// simulated horizon is PacketsPerDevice periods of the slowest
+	// device, so every device gets at least PacketsPerDevice packets and
+	// devices with shorter reporting intervals (duty-cycle traffic)
+	// correctly send proportionally more.
+	toa := make([]float64, n)
+	tpMW := make([]float64, n)
+	interval := make([]float64, n)
+	packets := make([]int, n)
+	simEnd := 0.0
+	for i := 0; i < n; i++ {
+		toa[i] = p.TimeOnAir(a.SF[i])
+		tpMW[i] = lora.DBmToMilliwatts(a.TPdBm[i])
+		interval[i] = p.IntervalFor(net, i, a.SF[i])
+		if t := interval[i] * float64(cfg.PacketsPerDevice); t > simEnd {
+			simEnd = t
+		}
+	}
+	for i := 0; i < n; i++ {
+		packets[i] = int(simEnd / interval[i])
+		if packets[i] < cfg.PacketsPerDevice {
+			packets[i] = cfg.PacketsPerDevice
+		}
+	}
+	// Each device sends one packet per reporting period at a uniformly
+	// random instant within the period (the paper's unslotted ALOHA with
+	// per-cycle Poisson send times) — a fixed per-device phase would lock
+	// pairs of same-group devices into colliding either every cycle or
+	// never.
+	var txs []transmission
+	for i := 0; i < n; i++ {
+		// Jitter within [0, interval-ToA] so a device never overlaps its
+		// own next packet (a real device queues, it does not double-send).
+		slack := interval[i] - toa[i]
+		if slack < 0 {
+			slack = 0
+		}
+		for m := 0; m < packets[i]; m++ {
+			start := float64(m)*interval[i] + r.Float64()*slack
+			txs = append(txs, transmission{
+				dev:   i,
+				start: start,
+				end:   start + toa[i],
+				sf:    a.SF[i],
+				ch:    a.Channel[i],
+				tpMW:  tpMW[i],
+			})
+		}
+	}
+	sort.Slice(txs, func(x, y int) bool {
+		if txs[x].start != txs[y].start {
+			return txs[x].start < txs[y].start
+		}
+		return txs[x].dev < txs[y].dev
+	})
+
+	// Pre-draw Rayleigh fading per transmission and gateway so gateway
+	// processing order cannot change the random stream.
+	fading := make([][]float64, len(txs))
+	for t := range fading {
+		row := make([]float64, g)
+		for k := range row {
+			row[k] = r.RayleighPowerGain()
+		}
+		fading[t] = row
+	}
+
+	res := &Result{
+		Attempts:      make([]int, n),
+		Delivered:     make([]int, n),
+		PRR:           make([]float64, n),
+		TxEnergyJ:     make([]float64, n),
+		TotalEnergyJ:  make([]float64, n),
+		EE:            make([]float64, n),
+		AvgPowerW:     make([]float64, n),
+		RetxAvgPowerW: make([]float64, n),
+		SimTimeS:      simEnd,
+	}
+	for i := 0; i < n; i++ {
+		res.Attempts[i] = packets[i]
+	}
+	delivered := make([]bool, len(txs))
+	if cfg.MeasureSNR {
+		res.MaxSNRdB = make([]float64, n)
+		for i := range res.MaxSNRdB {
+			res.MaxSNRdB[i] = math.Inf(-1)
+		}
+	}
+	var outcome []Outcome
+	var outGw []int
+	if cfg.Trace {
+		outcome = make([]Outcome, len(txs))
+		outGw = make([]int, len(txs))
+		for i := range outGw {
+			outGw[i] = -1
+		}
+	}
+
+	for k := 0; k < g; k++ {
+		simulateGateway(k, txs, fading, gains, p, noiseMW, captureLin, cfg, delivered, outcome, outGw, res)
+	}
+	if cfg.Trace {
+		res.Trace = make([]PacketRecord, len(txs))
+		for t := range txs {
+			res.Trace[t] = PacketRecord{
+				Device:  txs[t].dev,
+				StartS:  txs[t].start,
+				Outcome: outcome[t],
+				Gateway: outGw[t],
+			}
+		}
+	}
+
+	lbits := p.AppPayloadBits()
+	for t, ok := range delivered {
+		if ok {
+			res.Delivered[txs[t].dev]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		res.PRR[i] = float64(res.Delivered[i]) / float64(res.Attempts[i])
+		eTx := p.Profile.TransmissionEnergy(a.TPdBm[i], toa[i]) * float64(res.Attempts[i])
+		res.TxEnergyJ[i] = eTx
+		active := (p.Profile.OverheadDuration() + toa[i]) * float64(res.Attempts[i])
+		sleep := simEnd - active
+		if sleep < 0 {
+			sleep = 0
+		}
+		res.TotalEnergyJ[i] = eTx + p.Profile.SleepPowerDraw()*sleep
+		if eTx > 0 {
+			res.EE[i] = lbits * float64(res.Delivered[i]) / eTx
+		}
+		res.AvgPowerW[i] = res.TotalEnergyJ[i] / simEnd
+		etx := float64(MaxTransmissions)
+		if res.PRR[i] > 1/float64(MaxTransmissions) {
+			etx = 1 / res.PRR[i]
+		}
+		res.RetxAvgPowerW[i] = (eTx*etx + p.Profile.SleepPowerDraw()*sleep) / simEnd
+	}
+	return res, nil
+}
+
+// simulateGateway replays the transmission schedule at gateway k, marking
+// the delivered slice for every decoded packet.
+func simulateGateway(
+	k int, txs []transmission, fading [][]float64, gains [][]float64,
+	p model.Params, noiseMW, captureLin float64, cfg Config,
+	delivered []bool, outcome []Outcome, outGw []int, res *Result,
+) {
+	type activeRx struct {
+		idx int // into txs
+		st  *rxState
+	}
+	var active []activeRx
+	lockedCount := 0
+
+	// bump raises a traced packet's outcome (precedence order).
+	bump := func(t int, o Outcome) {
+		if outcome != nil && o > outcome[t] {
+			outcome[t] = o
+			if o == OutcomeDelivered {
+				outGw[t] = k
+			}
+		}
+	}
+
+	finish := func(cut float64) {
+		// Complete all receptions ending at or before cut.
+		keep := active[:0]
+		for _, ar := range active {
+			if txs[ar.idx].end > cut {
+				keep = append(keep, ar)
+				continue
+			}
+			st := ar.st
+			if st.locked {
+				lockedCount--
+				snrOK := st.rxMW/noiseMW >= lora.DBToLinear(lora.SNRThresholdDB(txs[ar.idx].sf))
+				switch {
+				case st.collided:
+					res.CollisionLosses++
+					bump(ar.idx, OutcomeCollided)
+				case snrOK:
+					delivered[ar.idx] = true
+					bump(ar.idx, OutcomeDelivered)
+					if res.MaxSNRdB != nil {
+						snrDB := 10 * math.Log10(st.rxMW/noiseMW)
+						if snrDB > res.MaxSNRdB[txs[ar.idx].dev] {
+							res.MaxSNRdB[txs[ar.idx].dev] = snrDB
+						}
+					}
+				default:
+					bump(ar.idx, OutcomeFaded)
+				}
+			}
+		}
+		active = keep
+	}
+
+	for t := range txs {
+		tx := &txs[t]
+		finish(tx.start)
+		rxMW := tx.tpMW * gains[tx.dev][k] * fading[t][k]
+		st := &rxState{tx: tx, rxMW: rxMW}
+		if rxMW < lora.DBmToMilliwatts(lora.SensitivityDBm(tx.sf)) {
+			// Below sensitivity: invisible to this gateway; it occupies
+			// no demodulator and collides with nobody.
+			res.SensitivityMisses++
+			bump(t, OutcomeNoSignal)
+			continue
+		}
+		if lockedCount >= p.GatewayCapacity {
+			res.CapacityDrops++
+			bump(t, OutcomeCapacity)
+			continue
+		}
+		st.locked = true
+		lockedCount++
+		// Same-SF same-channel overlap: the paper's rule destroys both
+		// packets; with capture, a sufficiently stronger one survives.
+		for _, ar := range active {
+			other := ar.st
+			if !other.locked || txs[ar.idx].dev == tx.dev ||
+				txs[ar.idx].sf != tx.sf || txs[ar.idx].ch != tx.ch {
+				continue
+			}
+			if cfg.Capture {
+				switch {
+				case st.rxMW >= captureLin*other.rxMW:
+					other.collided = true
+				case other.rxMW >= captureLin*st.rxMW:
+					st.collided = true
+				default:
+					st.collided = true
+					other.collided = true
+				}
+			} else {
+				st.collided = true
+				other.collided = true
+			}
+		}
+		active = append(active, activeRx{idx: t, st: st})
+	}
+	finish(math.Inf(1))
+}
+
+// Summary renders headline statistics for logs.
+func (r *Result) Summary() string {
+	totalAttempts, totalDelivered := 0, 0
+	for i := range r.Attempts {
+		totalAttempts += r.Attempts[i]
+		totalDelivered += r.Delivered[i]
+	}
+	prr := 0.0
+	if totalAttempts > 0 {
+		prr = float64(totalDelivered) / float64(totalAttempts)
+	}
+	return fmt.Sprintf("attempts=%d delivered=%d prr=%.3f collisions=%d capacity_drops=%d sensitivity_misses=%d",
+		totalAttempts, totalDelivered, prr, r.CollisionLosses, r.CapacityDrops, r.SensitivityMisses)
+}

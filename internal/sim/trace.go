@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Outcome classifies what happened to one transmitted packet, with the
+// most informative cause across gateways: a packet heard by two gateways
+// and collided at one while below sensitivity at the other records
+// OutcomeCollided.
+type Outcome uint8
+
+// Packet outcomes, ordered by reporting precedence (higher wins when a
+// packet meets different fates at different gateways).
+const (
+	// OutcomeNoSignal: below sensitivity at every gateway.
+	OutcomeNoSignal Outcome = iota
+	// OutcomeCapacity: some gateway heard it but had no free demodulator.
+	OutcomeCapacity
+	// OutcomeFaded: locked at a gateway but the fading draw left the SNR
+	// below the decoding threshold.
+	OutcomeFaded
+	// OutcomeCollided: destroyed by a same-SF same-channel overlap.
+	OutcomeCollided
+	// OutcomeDelivered: decoded by at least one gateway.
+	OutcomeDelivered
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeDelivered:
+		return "delivered"
+	case OutcomeCollided:
+		return "collided"
+	case OutcomeFaded:
+		return "faded"
+	case OutcomeCapacity:
+		return "capacity"
+	case OutcomeNoSignal:
+		return "no-signal"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// PacketRecord traces one transmission.
+type PacketRecord struct {
+	// Device index and transmission start time.
+	Device int
+	StartS float64
+	// Outcome per the precedence rules; Gateway is the decoding gateway
+	// for delivered packets, -1 otherwise.
+	Outcome Outcome
+	Gateway int
+}
+
+// WriteTraceCSV renders packet records as CSV (device,start_s,outcome,gateway).
+func WriteTraceCSV(w io.Writer, records []PacketRecord) error {
+	if _, err := io.WriteString(w, "device,start_s,outcome,gateway\n"); err != nil {
+		return err
+	}
+	for _, r := range records {
+		line := strconv.Itoa(r.Device) + "," +
+			strconv.FormatFloat(r.StartS, 'f', 3, 64) + "," +
+			r.Outcome.String() + "," +
+			strconv.Itoa(r.Gateway) + "\n"
+		if _, err := io.WriteString(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OutcomeCounts tallies records by outcome.
+func OutcomeCounts(records []PacketRecord) map[Outcome]int {
+	m := make(map[Outcome]int)
+	for _, r := range records {
+		m[r.Outcome]++
+	}
+	return m
+}

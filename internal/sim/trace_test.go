@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eflora/internal/geo"
+	"eflora/internal/lora"
+	"eflora/internal/model"
+	"eflora/internal/rng"
+)
+
+func TestTraceCountsMatchResult(t *testing.T) {
+	r := rng.New(81)
+	net := &model.Network{
+		Devices:  geo.UniformDisc(40, 3000, r),
+		Gateways: geo.GridGateways(2, 3000),
+	}
+	p := model.DefaultParams()
+	gains := model.Gains(net, p)
+	a := model.NewAllocation(40, p.Plan)
+	for i := range a.SF {
+		sf, ok := model.MinFeasibleSF(gains, i, 14)
+		if !ok {
+			sf = lora.MaxSF
+		}
+		a.SF[i] = sf
+		a.TPdBm[i] = 14
+		a.Channel[i] = i % 8
+	}
+	res, err := Run(net, p, a, Config{PacketsPerDevice: 50, Seed: 82, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalAttempts := 0
+	for _, at := range res.Attempts {
+		totalAttempts += at
+	}
+	if len(res.Trace) != totalAttempts {
+		t.Fatalf("trace length %d != total attempts %d", len(res.Trace), totalAttempts)
+	}
+	counts := OutcomeCounts(res.Trace)
+	totalDelivered := 0
+	for _, d := range res.Delivered {
+		totalDelivered += d
+	}
+	if counts[OutcomeDelivered] != totalDelivered {
+		t.Errorf("trace delivered %d != result %d", counts[OutcomeDelivered], totalDelivered)
+	}
+	// Delivered records carry a decoding gateway; others carry -1.
+	for _, rec := range res.Trace {
+		if rec.Outcome == OutcomeDelivered && (rec.Gateway < 0 || rec.Gateway >= 2) {
+			t.Fatalf("delivered record without gateway: %+v", rec)
+		}
+		if rec.Outcome != OutcomeDelivered && rec.Gateway != -1 {
+			t.Fatalf("undelivered record with gateway: %+v", rec)
+		}
+		if rec.Device < 0 || rec.Device >= 40 || rec.StartS < 0 {
+			t.Fatalf("malformed record: %+v", rec)
+		}
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	net, p, a := lonePair()
+	res, err := Run(net, p, a, Config{PacketsPerDevice: 10, Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Error("trace recorded without Config.Trace")
+	}
+}
+
+func TestTraceOutOfRangeIsNoSignal(t *testing.T) {
+	net := &model.Network{
+		Devices:  []geo.Point{{X: 90000, Y: 0}},
+		Gateways: []geo.Point{{}},
+	}
+	p := model.DefaultParams()
+	a := model.NewAllocation(1, p.Plan)
+	a.SF[0] = lora.SF12
+	a.TPdBm[0] = 14
+	res, err := Run(net, p, a, Config{PacketsPerDevice: 5, Seed: 84, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Trace {
+		if rec.Outcome != OutcomeNoSignal {
+			t.Fatalf("out-of-range packet outcome = %v", rec.Outcome)
+		}
+	}
+}
+
+func TestWriteTraceCSV(t *testing.T) {
+	records := []PacketRecord{
+		{Device: 0, StartS: 1.5, Outcome: OutcomeDelivered, Gateway: 1},
+		{Device: 3, StartS: 2.25, Outcome: OutcomeCollided, Gateway: -1},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "device,start_s,outcome,gateway" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,1.500,delivered,1" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "3,2.250,collided,-1" {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		OutcomeDelivered: "delivered",
+		OutcomeCollided:  "collided",
+		OutcomeFaded:     "faded",
+		OutcomeCapacity:  "capacity",
+		OutcomeNoSignal:  "no-signal",
+		Outcome(99):      "outcome(99)",
+	} {
+		if got := o.String(); got != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", uint8(o), got, want)
+		}
+	}
+}
