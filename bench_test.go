@@ -145,6 +145,63 @@ func BenchmarkSimulator(b *testing.B) {
 	}
 }
 
+// Parallel-vs-sequential benchmarks: same workloads pinned to one worker
+// and fanned out across all CPUs. Results are bit-identical either way;
+// the spread measures the deterministic parallel engine's speedup (near
+// 1x on a single-core host, where only the structure is exercised).
+
+// BenchmarkFig5Sequential and BenchmarkFig5Parallel fan the (gateway
+// count x method) grid and the trials inside each cell out across
+// workers.
+func BenchmarkFig5Sequential(b *testing.B) { benchFig5(b, 1) }
+func BenchmarkFig5Parallel(b *testing.B)   { benchFig5(b, 0) }
+
+func benchFig5(b *testing.B, workers int) {
+	b.Helper()
+	cfg := benchCfg()
+	cfg.Trials = 2
+	cfg.Parallelism = workers
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run("fig5", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorSequential / Parallel replay nine gateways serially
+// vs concurrently.
+func BenchmarkSimulatorSequential(b *testing.B) { benchSimulator(b, 1) }
+func BenchmarkSimulatorParallel(b *testing.B)   { benchSimulator(b, 0) }
+
+func benchSimulator(b *testing.B, workers int) {
+	b.Helper()
+	net, p, a := benchNetwork(1000, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{PacketsPerDevice: 20, Seed: uint64(i), Parallelism: workers}
+		if _, err := sim.Run(net, p, a, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEFLoRaAllocateSequential / Parallel scan each device's
+// (SF, TP, channel) candidates serially vs across workers.
+func BenchmarkEFLoRaAllocateSequential(b *testing.B) { benchEFLoRaAllocate(b, 1) }
+func BenchmarkEFLoRaAllocateParallel(b *testing.B)   { benchEFLoRaAllocate(b, 0) }
+
+func benchEFLoRaAllocate(b *testing.B, workers int) {
+	b.Helper()
+	net, p, _ := benchNetwork(300, 3)
+	ef := alloc.NewEFLoRa(alloc.Options{Parallelism: workers})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ef.Allocate(net, p, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkChirpDemod measures the FFT chirp demodulator (SF9).
 func BenchmarkChirpDemod(b *testing.B) {
 	m, err := phy.NewModem(lora.SF9)

@@ -45,6 +45,8 @@ func run(args []string, out *os.File) error {
 		confirmed  = fs.Bool("confirmed", false, "confirmed traffic: retransmit unacknowledged packets (up to 8 attempts)")
 		traceFile  = fs.String("trace", "", "write a per-packet outcome trace as CSV to this file")
 		halfDuplex = fs.Bool("halfduplex", false, "with -confirmed: gateways cannot receive while transmitting ACKs")
+		captureDB  = fs.Float64("capture-db", sim.DefaultCaptureThresholdDB, "with -capture: power advantage in dB needed to capture (0 = strongest wins)")
+		parallel   = fs.Int("parallel", 0, "worker goroutines for gateway replay (0 = all CPUs); results are identical at any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,7 +70,7 @@ func run(args []string, out *os.File) error {
 		netw = &core.Network{Net: sc.Network(), Params: p, Seed: *seed}
 		var ok bool
 		if a, ok = sc.AllocationOf(); !ok {
-			if a, err = netw.Allocate(*allocator, alloc.Options{}); err != nil {
+			if a, err = netw.Allocate(*allocator, alloc.Options{Parallelism: *parallel}); err != nil {
 				return err
 			}
 		}
@@ -83,17 +85,19 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
-		if a, err = netw.Allocate(*allocator, alloc.Options{}); err != nil {
+		if a, err = netw.Allocate(*allocator, alloc.Options{Parallelism: *parallel}); err != nil {
 			return err
 		}
 	}
 
 	var res *sim.Result
 	simCfg := sim.Config{
-		PacketsPerDevice: *packets,
-		Seed:             *seed + 1,
-		Capture:          *capture,
-		Trace:            *traceFile != "",
+		PacketsPerDevice:   *packets,
+		Seed:               *seed + 1,
+		Capture:            *capture,
+		Trace:              *traceFile != "",
+		CaptureThresholdDB: captureDB,
+		Parallelism:        *parallel,
 	}
 	if *confirmed {
 		cres, err := sim.RunConfirmed(netw.Net, netw.Params, a, sim.ConfirmedConfig{

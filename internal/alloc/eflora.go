@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"eflora/internal/geo"
 	"eflora/internal/lora"
 	"eflora/internal/model"
+	"eflora/internal/par"
 	"eflora/internal/rng"
 )
 
@@ -32,6 +34,11 @@ type Options struct {
 	// in a seeded random order instead (the ablation behind the paper's
 	// 10.3% execution-delay claim).
 	RandomOrder bool
+	// Parallelism bounds the candidate-scan goroutines of the greedy's
+	// inner (SF, TP, channel) loop (0 = NumCPU). Workers share the
+	// evaluator as a read-only snapshot and the winning move is committed
+	// sequentially, so the allocation is bit-identical at any setting.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -170,16 +177,17 @@ func (a *EFLoRa) refine(ev *model.Evaluator, gains [][]float64, order []int, p m
 		phases = [][]float64{{*a.opts.FixedTPdBm}}
 	}
 	nch := p.Plan.NumChannels()
+	workers := par.Workers(a.opts.Parallelism)
 
+	var cands []candidate
 	cur, _ := ev.MinEE()
 	for _, tpLevels := range phases {
 		for pass := 0; pass < a.opts.MaxPasses; pass++ {
 			rep.Passes++
 			before := cur
 			for _, i := range order {
-				bestEE := cur
-				bestSF, bestTP, bestCh := lora.SF(0), 0.0, -1
 				curAlloc := ev.Allocation()
+				cands = cands[:0]
 				for _, sf := range lora.SFs() {
 					for _, tp := range tpLevels {
 						if !model.Feasible(gains, i, sf, tp) {
@@ -189,16 +197,15 @@ func (a *EFLoRa) refine(ev *model.Evaluator, gains [][]float64, order []int, p m
 							if sf == curAlloc.SF[i] && tp == curAlloc.TPdBm[i] && ch == curAlloc.Channel[i] {
 								continue
 							}
-							rep.CandidatesTried++
-							got := ev.MinEEIfAbove(i, sf, tp, ch, bestEE)
-							if got > bestEE {
-								bestEE, bestSF, bestTP, bestCh = got, sf, tp, ch
-							}
+							cands = append(cands, candidate{sf: sf, tp: tp, ch: ch})
 						}
 					}
 				}
-				if bestCh >= 0 {
-					if err := ev.SetDevice(i, bestSF, bestTP, bestCh); err != nil {
+				rep.CandidatesTried += len(cands)
+				bestIdx := scanCandidates(ev, i, cands, cur, workers)
+				if bestIdx >= 0 {
+					c := cands[bestIdx]
+					if err := ev.SetDevice(i, c.sf, c.tp, c.ch); err != nil {
 						return 0, err
 					}
 					rep.Improvements++
@@ -221,6 +228,85 @@ func (a *EFLoRa) refine(ev *model.Evaluator, gains [][]float64, order []int, p m
 		}
 	}
 	return cur, nil
+}
+
+// candidate is one (SF, TP, channel) option of the greedy's inner scan.
+type candidate struct {
+	sf lora.SF
+	tp float64
+	ch int
+}
+
+// scanCandidates evaluates every candidate reassignment of device dev and
+// returns the index of the winner — the first candidate (in enumeration
+// order) attaining the largest network minimum strictly above cur — or -1
+// when no candidate improves on cur.
+//
+// With more than one worker the candidate list is split into contiguous
+// chunks scanned concurrently against the shared evaluator (reads only;
+// see model.Evaluator's concurrency contract). Each worker prunes with a
+// threshold strictly below its running best, so candidates tying the best
+// still evaluate exactly, and the reduce resolves ties by candidate
+// index. That reproduces the sequential first-winner rule bit-for-bit at
+// any worker count.
+func scanCandidates(ev *model.Evaluator, dev int, cands []candidate, cur float64, workers int) int {
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		bestIdx, bestEE := -1, cur
+		for ci, c := range cands {
+			got := ev.MinEEIfAbove(dev, c.sf, c.tp, c.ch, bestEE)
+			if got > bestEE {
+				bestIdx, bestEE = ci, got
+			}
+		}
+		return bestIdx
+	}
+	type scanBest struct {
+		idx int
+		val float64
+	}
+	bests := make([]scanBest, workers)
+	chunk := (len(cands) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		bests[w] = scanBest{idx: -1, val: cur}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			b := scanBest{idx: -1, val: cur}
+			for ci := lo; ci < hi; ci++ {
+				c := cands[ci]
+				got := ev.MinEEIfAbove(dev, c.sf, c.tp, c.ch, math.Nextafter(b.val, math.Inf(-1)))
+				if got > b.val {
+					b = scanBest{idx: ci, val: got}
+				}
+			}
+			bests[w] = b
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := scanBest{idx: -1, val: cur}
+	for _, b := range bests {
+		if b.idx < 0 {
+			continue
+		}
+		// Strictly-greater keeps the lowest candidate index on value ties,
+		// because chunks are contiguous and visited in ascending order.
+		if b.val > out.val {
+			out = b
+		}
+	}
+	return out.idx
 }
 
 // deviceOrder returns the visiting order: density-first (most contended

@@ -1,0 +1,36 @@
+package alloc
+
+import (
+	"testing"
+
+	"eflora/internal/model"
+	"eflora/internal/rng"
+)
+
+// TestEFLoRaBitIdenticalAcrossParallelism pins the parallel candidate
+// scan to the sequential greedy: every (SF, TP, channel) assignment must
+// match exactly, because the parallel reduce keeps the same
+// first-best-candidate rule (highest value, lowest enumeration index on
+// ties) as the sequential scan.
+func TestEFLoRaBitIdenticalAcrossParallelism(t *testing.T) {
+	net := testNetwork(150, 3, 91)
+	p := model.DefaultParams()
+
+	seq, err := NewEFLoRa(Options{Parallelism: 1}).Allocate(net, p, rng.New(92))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		got, err := NewEFLoRa(Options{Parallelism: workers}).Allocate(net, p, rng.New(92))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < net.N(); i++ {
+			if seq.SF[i] != got.SF[i] || seq.TPdBm[i] != got.TPdBm[i] || seq.Channel[i] != got.Channel[i] {
+				t.Fatalf("parallelism=%d: device %d diverged: (%v,%v,%d) vs (%v,%v,%d)",
+					workers, i, seq.SF[i], seq.TPdBm[i], seq.Channel[i],
+					got.SF[i], got.TPdBm[i], got.Channel[i])
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"eflora/internal/core"
 	"eflora/internal/lifetime"
 	"eflora/internal/model"
+	"eflora/internal/par"
 	"eflora/internal/radio"
 	"eflora/internal/rng"
 	"eflora/internal/sim"
@@ -34,6 +35,13 @@ type Config struct {
 	PacketsPerDevice int
 	// Seed drives deployment and simulation randomness.
 	Seed uint64
+	// Parallelism bounds the worker goroutines at each fan-out level —
+	// independent trials, figure data points, gateway replay inside the
+	// simulator, and the allocator's candidate scans (0 = NumCPU). Every
+	// trial derives its own RNG from a per-trial seed and partial results
+	// merge in trial order, so experiment output is bit-identical at any
+	// setting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -235,8 +243,21 @@ func runMethodTrials(cfg Config, devices, gateways int, params *model.Params, me
 func runMethodTrialsR(cfg Config, devices, gateways int, radiusM float64, params *model.Params, method string, opts alloc.Options) (trialStats, error) {
 	ts := trialStats{Method: method}
 	p := cfg.params(params)
-	var sumMin, sumMean, sumLife, sumJain float64
-	for trial := 0; trial < cfg.Trials; trial++ {
+	if opts.Parallelism == 0 {
+		opts.Parallelism = cfg.Parallelism
+	}
+	// Trials are independent by construction — each derives deployment,
+	// allocation and simulation RNGs from its own seed — so they fan out
+	// across workers; per-trial results land in trial-indexed slots and
+	// merge below in trial order, keeping every float accumulation in the
+	// exact order of a sequential run.
+	type trialOut struct {
+		ee                    []float64
+		min, mean, jain, life float64
+	}
+	outs := make([]trialOut, cfg.Trials)
+	errs := make([]error, cfg.Trials)
+	par.For(cfg.Parallelism, cfg.Trials, func(trial int) {
 		seed := cfg.Seed + uint64(trial)*1000003
 		netw, err := core.Build(core.Scenario{
 			Devices:  devices,
@@ -246,29 +267,51 @@ func runMethodTrialsR(cfg Config, devices, gateways int, radiusM float64, params
 			Params:   &p,
 		})
 		if err != nil {
-			return ts, err
+			errs[trial] = err
+			return
 		}
 		al, err := core.AllocatorByName(method, opts, netw.Params.Plan.MaxTxPowerDBm)
 		if err != nil {
-			return ts, err
+			errs[trial] = err
+			return
 		}
 		a, err := al.Allocate(netw.Net, netw.Params, rng.New(seed+7))
 		if err != nil {
-			return ts, err
+			errs[trial] = err
+			return
 		}
-		res, err := netw.Simulate(a, sim.Config{PacketsPerDevice: cfg.PacketsPerDevice, Seed: seed + 13})
+		res, err := netw.Simulate(a, sim.Config{
+			PacketsPerDevice: cfg.PacketsPerDevice,
+			Seed:             seed + 13,
+			Parallelism:      cfg.Parallelism,
+		})
 		if err != nil {
-			return ts, err
+			errs[trial] = err
+			return
 		}
-		ts.AllEE = append(ts.AllEE, res.EE...)
-		sumMin += stats.Percentile(res.EE, 0.02)
-		sumMean += stats.Mean(res.EE)
-		sumJain += stats.JainIndex(res.EE)
 		lt, err := lifetime.Compute(res.RetxAvgPowerW, experimentBattery(), lifetime.DefaultDeadFraction)
 		if err != nil {
-			return ts, err
+			errs[trial] = err
+			return
 		}
-		sumLife += lt.NetworkS
+		outs[trial] = trialOut{
+			ee:   res.EE,
+			min:  stats.Percentile(res.EE, 0.02),
+			mean: stats.Mean(res.EE),
+			jain: stats.JainIndex(res.EE),
+			life: lt.NetworkS,
+		}
+	})
+	if err := par.FirstErr(errs); err != nil {
+		return ts, err
+	}
+	var sumMin, sumMean, sumLife, sumJain float64
+	for _, o := range outs {
+		ts.AllEE = append(ts.AllEE, o.ee...)
+		sumMin += o.min
+		sumMean += o.mean
+		sumJain += o.jain
+		sumLife += o.life
 	}
 	tf := float64(cfg.Trials)
 	ts.MinEE = sumMin / tf
@@ -276,6 +319,46 @@ func runMethodTrialsR(cfg Config, devices, gateways int, radiusM float64, params
 	ts.LifetimeS = sumLife / tf
 	ts.Jain = sumJain / tf
 	return ts, nil
+}
+
+// trialTask names one runMethodTrialsR invocation inside a figure's grid
+// of independent data points.
+type trialTask struct {
+	devices, gateways int
+	radiusM           float64
+	params            *model.Params
+	method            string
+	opts              alloc.Options
+}
+
+// runTrialGrid evaluates a figure's (data point x method) grid, fanning
+// the independent tasks out across cfg.Parallelism workers, and returns
+// the results in task order. Errors surface lowest-index first, matching
+// what a sequential loop over the same tasks would have returned.
+func runTrialGrid(cfg Config, tasks []trialTask) ([]trialStats, error) {
+	out := make([]trialStats, len(tasks))
+	errs := make([]error, len(tasks))
+	par.For(cfg.Parallelism, len(tasks), func(i int) {
+		t := tasks[i]
+		out[i], errs[i] = runMethodTrialsR(cfg, t.devices, t.gateways, t.radiusM, t.params, t.method, t.opts)
+	})
+	if err := par.FirstErr(errs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// methodTasks builds one task per evaluation method for a deployment on
+// the paper's 5 km disc.
+func methodTasks(devices, gateways int, params *model.Params) []trialTask {
+	tasks := make([]trialTask, 0, len(evalMethods))
+	for _, m := range evalMethods {
+		tasks = append(tasks, trialTask{
+			devices: devices, gateways: gateways, radiusM: 5000,
+			params: params, method: m,
+		})
+	}
+	return tasks
 }
 
 // bpmJ formats bits/J as the paper's bits/mJ.

@@ -21,14 +21,20 @@ func runFig4(cfg Config) (*Result, error) {
 	values := make(map[string]float64)
 	var b strings.Builder
 	fmt.Fprintf(&b, "Deployment: %d end devices (paper: 3000), %d trials.\n\n", devices, cfg.Trials)
-	for _, gw := range []int{3, 5} {
+	gwSweep := []int{3, 5}
+	var tasks []trialTask
+	for _, gw := range gwSweep {
+		tasks = append(tasks, methodTasks(devices, gw, nil)...)
+	}
+	grid, err := runTrialGrid(cfg, tasks)
+	if err != nil {
+		return nil, err
+	}
+	for gi, gw := range gwSweep {
 		header := []string{"Method", "min EE (bits/mJ)", "mean EE (bits/mJ)", "max EE (bits/mJ)", "std", "Jain"}
 		var rows [][]string
-		for _, m := range evalMethods {
-			ts, err := runMethodTrials(cfg, devices, gw, nil, m, alloc.Options{})
-			if err != nil {
-				return nil, err
-			}
+		for mi, m := range evalMethods {
+			ts := grid[gi*len(evalMethods)+mi]
 			s := stats.Summarize(ts.AllEE)
 			rows = append(rows, []string{
 				methodLabel(m), bpmJ(ts.MinEE), bpmJ(s.Mean), bpmJ(s.Max),
@@ -54,16 +60,22 @@ func runFig5(cfg Config) (*Result, error) {
 	devices := cfg.scaled(3000)
 	values := make(map[string]float64)
 	var b strings.Builder
-	for _, gw := range []int{3, 5} {
+	gwSweep := []int{3, 5}
+	var tasks []trialTask
+	for _, gw := range gwSweep {
+		tasks = append(tasks, methodTasks(devices, gw, nil)...)
+	}
+	grid, err := runTrialGrid(cfg, tasks)
+	if err != nil {
+		return nil, err
+	}
+	for gi, gw := range gwSweep {
 		var c plot.Chart
 		c.Title = fmt.Sprintf("CDF of energy efficiency, %d gateways (%d devices)", gw, devices)
 		c.XLabel = "EE (bits/mJ)"
 		c.YLabel = "P(X<=x)"
-		for _, m := range evalMethods {
-			ts, err := runMethodTrials(cfg, devices, gw, nil, m, alloc.Options{})
-			if err != nil {
-				return nil, err
-			}
+		for mi, m := range evalMethods {
+			ts := grid[gi*len(evalMethods)+mi]
 			ee := make([]float64, len(ts.AllEE))
 			for i, v := range ts.AllEE {
 				ee[i] = core.BitsPerMilliJoule(v)
@@ -101,14 +113,18 @@ func runFig6(cfg Config) (*Result, error) {
 	}
 	var rows [][]string
 	series := make(map[string][]float64, len(evalMethods))
+	var tasks []trialTask
 	for _, nPaper := range sweep {
-		n := cfg.scaled(nPaper)
+		tasks = append(tasks, methodTasks(cfg.scaled(nPaper), 3, nil)...)
+	}
+	grid, err := runTrialGrid(cfg, tasks)
+	if err != nil {
+		return nil, err
+	}
+	for ni, nPaper := range sweep {
 		row := []string{fmt.Sprintf("%d", nPaper)}
-		for _, m := range evalMethods {
-			ts, err := runMethodTrials(cfg, n, 3, nil, m, alloc.Options{})
-			if err != nil {
-				return nil, err
-			}
+		for mi, m := range evalMethods {
+			ts := grid[ni*len(evalMethods)+mi]
 			series[m] = append(series[m], core.BitsPerMilliJoule(ts.MinEE))
 			row = append(row, bpmJ(ts.MinEE))
 			values[fmt.Sprintf("%s_n%d", m, nPaper)] = ts.MinEE
@@ -146,13 +162,18 @@ func runFig7(cfg Config) (*Result, error) {
 	}
 	var rows [][]string
 	series := make(map[string][]float64, len(evalMethods))
+	var tasks []trialTask
 	for _, gw := range sweep {
+		tasks = append(tasks, methodTasks(devices, gw, nil)...)
+	}
+	grid, err := runTrialGrid(cfg, tasks)
+	if err != nil {
+		return nil, err
+	}
+	for gi, gw := range sweep {
 		row := []string{fmt.Sprintf("%d", gw)}
-		for _, m := range evalMethods {
-			ts, err := runMethodTrials(cfg, devices, gw, nil, m, alloc.Options{})
-			if err != nil {
-				return nil, err
-			}
+		for mi, m := range evalMethods {
+			ts := grid[gi*len(evalMethods)+mi]
 			series[m] = append(series[m], core.BitsPerMilliJoule(ts.MinEE))
 			row = append(row, bpmJ(ts.MinEE))
 			values[fmt.Sprintf("%s_g%d", m, gw)] = ts.MinEE
@@ -187,14 +208,18 @@ func runFig8(cfg Config) (*Result, error) {
 	values := make(map[string]float64)
 	var labels []string
 	perMethod := make(map[string][]float64, len(evalMethods))
+	var tasks []trialTask
 	for _, d := range deployments {
-		n := cfg.scaled(d.dev)
+		tasks = append(tasks, methodTasks(cfg.scaled(d.dev), d.gw, nil)...)
+	}
+	grid, err := runTrialGrid(cfg, tasks)
+	if err != nil {
+		return nil, err
+	}
+	for di, d := range deployments {
 		labels = append(labels, fmt.Sprintf("%dGW/%dED", d.gw, d.dev))
-		for _, m := range evalMethods {
-			ts, err := runMethodTrials(cfg, n, d.gw, nil, m, alloc.Options{})
-			if err != nil {
-				return nil, err
-			}
+		for mi, m := range evalMethods {
+			ts := grid[di*len(evalMethods)+mi]
 			days := lifetime.Days(ts.LifetimeS)
 			perMethod[m] = append(perMethod[m], days)
 			values[fmt.Sprintf("%s_%dgw_%ded_days", m, d.gw, d.dev)] = days
@@ -254,29 +279,30 @@ func runFig9(cfg Config) (*Result, error) {
 	}
 	var b strings.Builder
 	var rows [][]string
+	var tasks []trialTask
 	for _, br := range betaRuns {
 		p := model.DefaultParams()
 		p.Environments = []model.PathLoss{model.LoSPathLoss(903e6, br.beta)}
-		ts, err := runMethodTrialsR(cfg, devices, gw, radius, &p, "eflora", alloc.Options{})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, []string{br.label, bpmJ(ts.MinEE)})
-		values[fmt.Sprintf("eflora_beta%.1f", br.beta)] = ts.MinEE
+		tasks = append(tasks, trialTask{devices: devices, gateways: gw, radiusM: radius, params: &p, method: "eflora"})
 	}
-
 	// TP ablation and baselines at the default beta.
-	tsFixed, err := runMethodTrialsR(cfg, devices, gw, radius, nil, "eflora-fixed", alloc.Options{})
+	for _, m := range []string{"eflora-fixed", "legacy", "rslora"} {
+		tasks = append(tasks, trialTask{devices: devices, gateways: gw, radiusM: radius, method: m})
+	}
+	grid, err := runTrialGrid(cfg, tasks)
 	if err != nil {
 		return nil, err
 	}
+	for bi, br := range betaRuns {
+		ts := grid[bi]
+		rows = append(rows, []string{br.label, bpmJ(ts.MinEE)})
+		values[fmt.Sprintf("eflora_beta%.1f", br.beta)] = ts.MinEE
+	}
+	tsFixed := grid[len(betaRuns)]
 	rows = append(rows, []string{"EF-LoRa fixed max TP", bpmJ(tsFixed.MinEE)})
 	values["eflora_fixed_tp"] = tsFixed.MinEE
-	for _, m := range []string{"legacy", "rslora"} {
-		ts, err := runMethodTrialsR(cfg, devices, gw, radius, nil, m, alloc.Options{})
-		if err != nil {
-			return nil, err
-		}
+	for i, m := range []string{"legacy", "rslora"} {
+		ts := grid[len(betaRuns)+1+i]
 		rows = append(rows, []string{methodLabel(m), bpmJ(ts.MinEE)})
 		values[m] = ts.MinEE
 	}

@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestExperimentBitIdenticalAcrossParallelism runs a small figure end to
+// end — deployment, allocation, simulation, aggregation — sequentially
+// and with the fan-out enabled, and requires every headline value to be
+// bit-identical: trials and data points merge in index order, so the
+// float accumulation sequence never changes.
+func TestExperimentBitIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full experiments")
+	}
+	base := Config{Scale: 0.01, Trials: 2, PacketsPerDevice: 10, Seed: 5}
+
+	for _, id := range []string{"fig4", "fig9"} {
+		cfg := base
+		cfg.Parallelism = 1
+		seq, err := Run(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Parallelism = 4
+		par, err := Run(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq.Values) == 0 || len(seq.Values) != len(par.Values) {
+			t.Fatalf("%s: value sets differ: %d vs %d", id, len(seq.Values), len(par.Values))
+		}
+		for k, v := range seq.Values {
+			if pv, ok := par.Values[k]; !ok || pv != v {
+				t.Errorf("%s: %q = %v sequential vs %v parallel (must be bit-identical)", id, k, v, pv)
+			}
+		}
+		if seq.Text != par.Text {
+			t.Errorf("%s: rendered text diverged between parallelism settings", id)
+		}
+	}
+}

@@ -34,17 +34,23 @@ type group struct {
 	// visSum[k] = Σ_j vis_{j,k} and qSum[k] = Σ_j α_j·vis_{j,k}: the
 	// collision-exposure sums of the hard overlap rule.
 	visSum, qSum []float64
-	// minEE over members; +Inf when empty. Valid only when !dirty.
+	// minEE over members; +Inf when empty. Kept fresh by SetDevice and
+	// RecomputeAll, so read paths never have to refresh it.
 	minEE    float64
 	minIndex int
-	dirty    bool
 }
 
 // Evaluator computes per-device energy efficiency (paper Eq. 17/18) for a
 // network under an allocation, with O(G)-per-device incremental updates so
 // the greedy allocator can evaluate candidate re-allocations cheaply.
 //
-// An Evaluator is not safe for concurrent use.
+// An Evaluator is not safe for concurrent mutation, but the read-only
+// methods — EE, EEAll, PRR, MinEE, MinEEIf, MinEEIfAbove, Allocation —
+// never write to the evaluator and may be called from multiple goroutines
+// at once, as long as no SetDevice or RecomputeAll runs concurrently.
+// The parallel candidate scan of the EF-LoRa greedy relies on this:
+// workers share one evaluator as a read-only snapshot, and the winning
+// candidate is committed sequentially afterward.
 type Evaluator struct {
 	net  *Network
 	p    Params
@@ -340,7 +346,6 @@ func (e *Evaluator) RecomputeAll() {
 		for _, gr := range e.groups[si] {
 			gr.minEE = math.Inf(1)
 			gr.minIndex = -1
-			gr.dirty = false
 		}
 	}
 	for i := 0; i < e.n; i++ {
@@ -364,7 +369,6 @@ func (e *Evaluator) refreshGroup(gr *group) {
 			gr.minIndex = i
 		}
 	}
-	gr.dirty = false
 }
 
 // EE returns the cached energy efficiency of device i in bits per joule.
@@ -383,9 +387,6 @@ func (e *Evaluator) MinEE() (float64, int) {
 	min, idx := math.Inf(1), -1
 	for si := range e.groups {
 		for _, gr := range e.groups[si] {
-			if gr.dirty {
-				e.refreshGroup(gr)
-			}
 			if gr.minEE < min {
 				min, idx = gr.minEE, gr.minIndex
 			}
@@ -474,9 +475,6 @@ func (e *Evaluator) MinEEIfAbove(i int, sf lora.SF, tpDBm float64, ch int, thres
 		for _, gr := range e.groups[si] {
 			if gr == oldGr || gr == newGr {
 				continue
-			}
-			if gr.dirty {
-				e.refreshGroup(gr)
 			}
 			if gr.minEE < min {
 				min = gr.minEE

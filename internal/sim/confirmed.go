@@ -94,6 +94,9 @@ func (h *txHeap) Pop() interface{} {
 }
 
 // RunConfirmed simulates confirmed uplink traffic with retransmissions.
+// Unlike Run, the event loop is inherently sequential — every delivery
+// outcome feeds back into the future schedule through retransmission
+// timing — so Config.Parallelism is ignored here.
 func RunConfirmed(net *model.Network, p model.Params, a model.Allocation, cfg ConfirmedConfig) (*ConfirmedResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -109,7 +112,7 @@ func RunConfirmed(net *model.Network, p model.Params, a model.Allocation, cfg Co
 	r := rng.New(cfg.Seed)
 	gains := model.Gains(net, p)
 	noiseMW := lora.DBmToMilliwatts(p.NoiseDBm)
-	captureLin := lora.DBToLinear(cfg.CaptureThresholdDB)
+	captureLin := lora.DBToLinear(*cfg.CaptureThresholdDB)
 
 	toa := make([]float64, n)
 	tpMW := make([]float64, n)
@@ -198,6 +201,31 @@ func RunConfirmed(net *model.Network, p model.Params, a model.Allocation, cfg Co
 				res.SensitivityMisses++
 				continue
 			}
+			// RF energy corrupts overlapping locked same-SF same-channel
+			// receptions whether or not this transmission itself finds a
+			// free demodulator (or a gateway deaf from an ACK), so the
+			// collision scan runs before those checks — mirroring the
+			// unconfirmed simulator. Marks on t itself are ignored later
+			// unless t locks.
+			for _, o := range active[k] {
+				if o.dev == t.dev || o.sf != t.sf || o.ch != t.ch {
+					continue
+				}
+				if cfg.Capture {
+					switch {
+					case t.rxMW[k] >= captureLin*o.rxMW[k]:
+						o.collided[k] = true
+					case o.rxMW[k] >= captureLin*t.rxMW[k]:
+						t.collided[k] = true
+					default:
+						t.collided[k] = true
+						o.collided[k] = true
+					}
+				} else {
+					t.collided[k] = true
+					o.collided[k] = true
+				}
+			}
 			if cfg.HalfDuplexAcks {
 				// Prune finished ACK windows, then block the uplink if
 				// any remaining downlink overlaps it in time.
@@ -224,25 +252,6 @@ func RunConfirmed(net *model.Network, p model.Params, a model.Allocation, cfg Co
 			}
 			t.locked[k] = true
 			lockedCount[k]++
-			for _, o := range active[k] {
-				if !o.locked[k] || o.dev == t.dev || o.sf != t.sf || o.ch != t.ch {
-					continue
-				}
-				if cfg.Capture {
-					switch {
-					case t.rxMW[k] >= captureLin*o.rxMW[k]:
-						o.collided[k] = true
-					case o.rxMW[k] >= captureLin*t.rxMW[k]:
-						t.collided[k] = true
-					default:
-						t.collided[k] = true
-						o.collided[k] = true
-					}
-				} else {
-					t.collided[k] = true
-					o.collided[k] = true
-				}
-			}
 			active[k] = append(active[k], t)
 		}
 	}

@@ -13,6 +13,11 @@
 //     locks per gateway), and
 //   - network-server de-duplication (a packet is delivered if any gateway
 //     decodes it).
+//
+// Gateways replay the shared transmission schedule independently: all
+// randomness (phases and fading) is drawn up front, each gateway writes
+// into its own buffers, and the buffers are merged in gateway order. Run
+// therefore produces bit-identical results at any Parallelism setting.
 package sim
 
 import (
@@ -22,6 +27,7 @@ import (
 
 	"eflora/internal/lora"
 	"eflora/internal/model"
+	"eflora/internal/par"
 	"eflora/internal/rng"
 )
 
@@ -33,9 +39,9 @@ type Config struct {
 	// Seed drives all randomness (phases and fading).
 	Seed uint64
 	// Capture enables the capture-effect variant of the collision rule: a
-	// packet at least CaptureThresholdDB stronger than every overlapping
-	// same-SF same-channel packet survives. Off by default (the paper's
-	// rule).
+	// packet at least the capture threshold stronger than every
+	// overlapping same-SF same-channel packet survives. Off by default
+	// (the paper's rule).
 	Capture bool
 	// Trace records a PacketRecord per transmission in Result.Trace
 	// (memory proportional to the packet count).
@@ -44,9 +50,14 @@ type Config struct {
 	// Result.MaxSNRdB — the uplink quality measurement a network-side ADR
 	// controller consumes.
 	MeasureSNR bool
-	// CaptureThresholdDB is the power advantage needed to capture
-	// (default 6 dB).
-	CaptureThresholdDB float64
+	// CaptureThresholdDB is the power advantage needed to capture. nil
+	// means the 6 dB default; point it at 0 for a pure strongest-wins
+	// rule (any power advantage captures).
+	CaptureThresholdDB *float64
+	// Parallelism bounds the gateway-replay goroutines (0 = NumCPU).
+	// Results are bit-identical at any value; it only trades wall-clock
+	// time for cores.
+	Parallelism int
 }
 
 // MaxTransmissions caps the expected transmission count of the
@@ -54,12 +65,18 @@ type Config struct {
 // uplink at most 8 times).
 const MaxTransmissions = 8
 
+// DefaultCaptureThresholdDB is the capture threshold used when
+// Config.CaptureThresholdDB is nil (the SX127x co-channel rejection
+// figure the paper's capture ablation uses).
+const DefaultCaptureThresholdDB = 6.0
+
 func (c Config) withDefaults() Config {
 	if c.PacketsPerDevice <= 0 {
 		c.PacketsPerDevice = 100
 	}
-	if c.CaptureThresholdDB == 0 {
-		c.CaptureThresholdDB = 6
+	if c.CaptureThresholdDB == nil {
+		th := DefaultCaptureThresholdDB
+		c.CaptureThresholdDB = &th
 	}
 	return c
 }
@@ -136,7 +153,7 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 
 	gains := model.Gains(net, p)
 	noiseMW := lora.DBmToMilliwatts(p.NoiseDBm)
-	captureLin := lora.DBToLinear(cfg.CaptureThresholdDB)
+	captureLin := lora.DBToLinear(*cfg.CaptureThresholdDB)
 
 	// Build the transmission schedule: periodic with random phase. The
 	// simulated horizon is PacketsPerDevice periods of the slowest
@@ -219,13 +236,23 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 	for i := 0; i < n; i++ {
 		res.Attempts[i] = packets[i]
 	}
-	delivered := make([]bool, len(txs))
 	if cfg.MeasureSNR {
 		res.MaxSNRdB = make([]float64, n)
 		for i := range res.MaxSNRdB {
 			res.MaxSNRdB[i] = math.Inf(-1)
 		}
 	}
+
+	// Replay every gateway against the shared schedule. Each gateway owns
+	// its buffers, so the replays are independent and run concurrently;
+	// the merge below folds them back in ascending gateway order, which
+	// makes the result identical to a sequential k = 0..g-1 loop.
+	replays := make([]gwReplay, g)
+	par.For(cfg.Parallelism, g, func(k int) {
+		replays[k] = simulateGateway(k, txs, fading, gains, p, noiseMW, captureLin, cfg)
+	})
+
+	delivered := make([]bool, len(txs))
 	var outcome []Outcome
 	var outGw []int
 	if cfg.Trace {
@@ -235,9 +262,35 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 			outGw[i] = -1
 		}
 	}
-
 	for k := 0; k < g; k++ {
-		simulateGateway(k, txs, fading, gains, p, noiseMW, captureLin, cfg, delivered, outcome, outGw, res)
+		rp := &replays[k]
+		res.CollisionLosses += rp.collisionLosses
+		res.CapacityDrops += rp.capacityDrops
+		res.SensitivityMisses += rp.sensitivityMisses
+		for t := range rp.delivered {
+			if rp.delivered[t] {
+				delivered[t] = true
+			}
+		}
+		if cfg.Trace {
+			// Keep the most informative outcome across gateways; the
+			// decoding gateway of a delivered packet is the lowest one.
+			for t := range rp.outcome {
+				if rp.outcome[t] > outcome[t] {
+					outcome[t] = rp.outcome[t]
+					if rp.outcome[t] == OutcomeDelivered {
+						outGw[t] = k
+					}
+				}
+			}
+		}
+		if cfg.MeasureSNR {
+			for t := range rp.snrDB {
+				if rp.delivered[t] && rp.snrDB[t] > res.MaxSNRdB[txs[t].dev] {
+					res.MaxSNRdB[txs[t].dev] = rp.snrDB[t]
+				}
+			}
+		}
 	}
 	if cfg.Trace {
 		res.Trace = make([]PacketRecord, len(txs))
@@ -280,29 +333,45 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 	return res, nil
 }
 
-// simulateGateway replays the transmission schedule at gateway k, marking
-// the delivered slice for every decoded packet.
+// gwReplay is the outcome of replaying the transmission schedule at one
+// gateway: private buffers that Run merges in gateway order. outcome is
+// populated only under Config.Trace and snrDB only under
+// Config.MeasureSNR.
+type gwReplay struct {
+	delivered                                         []bool
+	outcome                                           []Outcome
+	snrDB                                             []float64
+	collisionLosses, capacityDrops, sensitivityMisses int
+}
+
+// simulateGateway replays the transmission schedule at gateway k into a
+// fresh gwReplay. It reads only shared immutable state (schedule, fading,
+// gains), so concurrent calls for different gateways are safe.
 func simulateGateway(
 	k int, txs []transmission, fading [][]float64, gains [][]float64,
 	p model.Params, noiseMW, captureLin float64, cfg Config,
-	delivered []bool, outcome []Outcome, outGw []int, res *Result,
-) {
+) gwReplay {
+	rp := gwReplay{delivered: make([]bool, len(txs))}
+	if cfg.Trace {
+		rp.outcome = make([]Outcome, len(txs))
+	}
+	if cfg.MeasureSNR {
+		rp.snrDB = make([]float64, len(txs))
+	}
+	// record stores this gateway's outcome for a traced packet (one
+	// outcome per transmission per gateway; Run keeps the max).
+	record := func(t int, o Outcome) {
+		if rp.outcome != nil {
+			rp.outcome[t] = o
+		}
+	}
+
 	type activeRx struct {
 		idx int // into txs
 		st  *rxState
 	}
 	var active []activeRx
 	lockedCount := 0
-
-	// bump raises a traced packet's outcome (precedence order).
-	bump := func(t int, o Outcome) {
-		if outcome != nil && o > outcome[t] {
-			outcome[t] = o
-			if o == OutcomeDelivered {
-				outGw[t] = k
-			}
-		}
-	}
 
 	finish := func(cut float64) {
 		// Complete all receptions ending at or before cut.
@@ -318,19 +387,16 @@ func simulateGateway(
 				snrOK := st.rxMW/noiseMW >= lora.DBToLinear(lora.SNRThresholdDB(txs[ar.idx].sf))
 				switch {
 				case st.collided:
-					res.CollisionLosses++
-					bump(ar.idx, OutcomeCollided)
+					rp.collisionLosses++
+					record(ar.idx, OutcomeCollided)
 				case snrOK:
-					delivered[ar.idx] = true
-					bump(ar.idx, OutcomeDelivered)
-					if res.MaxSNRdB != nil {
-						snrDB := 10 * math.Log10(st.rxMW/noiseMW)
-						if snrDB > res.MaxSNRdB[txs[ar.idx].dev] {
-							res.MaxSNRdB[txs[ar.idx].dev] = snrDB
-						}
+					rp.delivered[ar.idx] = true
+					record(ar.idx, OutcomeDelivered)
+					if rp.snrDB != nil {
+						rp.snrDB[ar.idx] = 10 * math.Log10(st.rxMW/noiseMW)
 					}
 				default:
-					bump(ar.idx, OutcomeFaded)
+					record(ar.idx, OutcomeFaded)
 				}
 			}
 		}
@@ -345,22 +411,20 @@ func simulateGateway(
 		if rxMW < lora.DBmToMilliwatts(lora.SensitivityDBm(tx.sf)) {
 			// Below sensitivity: invisible to this gateway; it occupies
 			// no demodulator and collides with nobody.
-			res.SensitivityMisses++
-			bump(t, OutcomeNoSignal)
+			rp.sensitivityMisses++
+			record(t, OutcomeNoSignal)
 			continue
 		}
-		if lockedCount >= p.GatewayCapacity {
-			res.CapacityDrops++
-			bump(t, OutcomeCapacity)
-			continue
-		}
-		st.locked = true
-		lockedCount++
 		// Same-SF same-channel overlap: the paper's rule destroys both
 		// packets; with capture, a sufficiently stronger one survives.
+		// This scan runs before the demodulator-capacity check: a
+		// transmission that finds no free demodulator is still RF energy
+		// on the air and corrupts locked receptions all the same (on an
+		// SX1301 the lock only selects what gets decoded, not what
+		// interferes).
 		for _, ar := range active {
 			other := ar.st
-			if !other.locked || txs[ar.idx].dev == tx.dev ||
+			if txs[ar.idx].dev == tx.dev ||
 				txs[ar.idx].sf != tx.sf || txs[ar.idx].ch != tx.ch {
 				continue
 			}
@@ -379,9 +443,17 @@ func simulateGateway(
 				other.collided = true
 			}
 		}
+		if lockedCount >= p.GatewayCapacity {
+			rp.capacityDrops++
+			record(t, OutcomeCapacity)
+			continue
+		}
+		st.locked = true
+		lockedCount++
 		active = append(active, activeRx{idx: t, st: st})
 	}
 	finish(math.Inf(1))
+	return rp
 }
 
 // Summary renders headline statistics for logs.

@@ -251,6 +251,85 @@ func TestGatewayCapacityLimitsConcurrentLocks(t *testing.T) {
 	}
 }
 
+func TestOverCapacityTransmissionStillCollides(t *testing.T) {
+	// Two chatty same-SF same-channel devices at a 1-demodulator gateway:
+	// whenever their packets overlap, the later one finds no free
+	// demodulator — but its RF energy must still destroy the locked
+	// reception. A capacity check that short-circuits the collision scan
+	// would instead let the locked packet sail through and report an
+	// inflated PRR.
+	net := &model.Network{
+		Devices:  []geo.Point{{X: 100, Y: 0}, {X: -100, Y: 0}},
+		Gateways: []geo.Point{{}},
+	}
+	p := model.DefaultParams()
+	p.PacketIntervalS = 2 // ToA(SF12) ~1.8 s: near-certain overlap
+	p.GatewayCapacity = 1
+	a := model.NewAllocation(2, p.Plan)
+	for i := range a.SF {
+		a.SF[i] = lora.SF12
+		a.TPdBm[i] = 14
+		a.Channel[i] = 0
+	}
+	res, err := Run(net, p, a, Config{PacketsPerDevice: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapacityDrops == 0 {
+		t.Fatalf("expected capacity drops at a 1-demodulator gateway (%s)", res.Summary())
+	}
+	if res.CollisionLosses == 0 {
+		t.Fatalf("over-capacity transmissions must still collide with locked receptions (%s)", res.Summary())
+	}
+	if res.PRR[0] > 0.5 || res.PRR[1] > 0.5 {
+		t.Errorf("PRR = %v, %v; a 1-demodulator gateway must not outperform the collision channel (%s)",
+			res.PRR[0], res.PRR[1], res.Summary())
+	}
+}
+
+func TestCaptureThresholdZeroIsNotReplacedByDefault(t *testing.T) {
+	z := 0.0
+	cfg := (Config{CaptureThresholdDB: &z}).withDefaults()
+	if *cfg.CaptureThresholdDB != 0 {
+		t.Fatalf("explicit 0 dB threshold rewritten to %v", *cfg.CaptureThresholdDB)
+	}
+	def := (Config{}).withDefaults()
+	if *def.CaptureThresholdDB != DefaultCaptureThresholdDB {
+		t.Fatalf("unset threshold = %v, want %v", *def.CaptureThresholdDB, DefaultCaptureThresholdDB)
+	}
+}
+
+func TestZeroCaptureThresholdCapturesOnAnyAdvantage(t *testing.T) {
+	// Two devices at comparable distances: their received-power ratio is
+	// usually inside (0, 6) dB, where a 6 dB threshold destroys both
+	// packets but a 0 dB (strongest-wins) threshold always rescues one.
+	net := &model.Network{
+		Devices:  []geo.Point{{X: 100, Y: 0}, {X: -150, Y: 0}},
+		Gateways: []geo.Point{{}},
+	}
+	p := model.DefaultParams()
+	p.PacketIntervalS = 2
+	a := model.NewAllocation(2, p.Plan)
+	for i := range a.SF {
+		a.SF[i] = lora.SF12
+		a.TPdBm[i] = 14
+		a.Channel[i] = 0
+	}
+	run := func(th *float64) int {
+		res, err := Run(net, p, a, Config{
+			PacketsPerDevice: 300, Seed: 7, Capture: true, CaptureThresholdDB: th,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Delivered[0] + res.Delivered[1]
+	}
+	zero := 0.0
+	if dz, d6 := run(&zero), run(nil); dz <= d6 {
+		t.Errorf("0 dB capture delivered %d <= 6 dB capture %d; strongest-wins must rescue more overlaps", dz, d6)
+	}
+}
+
 func TestSecondGatewayImprovesDelivery(t *testing.T) {
 	r := rng.New(10)
 	devices := geo.UniformDisc(60, 3500, r)
