@@ -1,0 +1,564 @@
+// Command eflora-nsd is the live network-server daemon: it ingests
+// gateway uplinks over the Semtech UDP packet-forwarder protocol, fans
+// them across a DevAddr-sharded pool of network servers, flushes dedup
+// windows on the clock, tracks rolling per-device SNR/PRR statistics,
+// and periodically hands drifting devices to the incremental allocator —
+// emitting the resulting (SF, TP, channel) moves as scenario-file deltas.
+// Operational counters are served on HTTP /metrics (+/healthz).
+//
+// Usage (live):
+//
+//	eflora-nsd -scenario net.json -listen :1700 -http :8080 -deltas deltas.jsonl
+//
+// Usage (load generator / self-benchmark):
+//
+//	eflora-nsd -replay -scenario net.json -packets 20 -shards 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"eflora/internal/alloc"
+	"eflora/internal/core"
+	"eflora/internal/ingest"
+	"eflora/internal/model"
+	"eflora/internal/netserver"
+	"eflora/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "eflora-nsd:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	scenarioPath string
+	listenAddr   string
+	httpAddr     string
+	shards       int
+	queueDepth   int
+	dedupWindowS float64
+	retainCap    int
+	flushEvery   time.Duration
+	reallocEvery time.Duration
+	snrMarginDB  float64
+	minPRR       float64
+	minFrames    int
+	deltasPath   string
+	duration     time.Duration
+
+	replay      bool
+	packets     int
+	seed        uint64
+	verify      bool
+	allocator   string
+	parallelism int
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("eflora-nsd", flag.ContinueOnError)
+	var cfg config
+	fs.StringVar(&cfg.scenarioPath, "scenario", "", "scenario file with the deployment (and ideally an allocation)")
+	fs.StringVar(&cfg.listenAddr, "listen", ":1700", "UDP address for the Semtech packet-forwarder protocol")
+	fs.StringVar(&cfg.httpAddr, "http", ":8080", "HTTP address for /metrics and /healthz (empty = disabled)")
+	fs.IntVar(&cfg.shards, "shards", 8, "DevAddr shards (independent network-server locks)")
+	fs.IntVar(&cfg.queueDepth, "queue", 1024, "per-shard inbox depth; a full inbox backpressures the reader")
+	fs.Float64Var(&cfg.dedupWindowS, "dedup-window", 0.2, "dedup window in seconds")
+	fs.IntVar(&cfg.retainCap, "retain", 4096, "per-shard delivery backlog cap (ring); 0 = unbounded")
+	fs.DurationVar(&cfg.flushEvery, "flush-every", 100*time.Millisecond, "clock-driven dedup flush interval")
+	fs.DurationVar(&cfg.reallocEvery, "realloc-every", 30*time.Second, "online re-allocation interval (0 = disabled)")
+	fs.Float64Var(&cfg.snrMarginDB, "snr-margin", 1, "SNR headroom above the SF demodulation floor before a device counts as drifting")
+	fs.Float64Var(&cfg.minPRR, "min-prr", 0.7, "packet-reception-ratio floor before a device counts as drifting")
+	fs.IntVar(&cfg.minFrames, "min-frames", 8, "deliveries required before trusting a device's statistics")
+	fs.StringVar(&cfg.deltasPath, "deltas", "", "append re-allocation deltas to this JSONL file")
+	fs.DurationVar(&cfg.duration, "duration", 0, "stop the live daemon after this long (0 = run until signal)")
+	fs.BoolVar(&cfg.replay, "replay", false, "load-generator mode: synthesize gateway traffic from the scenario + simulator and measure ingest throughput")
+	fs.IntVar(&cfg.packets, "packets", 20, "with -replay: simulated reporting periods per device")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "with -replay: simulation / traffic seed")
+	fs.BoolVar(&cfg.verify, "verify", true, "with -replay: re-ingest sequentially on one shard and require bit-exact counters")
+	fs.StringVar(&cfg.allocator, "allocator", "eflora", "allocator used when the scenario file carries no allocation")
+	fs.IntVar(&cfg.parallelism, "parallel", 0, "simulator worker goroutines in -replay (0 = all CPUs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.scenarioPath == "" {
+		return fmt.Errorf("-scenario is required")
+	}
+	if cfg.shards <= 0 {
+		return fmt.Errorf("-shards must be positive")
+	}
+
+	netw, a, err := loadScenario(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.replay {
+		return runReplay(cfg, netw, a, out)
+	}
+	d, err := newDaemon(cfg, netw, a)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if cfg.duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.duration)
+		defer cancel()
+	}
+	fmt.Fprintf(out, "eflora-nsd: %d devices, %d shards, udp %s", netw.Net.N(), cfg.shards, d.UDPAddr())
+	if cfg.httpAddr != "" {
+		fmt.Fprintf(out, ", http %s", d.HTTPAddr())
+	}
+	fmt.Fprintln(out)
+	err = d.Serve(ctx)
+	d.writeSummary(out)
+	return err
+}
+
+// loadScenario reads the deployment and its allocation, computing one
+// with the configured allocator when the file has none.
+func loadScenario(cfg config) (*core.Network, model.Allocation, error) {
+	f, err := os.Open(cfg.scenarioPath)
+	if err != nil {
+		return nil, model.Allocation{}, err
+	}
+	sc, err := scenario.Read(f)
+	f.Close()
+	if err != nil {
+		return nil, model.Allocation{}, err
+	}
+	netw := &core.Network{Net: sc.Network(), Params: model.DefaultParams(), Seed: cfg.seed}
+	a, ok := sc.AllocationOf()
+	if !ok {
+		if a, err = netw.Allocate(cfg.allocator, alloc.Options{Parallelism: cfg.parallelism}); err != nil {
+			return nil, model.Allocation{}, err
+		}
+	}
+	return netw, a, nil
+}
+
+// daemon is the live serving path.
+type daemon struct {
+	cfg     config
+	start   time.Time
+	pool    *ingest.Pool
+	tracker *ingest.Tracker
+	realloc *ingest.Reallocator
+
+	udp      *net.UDPConn
+	httpLis  net.Listener
+	httpSrv  *http.Server
+	gateways sync.Map // [8]byte EUI -> int index
+	gwCount  atomic.Int64
+	parseErr atomic.Int64
+
+	deltaMu   sync.Mutex
+	deltaFile *os.File
+}
+
+func newDaemon(cfg config, netw *core.Network, a model.Allocation) (*daemon, error) {
+	d := &daemon{cfg: cfg, start: time.Now(), tracker: ingest.NewTracker(0)}
+	d.pool = ingest.NewPool(ingest.ProvisionDevices(netw.Net.N()), ingest.PoolConfig{
+		Shards:       cfg.shards,
+		QueueDepth:   cfg.queueDepth,
+		DedupWindowS: cfg.dedupWindowS,
+		RetainCap:    cfg.retainCap,
+		OnDelivery:   func(_ int, del netserver.Delivery) { d.tracker.Observe(del) },
+	})
+	if cfg.reallocEvery > 0 {
+		inc, err := alloc.NewIncremental(netw.Net, netw.Params, a, alloc.Options{})
+		if err != nil {
+			return nil, err
+		}
+		d.realloc = ingest.NewReallocator(inc, d.tracker, ingest.ReallocConfig{
+			SNRMarginDB: cfg.snrMarginDB,
+			MinPRR:      cfg.minPRR,
+			MinFrames:   cfg.minFrames,
+		})
+	}
+	if cfg.deltasPath != "" {
+		f, err := os.OpenFile(cfg.deltasPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		d.deltaFile = f
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", cfg.listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	if d.udp, err = net.ListenUDP("udp", udpAddr); err != nil {
+		return nil, err
+	}
+	if cfg.httpAddr != "" {
+		if d.httpLis, err = net.Listen("tcp", cfg.httpAddr); err != nil {
+			d.udp.Close()
+			return nil, err
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", d.handleMetrics)
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		d.httpSrv = &http.Server{Handler: mux}
+	}
+	return d, nil
+}
+
+// UDPAddr and HTTPAddr report the bound addresses (ephemeral-port safe).
+func (d *daemon) UDPAddr() string { return d.udp.LocalAddr().String() }
+func (d *daemon) HTTPAddr() string {
+	if d.httpLis == nil {
+		return ""
+	}
+	return d.httpLis.Addr().String()
+}
+
+// nowS is the server timescale: seconds since daemon start.
+func (d *daemon) nowS() float64 { return time.Since(d.start).Seconds() }
+
+// Serve runs until ctx is done.
+func (d *daemon) Serve(ctx context.Context) error {
+	d.pool.Start()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); d.udpLoop() }()
+	if d.httpSrv != nil {
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = d.httpSrv.Serve(d.httpLis) }()
+	}
+	flush := time.NewTicker(d.cfg.flushEvery)
+	defer flush.Stop()
+	var reallocC <-chan time.Time
+	if d.realloc != nil && d.cfg.reallocEvery > 0 {
+		t := time.NewTicker(d.cfg.reallocEvery)
+		defer t.Stop()
+		reallocC = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			d.shutdown()
+			wg.Wait()
+			return nil
+		case <-flush.C:
+			d.pool.FlushExpired(d.nowS())
+		case <-reallocC:
+			if err := d.reallocStep(); err != nil {
+				d.shutdown()
+				wg.Wait()
+				return err
+			}
+		}
+	}
+}
+
+func (d *daemon) shutdown() {
+	d.udp.Close()
+	if d.httpSrv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_ = d.httpSrv.Shutdown(sctx)
+		cancel()
+	}
+	d.pool.Drain()
+	d.pool.Flush()
+	d.pool.Close()
+	if d.realloc != nil {
+		_ = d.reallocStep() // final pass so observed drift is not lost
+	}
+	if d.deltaFile != nil {
+		d.deltaFile.Close()
+	}
+}
+
+// reallocStep runs one control-loop pass and appends any delta.
+func (d *daemon) reallocStep() error {
+	delta, err := d.realloc.Step(d.nowS())
+	if err != nil || delta == nil {
+		return err
+	}
+	if d.deltaFile == nil {
+		return nil
+	}
+	d.deltaMu.Lock()
+	defer d.deltaMu.Unlock()
+	return scenario.AppendDelta(d.deltaFile, delta)
+}
+
+// gatewayIndex assigns each gateway EUI a dense index on first sight.
+func (d *daemon) gatewayIndex(eui [8]byte) int {
+	if v, ok := d.gateways.Load(eui); ok {
+		return v.(int)
+	}
+	idx := int(d.gwCount.Add(1)) - 1
+	if v, loaded := d.gateways.LoadOrStore(eui, idx); loaded {
+		return v.(int)
+	}
+	return idx
+}
+
+// udpLoop is the packet-forwarder ingress: decode, ack, dispatch.
+func (d *daemon) udpLoop() {
+	buf := make([]byte, 65536)
+	for {
+		n, addr, err := d.udp.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		pkt, err := ingest.DecodePacket(buf[:n])
+		if err != nil {
+			d.parseErr.Add(1)
+			continue
+		}
+		if ack, ok := pkt.Ack(); ok {
+			_, _ = d.udp.WriteToUDP(ack, addr)
+		}
+		if pkt.Kind != ingest.PushData {
+			continue
+		}
+		gw := d.gatewayIndex(pkt.EUI)
+		now := d.nowS()
+		for i := range pkt.RXPK {
+			rx := &pkt.RXPK[i]
+			if rx.Stat < 0 || (rx.Modu != "" && rx.Modu != "LORA") {
+				continue // CRC-failed or FSK traffic
+			}
+			phy, err := rx.Payload()
+			if err != nil {
+				d.parseErr.Add(1)
+				continue
+			}
+			d.pool.Dispatch(netserver.Uplink{
+				Gateway:     gw,
+				ReceivedAtS: now,
+				RSSIdBm:     rx.RSSI,
+				SNRdB:       rx.LSNR,
+				PHYPayload:  phy,
+			})
+		}
+	}
+}
+
+// handleMetrics renders the Prometheus-style text counters.
+func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	writeMetrics(w, d.pool, metricsExtra{
+		uptimeS:     d.nowS(),
+		gateways:    int(d.gwCount.Load()),
+		parseErrors: d.parseErr.Load(),
+		tracked:     d.tracker.Len(),
+		reallocated: d.reallocated(),
+	})
+}
+
+func (d *daemon) reallocated() int {
+	if d.realloc == nil {
+		return 0
+	}
+	return d.realloc.Reassigned()
+}
+
+type metricsExtra struct {
+	uptimeS     float64
+	gateways    int
+	parseErrors int64
+	tracked     int
+	reallocated int
+}
+
+// writeMetrics is shared between the live /metrics endpoint and the
+// replay-mode metrics server.
+func writeMetrics(w io.Writer, pool *ingest.Pool, x metricsExtra) {
+	c := pool.Counters()
+	fmt.Fprintf(w, "eflora_nsd_uptime_seconds %.3f\n", x.uptimeS)
+	fmt.Fprintf(w, "eflora_nsd_uplinks_total %d\n", c.Uplinks)
+	fmt.Fprintf(w, "eflora_nsd_deliveries_total %d\n", c.Delivered)
+	fmt.Fprintf(w, "eflora_nsd_duplicates_total %d\n", c.Duplicates)
+	fmt.Fprintf(w, "eflora_nsd_rejected_total %d\n", c.Rejected)
+	fmt.Fprintf(w, "eflora_nsd_parse_errors_total %d\n", x.parseErrors)
+	fmt.Fprintf(w, "eflora_nsd_dedup_hit_rate %s\n", ratio(c.Duplicates, c.Uplinks))
+	for _, q := range []float64{0.5, 0.99} {
+		if lat, ok := pool.LatencyQuantile(q); ok {
+			fmt.Fprintf(w, "eflora_nsd_ingest_latency_seconds{quantile=%q} %.9f\n", fmt.Sprintf("%g", q), lat.Seconds())
+		}
+	}
+	fmt.Fprintf(w, "eflora_nsd_gateways %d\n", x.gateways)
+	fmt.Fprintf(w, "eflora_nsd_tracked_devices %d\n", x.tracked)
+	fmt.Fprintf(w, "eflora_nsd_realloc_devices_total %d\n", x.reallocated)
+	for k, depth := range pool.ShardDepths() {
+		fmt.Fprintf(w, "eflora_nsd_shard_depth{shard=\"%d\"} %d\n", k, depth)
+	}
+	for k, pending := range pool.PendingCounts() {
+		fmt.Fprintf(w, "eflora_nsd_shard_pending{shard=\"%d\"} %d\n", k, pending)
+	}
+}
+
+func ratio(num, den int) string {
+	if den == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%.6f", float64(num)/float64(den))
+}
+
+func (d *daemon) writeSummary(out io.Writer) {
+	c := d.pool.Counters()
+	fmt.Fprintf(out, "served %d uplinks (%d delivered, %d duplicates, %d rejected, %d parse errors), %d gateways, %d devices reassigned\n",
+		c.Uplinks, c.Delivered, c.Duplicates, c.Rejected, d.parseErr.Load(), d.gwCount.Load(), d.reallocated())
+}
+
+// runReplay is the load-generator mode: synthesize gateway traffic from
+// the scenario + simulator, push it through the sharded pool at full
+// speed, report throughput/latency/accounting, and optionally verify the
+// counters bit-exactly against a sequential single-shard ingest.
+func runReplay(cfg config, netw *core.Network, a model.Allocation, out io.Writer) error {
+	fmt.Fprintf(out, "replay: simulating %d devices x %d packets (seed %d)...\n",
+		netw.Net.N(), cfg.packets, cfg.seed)
+	rt, err := ingest.BuildReplay(netw.Net, netw.Params, a, ingest.ReplayConfig{
+		Packets:      cfg.packets,
+		Seed:         cfg.seed,
+		DedupWindowS: cfg.dedupWindowS,
+		Parallelism:  cfg.parallelism,
+	})
+	if err != nil {
+		return err
+	}
+	tracker := ingest.NewTracker(0)
+	pool := ingest.NewPool(rt.Devices, ingest.PoolConfig{
+		Shards:       cfg.shards,
+		QueueDepth:   cfg.queueDepth,
+		DedupWindowS: cfg.dedupWindowS,
+		RetainCap:    cfg.retainCap,
+		OnDelivery:   func(_ int, del netserver.Delivery) { tracker.Observe(del) },
+	})
+	pool.Start()
+
+	// Optional metrics endpoint during the replay.
+	var httpSrv *http.Server
+	if cfg.httpAddr != "" {
+		lis, err := net.Listen("tcp", cfg.httpAddr)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			writeMetrics(w, pool, metricsExtra{
+				uptimeS:  time.Since(start).Seconds(),
+				gateways: netw.Net.G(),
+				tracked:  tracker.Len(),
+			})
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ok") })
+		httpSrv = &http.Server{Handler: mux}
+		go func() { _ = httpSrv.Serve(lis) }()
+		fmt.Fprintf(out, "replay: metrics on %s\n", lis.Addr())
+	}
+
+	t0 := time.Now()
+	for i, up := range rt.Uplinks {
+		pool.Dispatch(up)
+		if i&0x0FFF == 0x0FFF {
+			pool.FlushExpiredVirtual() // the clock flusher, in virtual time
+		}
+	}
+	pool.Drain()
+	pool.Flush()
+	wall := time.Since(t0)
+	got := pool.Counters()
+
+	rate := float64(got.Uplinks) / wall.Seconds()
+	fmt.Fprintf(out, "replay: %d uplinks in %v (%.0f uplinks/sec, %d shards)\n",
+		got.Uplinks, wall.Round(time.Microsecond), rate, cfg.shards)
+	for _, q := range []float64{0.5, 0.99} {
+		if lat, ok := pool.LatencyQuantile(q); ok {
+			fmt.Fprintf(out, "replay: p%.0f ingest latency <= %v\n", q*100, lat)
+		}
+	}
+	fmt.Fprintf(out, "replay: delivered %d, duplicates %d (dedup hit rate %s), rejected %d\n",
+		got.Delivered, got.Duplicates, ratio(got.Duplicates, got.Uplinks), got.Rejected)
+	fmt.Fprintf(out, "replay: tracked %d devices with rolling SNR/PRR\n", tracker.Len())
+
+	if got != rt.Expected {
+		return fmt.Errorf("replay counters %+v diverge from generator expectation %+v", got, rt.Expected)
+	}
+
+	// One control-loop pass over the observed statistics.
+	if cfg.reallocEvery > 0 {
+		inc, err := alloc.NewIncremental(netw.Net, netw.Params, a, alloc.Options{})
+		if err != nil {
+			return err
+		}
+		r := ingest.NewReallocator(inc, tracker, ingest.ReallocConfig{
+			SNRMarginDB: cfg.snrMarginDB,
+			MinPRR:      cfg.minPRR,
+			MinFrames:   cfg.minFrames,
+		})
+		delta, err := r.Step(rt.SimTimeS)
+		if err != nil {
+			return err
+		}
+		moved := 0
+		if delta != nil {
+			moved = len(delta.Changes)
+			if cfg.deltasPath != "" {
+				f, err := os.OpenFile(cfg.deltasPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					return err
+				}
+				err = scenario.AppendDelta(f, delta)
+				f.Close()
+				if err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Fprintf(out, "replay: re-allocation pass moved %d device(s)\n", moved)
+	}
+
+	pool.Close()
+	if httpSrv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_ = httpSrv.Shutdown(sctx)
+		cancel()
+	}
+
+	if cfg.verify {
+		seq := ingest.NewPool(rt.Devices, ingest.PoolConfig{
+			Shards:       1,
+			QueueDepth:   cfg.queueDepth,
+			DedupWindowS: cfg.dedupWindowS,
+		})
+		seq.Start()
+		for _, up := range rt.Uplinks {
+			seq.Dispatch(up)
+		}
+		seq.Drain()
+		seq.Flush()
+		seq.Close()
+		if sc := seq.Counters(); sc != got {
+			return fmt.Errorf("VERIFY FAILED: single-shard counters %+v != %d-shard counters %+v", sc, cfg.shards, got)
+		}
+		fmt.Fprintf(out, "VERIFY OK: %d-shard counters bit-exact vs sequential single-shard run\n", cfg.shards)
+	}
+	// Deterministic shard-occupancy report (all zero after drain, but the
+	// shape documents the sharding).
+	depths := pool.ShardDepths()
+	sort.Ints(depths)
+	fmt.Fprintf(out, "replay: final shard depths %v\n", depths)
+	return nil
+}

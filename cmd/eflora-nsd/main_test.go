@@ -1,0 +1,444 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"eflora/internal/geo"
+	"eflora/internal/ingest"
+	"eflora/internal/lora"
+	"eflora/internal/lorawan"
+	"eflora/internal/model"
+	"eflora/internal/scenario"
+)
+
+// writeTestScenario creates a small deployment with a feasible allocation
+// and returns the file path.
+func writeTestScenario(t *testing.T, n int) string {
+	t.Helper()
+	p := model.DefaultParams()
+	net := &model.Network{
+		Gateways: []geo.Point{{X: 0, Y: 0}, {X: 1800, Y: 0}, {X: 0, Y: 1800}},
+	}
+	for i := 0; i < n; i++ {
+		r := 200 + float64(i%9)*250
+		ang := float64(i) * 2.39996
+		net.Devices = append(net.Devices, geo.Point{X: r * math.Cos(ang), Y: r * math.Sin(ang)})
+	}
+	gains := model.Gains(net, p)
+	a := model.NewAllocation(n, p.Plan)
+	for i := 0; i < n; i++ {
+		sf, ok := model.MinFeasibleSF(gains, i, p.Plan.MaxTxPowerDBm)
+		if !ok {
+			sf = lora.MaxSF
+		}
+		a.SF[i] = sf
+		a.TPdBm[i] = p.Plan.MaxTxPowerDBm
+		a.Channel[i] = i % p.Plan.NumChannels()
+	}
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := scenario.FromNetwork(net, &a, "nsd test").Write(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func metricValue(body, name string) (float64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func TestRunReplayVerifies(t *testing.T) {
+	path := writeTestScenario(t, 24)
+	deltas := filepath.Join(t.TempDir(), "deltas.jsonl")
+	var out bytes.Buffer
+	err := run([]string{
+		"-replay", "-scenario", path,
+		"-packets", "4", "-seed", "7", "-shards", "4",
+		"-http", "", "-deltas", deltas,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "VERIFY OK") {
+		t.Errorf("replay output missing bit-exactness verdict:\n%s", s)
+	}
+	if !strings.Contains(s, "uplinks/sec") {
+		t.Errorf("replay output missing throughput:\n%s", s)
+	}
+	if !strings.Contains(s, "re-allocation pass") {
+		t.Errorf("replay output missing realloc pass:\n%s", s)
+	}
+}
+
+func TestRunReplayAllocatesWhenScenarioHasNone(t *testing.T) {
+	// Strip the allocation so run() must invoke the allocator itself.
+	src := writeTestScenario(t, 12)
+	f, err := os.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Allocation = nil
+	path := filepath.Join(t.TempDir(), "noalloc.json")
+	w, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Write(w); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	var out bytes.Buffer
+	err = run([]string{"-replay", "-scenario", path, "-packets", "2", "-shards", "2", "-http", "", "-realloc-every", "0"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "VERIFY OK") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunLiveSmoke(t *testing.T) {
+	path := writeTestScenario(t, 8)
+	var out bytes.Buffer
+	err := run([]string{
+		"-scenario", path, "-listen", "127.0.0.1:0", "-http", "",
+		"-duration", "200ms", "-flush-every", "20ms", "-realloc-every", "0",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "served 0 uplinks") {
+		t.Errorf("live summary missing:\n%s", out.String())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-replay"}, &out); err == nil {
+		t.Error("missing -scenario accepted")
+	}
+	if err := run([]string{"-scenario", "x", "-shards", "0"}, &out); err == nil {
+		t.Error("-shards 0 accepted")
+	}
+}
+
+// udpExchange sends a datagram and returns the (ack) reply, or nil after
+// the deadline — for traffic that must not be acknowledged.
+func udpExchange(t *testing.T, conn net.Conn, pkt []byte, wantReply bool) []byte {
+	t.Helper()
+	if _, err := conn.Write(pkt); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	timeout := 2 * time.Second
+	if !wantReply {
+		timeout = 100 * time.Millisecond
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	n, err := conn.Read(buf)
+	if err != nil {
+		if !wantReply {
+			return nil
+		}
+		t.Fatalf("no ack: %v", err)
+	}
+	if !wantReply {
+		t.Fatalf("unexpected reply % x", buf[:n])
+	}
+	return buf[:n]
+}
+
+func rxpkFor(phy []byte) ingest.RXPK {
+	return ingest.RXPK{
+		Tmst: 1000, Freq: 868.1, Stat: 1, Modu: "LORA",
+		Datr: "SF7BW125", Codr: "4/7", RSSI: -80, LSNR: 5.5,
+		Size: len(phy), Data: base64.StdEncoding.EncodeToString(phy),
+	}
+}
+
+// TestDaemonUDPIngest drives a live daemon over real sockets: PULL_DATA
+// keepalives, PUSH_DATA uplinks with a cross-gateway duplicate, a corrupt
+// datagram, and the /metrics + /healthz endpoints.
+func TestDaemonUDPIngest(t *testing.T) {
+	cfg := config{
+		scenarioPath: writeTestScenario(t, 8),
+		listenAddr:   "127.0.0.1:0",
+		httpAddr:     "127.0.0.1:0",
+		shards:       2,
+		queueDepth:   64,
+		dedupWindowS: 0.05,
+		flushEvery:   5 * time.Millisecond,
+	}
+	netw, a, err := loadScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := newDaemon(cfg, netw, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Serve(ctx) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	conn, err := net.Dial("udp", d.UDPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	eui1 := [8]byte{0xAA, 1, 2, 3, 4, 5, 6, 7}
+	eui2 := [8]byte{0xBB, 1, 2, 3, 4, 5, 6, 7}
+
+	// Keepalive round-trip.
+	ack := udpExchange(t, conn, ingest.EncodePullData(0x1234, eui1), true)
+	want := []byte{2, 0x34, 0x12, ingest.PullAck}
+	if !bytes.Equal(ack, want) {
+		t.Fatalf("PULL_ACK = % x, want % x", ack, want)
+	}
+
+	// Device 0 (DevAddr 1) sends FCnt 1; two gateways report it.
+	dev := ingest.DeviceForAddr(ingest.AddrForIndex(0))
+	phy1, err := lorawan.Encode(lorawan.Frame{
+		MType: lorawan.UnconfirmedDataUp, DevAddr: dev.DevAddr, FCnt: 1, FPort: 1, Payload: []byte{1},
+	}, dev.Keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, eui := range [][8]byte{eui1, eui2} {
+		pkt, err := ingest.EncodePushData(uint16(i+1), eui, []ingest.RXPK{rxpkFor(phy1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ack := udpExchange(t, conn, pkt, true)
+		if len(ack) != 4 || ack[3] != ingest.PushAck {
+			t.Fatalf("PUSH_ACK = % x", ack)
+		}
+	}
+
+	// A second frame so the tracker sees a counter advance.
+	phy2, err := lorawan.Encode(lorawan.Frame{
+		MType: lorawan.UnconfirmedDataUp, DevAddr: dev.DevAddr, FCnt: 2, FPort: 1, Payload: []byte{2},
+	}, dev.Keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := ingest.EncodePushData(9, eui1, []ingest.RXPK{rxpkFor(phy2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpExchange(t, conn, pkt, true)
+
+	// Garbage datagram: counted as a parse error, never acknowledged.
+	udpExchange(t, conn, []byte{1, 2, 3}, false)
+
+	// Poll /metrics until the windows have flushed and counters settle.
+	base := "http://" + d.HTTPAddr()
+	deadline := time.Now().Add(5 * time.Second)
+	var body string
+	for {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		body = string(b)
+		delivered, _ := metricValue(body, "eflora_nsd_deliveries_total")
+		if delivered >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics never settled:\n%s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	checks := map[string]float64{
+		"eflora_nsd_uplinks_total":      3,
+		"eflora_nsd_deliveries_total":   2,
+		"eflora_nsd_duplicates_total":   1,
+		"eflora_nsd_rejected_total":     0,
+		"eflora_nsd_parse_errors_total": 1,
+		"eflora_nsd_gateways":           2,
+		"eflora_nsd_tracked_devices":    1,
+	}
+	for name, want := range checks {
+		got, ok := metricValue(body, name)
+		if !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", name, got, ok, want)
+		}
+	}
+	for _, name := range []string{
+		`eflora_nsd_ingest_latency_seconds{quantile="0.99"}`,
+		`eflora_nsd_shard_depth{shard="0"}`,
+		`eflora_nsd_shard_pending{shard="1"}`,
+		"eflora_nsd_dedup_hit_rate",
+		"eflora_nsd_uptime_seconds",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("metrics missing %s:\n%s", name, body)
+		}
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(b)) != "ok" {
+		t.Errorf("healthz = %q", b)
+	}
+}
+
+// TestDaemonRealloc drives enough lossy low-SNR traffic through the live
+// daemon that the periodic control loop reassigns the device and appends
+// a scenario delta.
+func TestDaemonRealloc(t *testing.T) {
+	deltas := filepath.Join(t.TempDir(), "deltas.jsonl")
+	cfg := config{
+		scenarioPath: writeTestScenario(t, 8),
+		listenAddr:   "127.0.0.1:0",
+		httpAddr:     "",
+		shards:       2,
+		queueDepth:   64,
+		dedupWindowS: 0.02,
+		flushEvery:   5 * time.Millisecond,
+		reallocEvery: 50 * time.Millisecond,
+		snrMarginDB:  1,
+		minPRR:       0.9,
+		minFrames:    4,
+		deltasPath:   deltas,
+	}
+	netw, a, err := loadScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage device 3 so the model-side greedy has a better assignment
+	// to move it to once the observed statistics flag it.
+	a.SF[3] = lora.SF12
+	d, err := newDaemon(cfg, netw, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Serve(ctx) }()
+
+	conn, err := net.Dial("udp", d.UDPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	eui := [8]byte{0xCC}
+	dev := ingest.DeviceForAddr(ingest.AddrForIndex(3))
+	// Every third counter missing (lossy) and SNR far below the SF12 floor.
+	for fcnt := uint32(1); fcnt <= 18; fcnt++ {
+		if fcnt%3 == 0 {
+			continue
+		}
+		phy, err := lorawan.Encode(lorawan.Frame{
+			MType: lorawan.UnconfirmedDataUp, DevAddr: dev.DevAddr, FCnt: fcnt, FPort: 1, Payload: []byte{byte(fcnt)},
+		}, dev.Keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx := rxpkFor(phy)
+		rx.LSNR = lora.SNRThresholdDB(lora.SF12) - 5
+		pkt, err := ingest.EncodePushData(uint16(fcnt), eui, []ingest.RXPK{rx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		udpExchange(t, conn, pkt, true)
+		time.Sleep(2 * time.Millisecond) // let windows open and close distinctly
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for d.reallocated() == 0 {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if got := d.reallocated(); got == 0 {
+		t.Fatal("control loop never reassigned the drifting device")
+	}
+
+	f, err := os.Open(deltas)
+	if err != nil {
+		t.Fatalf("delta file: %v", err)
+	}
+	defer f.Close()
+	ds, err := scenario.ReadDeltas(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) == 0 {
+		t.Fatal("no deltas appended")
+	}
+	found := false
+	for _, delta := range ds {
+		for _, c := range delta.Changes {
+			if c.Device == 3 {
+				found = true
+				if c.SF == int(lora.SF12) && c.TPdBm == a.TPdBm[3] && c.Channel == a.Channel[3] {
+					t.Errorf("delta kept the sabotaged assignment: %+v", c)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("device 3 not in any delta: %+v", ds)
+	}
+}
+
+func TestMetricValueHelper(t *testing.T) {
+	body := "a 1\nb 2.5\n"
+	if v, ok := metricValue(body, "b"); !ok || v != 2.5 {
+		t.Errorf("metricValue = %v, %v", v, ok)
+	}
+	if _, ok := metricValue(body, "c"); ok {
+		t.Error("missing metric found")
+	}
+}

@@ -138,6 +138,48 @@ func (inc *Incremental) AddDevice(pos geo.Point, env int) (int, error) {
 	return i, nil
 }
 
+// ReassignDevice re-runs the single-device greedy for an existing device:
+// holding every other device's settings fixed, device i moves to the
+// (SF, TP, channel) that maximizes the network minimum EE. This is the
+// online re-allocation step a live network server applies to a device
+// whose observed link quality has drifted. It reports whether the
+// assignment changed.
+func (inc *Incremental) ReassignDevice(i int) (bool, error) {
+	n := inc.net.N()
+	if i < 0 || i >= n {
+		return false, fmt.Errorf("alloc: reassign index %d out of range [0,%d)", i, n)
+	}
+	gains := model.Gains(&inc.net, inc.p)
+	ev, err := model.NewEvaluator(&inc.net, inc.p, inc.alloc, inc.opts.Mode)
+	if err != nil {
+		return false, err
+	}
+	bestEE, _ := ev.MinEE()
+	bestSF, bestTP, bestCh := inc.alloc.SF[i], inc.alloc.TPdBm[i], inc.alloc.Channel[i]
+	tpLevels := inc.p.Plan.TxPowerLevels()
+	if inc.opts.FixedTPdBm != nil {
+		tpLevels = []float64{*inc.opts.FixedTPdBm}
+	}
+	for _, s := range lora.SFs() {
+		for _, t := range tpLevels {
+			if !model.Feasible(gains, i, s, t) {
+				continue
+			}
+			for c := 0; c < inc.p.Plan.NumChannels(); c++ {
+				got := ev.MinEEIfAbove(i, s, t, c, bestEE)
+				if got > bestEE {
+					bestEE, bestSF, bestTP, bestCh = got, s, t, c
+				}
+			}
+		}
+	}
+	changed := bestSF != inc.alloc.SF[i] || bestTP != inc.alloc.TPdBm[i] || bestCh != inc.alloc.Channel[i]
+	inc.alloc.SF[i] = bestSF
+	inc.alloc.TPdBm[i] = bestTP
+	inc.alloc.Channel[i] = bestCh
+	return changed, nil
+}
+
 // RemoveDevice deletes device i; the remaining devices keep their
 // settings (indices above i shift down by one).
 func (inc *Incremental) RemoveDevice(i int) error {

@@ -121,6 +121,70 @@ func TestIncrementalReoptimize(t *testing.T) {
 	}
 }
 
+func TestIncrementalReassignDevice(t *testing.T) {
+	inc := newIncremental(t, 50)
+	before, err := inc.MinEE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage one device: worst SF at maximum power on channel 0, then
+	// ask the incremental maintainer to repair just that device.
+	p := model.DefaultParams()
+	inc.alloc.SF[7] = 12
+	inc.alloc.TPdBm[7] = p.Plan.MaxTxPowerDBm
+	inc.alloc.Channel[7] = 0
+	changed, err := inc.ReassignDevice(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Error("sabotaged device not reassigned")
+	}
+	after, err := inc.MinEE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after < 0.9*before {
+		t.Errorf("reassign left min EE degraded: %v -> %v", before, after)
+	}
+	// Everyone else must keep their settings.
+	a := inc.Allocation()
+	if err := a.Validate(inc.N(), p); err != nil {
+		t.Fatalf("post-reassign allocation invalid: %v", err)
+	}
+	// A second reassign of the same device is a no-op (greedy fixpoint).
+	changed, err = inc.ReassignDevice(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Error("reassign of an already-optimal device reported a change")
+	}
+	if _, err := inc.ReassignDevice(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := inc.ReassignDevice(inc.N()); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestIncrementalReassignKeepsOthersUnchanged(t *testing.T) {
+	inc := newIncremental(t, 40)
+	before := inc.Allocation()
+	if _, err := inc.ReassignDevice(3); err != nil {
+		t.Fatal(err)
+	}
+	after := inc.Allocation()
+	for i := 0; i < len(before.SF); i++ {
+		if i == 3 {
+			continue
+		}
+		if before.SF[i] != after.SF[i] || before.TPdBm[i] != after.TPdBm[i] || before.Channel[i] != after.Channel[i] {
+			t.Fatalf("device %d changed during reassign of device 3", i)
+		}
+	}
+}
+
 func TestNewIncrementalValidates(t *testing.T) {
 	net := testNetwork(10, 1, 33)
 	p := model.DefaultParams()

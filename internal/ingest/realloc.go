@@ -1,0 +1,163 @@
+package ingest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"eflora/internal/alloc"
+	"eflora/internal/lora"
+	"eflora/internal/model"
+	"eflora/internal/scenario"
+)
+
+// AddrForIndex maps a scenario device index to its DevAddr (index+1, so
+// address 0 — invalid in this deployment — is never issued).
+func AddrForIndex(i int) uint32 { return uint32(i) + 1 }
+
+// IndexForAddr inverts AddrForIndex; ok is false for address 0.
+func IndexForAddr(addr uint32) (int, bool) {
+	if addr == 0 {
+		return 0, false
+	}
+	return int(addr) - 1, true
+}
+
+// ReallocConfig tunes the drift detector.
+type ReallocConfig struct {
+	// SNRMarginDB is the headroom required above the current SF's
+	// demodulation floor before a device counts as healthy (default 1 dB):
+	// a device whose rolling SNR sits below threshold+margin is drifting.
+	SNRMarginDB float64
+	// MinPRR is the reception-ratio floor (default 0.7).
+	MinPRR float64
+	// MinFrames is how many deliveries a device must have before the
+	// detector trusts its statistics (default 8).
+	MinFrames int
+	// MaxPerStep caps how many devices one Step reassigns (default 32),
+	// bounding the work done on the serving path's timer.
+	MaxPerStep int
+}
+
+func (c ReallocConfig) withDefaults() ReallocConfig {
+	if c.SNRMarginDB == 0 {
+		c.SNRMarginDB = 1
+	}
+	if c.MinPRR == 0 {
+		c.MinPRR = 0.7
+	}
+	if c.MinFrames == 0 {
+		c.MinFrames = 8
+	}
+	if c.MaxPerStep == 0 {
+		c.MaxPerStep = 32
+	}
+	return c
+}
+
+// Reallocator closes the paper's control loop online: it watches the
+// rolling per-device statistics a Tracker accumulates, flags devices
+// whose observed link quality has drifted below what their assigned
+// spreading factor needs, and hands each one to alloc.Incremental for a
+// single-device greedy reassignment. Changes come back as scenario
+// deltas so downstream tooling can follow the live allocation.
+type Reallocator struct {
+	cfg     ReallocConfig
+	tracker *Tracker
+
+	mu  sync.Mutex
+	inc *alloc.Incremental
+	// Reassigned counts devices moved over the reallocator's lifetime.
+	reassigned int
+}
+
+// NewReallocator wires a seeded incremental maintainer to a tracker.
+func NewReallocator(inc *alloc.Incremental, tracker *Tracker, cfg ReallocConfig) *Reallocator {
+	return &Reallocator{cfg: cfg.withDefaults(), tracker: tracker, inc: inc}
+}
+
+// Reassigned reports how many device moves Step has made in total.
+func (r *Reallocator) Reassigned() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reassigned
+}
+
+// Allocation snapshots the maintained allocation.
+func (r *Reallocator) Allocation() model.Allocation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inc.Allocation()
+}
+
+// Step runs one pass of the control loop at server time nowS: detect
+// drifting devices, reassign each, and return the resulting allocation
+// delta (nil when nothing moved).
+func (r *Reallocator) Step(nowS float64) (*scenario.Delta, error) {
+	stats := r.tracker.Snapshot()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.inc.Allocation()
+	n := r.inc.N()
+
+	// Deterministic scan order regardless of map iteration.
+	addrs := make([]uint32, 0, len(stats))
+	for a := range stats {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	var drifting []int
+	for _, a := range addrs {
+		s := stats[a]
+		if s.Received < uint64(r.cfg.MinFrames) {
+			continue
+		}
+		i, ok := IndexForAddr(a)
+		if !ok || i >= n {
+			continue
+		}
+		need := lora.SNRThresholdDB(cur.SF[i]) + r.cfg.SNRMarginDB
+		if s.EwmaSNRdB < need || s.PRR() < r.cfg.MinPRR {
+			drifting = append(drifting, i)
+			if len(drifting) >= r.cfg.MaxPerStep {
+				break
+			}
+		}
+	}
+	if len(drifting) == 0 {
+		return nil, nil
+	}
+
+	delta := &scenario.Delta{
+		Version: scenario.CurrentVersion,
+		AtS:     nowS,
+		Comment: fmt.Sprintf("online realloc: %d drifting device(s)", len(drifting)),
+	}
+	for _, i := range drifting {
+		changed, err := r.inc.ReassignDevice(i)
+		if err != nil {
+			return nil, err
+		}
+		// Forget the pre-move history either way: if the model kept the
+		// settings, re-triggering next tick with the same stale EWMA
+		// would only spin the detector.
+		r.tracker.Reset(AddrForIndex(i))
+		if !changed {
+			continue
+		}
+		a := r.inc.Allocation()
+		delta.Changes = append(delta.Changes, scenario.DeltaChange{
+			Device:  i,
+			SF:      int(a.SF[i]),
+			TPdBm:   a.TPdBm[i],
+			Channel: a.Channel[i],
+		})
+		r.reassigned++
+	}
+	if len(delta.Changes) == 0 {
+		return nil, nil
+	}
+	return delta, nil
+}

@@ -1,0 +1,188 @@
+// Package ingest is the online half of the network server: it speaks the
+// Semtech UDP packet-forwarder protocol to real (or replayed) gateways,
+// fans decoded uplinks across a DevAddr-sharded pool of netserver.Server
+// instances, flushes dedup windows on the clock, maintains rolling
+// per-device link statistics, and periodically hands drifting devices to
+// alloc.Incremental for online re-allocation.
+package ingest
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"eflora/internal/lora"
+)
+
+// Semtech packet-forwarder protocol (v2) packet identifiers.
+const (
+	PushData byte = 0x00 // gateway -> server, JSON rxpk/stat payload
+	PushAck  byte = 0x01 // server -> gateway
+	PullData byte = 0x02 // gateway -> server, keepalive / downlink route
+	PullResp byte = 0x03 // server -> gateway, txpk payload
+	PullAck  byte = 0x04 // server -> gateway
+	TxAck    byte = 0x05 // gateway -> server, downlink result
+)
+
+// ProtocolVersion is the packet-forwarder protocol version this codec
+// implements.
+const ProtocolVersion = 2
+
+// headerLen is version (1) + token (2) + identifier (1); data packets add
+// the 8-byte gateway EUI.
+const headerLen = 4
+
+// RXPK is one received uplink in a PUSH_DATA JSON payload, mirroring the
+// packet forwarder's field names.
+type RXPK struct {
+	// Tmst is the gateway's internal microsecond counter at RX.
+	Tmst uint64 `json:"tmst"`
+	// Time is the optional ISO 8601 UTC RX time.
+	Time string `json:"time,omitempty"`
+	// Freq is the center frequency in MHz.
+	Freq float64 `json:"freq"`
+	// Chan and RFCh are the concentrator IF and RF chain indices.
+	Chan int `json:"chan"`
+	RFCh int `json:"rfch"`
+	// Stat is the CRC status: 1 = OK, -1 = fail, 0 = no CRC.
+	Stat int `json:"stat"`
+	// Modu is "LORA" (or "FSK", which this server ignores).
+	Modu string `json:"modu"`
+	// Datr is the LoRa datarate identifier, e.g. "SF7BW125".
+	Datr string `json:"datr"`
+	// Codr is the coding rate, e.g. "4/7".
+	Codr string `json:"codr"`
+	// RSSI is the packet RSSI in dBm, LSNR the packet SNR in dB.
+	RSSI float64 `json:"rssi"`
+	LSNR float64 `json:"lsnr"`
+	// Size is the payload length in bytes; Data its base64 encoding.
+	Size int    `json:"size"`
+	Data string `json:"data"`
+}
+
+// Payload decodes the base64 PHY payload.
+func (r *RXPK) Payload() ([]byte, error) {
+	b, err := base64.StdEncoding.DecodeString(r.Data)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: rxpk data: %w", err)
+	}
+	if r.Size != 0 && r.Size != len(b) {
+		return nil, fmt.Errorf("ingest: rxpk size %d != payload %d", r.Size, len(b))
+	}
+	return b, nil
+}
+
+// ParseDatr splits a "SF7BW125"-style datarate identifier into spreading
+// factor and bandwidth (Hz).
+func ParseDatr(datr string) (lora.SF, float64, error) {
+	rest, ok := strings.CutPrefix(datr, "SF")
+	if !ok {
+		return 0, 0, fmt.Errorf("ingest: datr %q: missing SF prefix", datr)
+	}
+	sfStr, bwStr, ok := strings.Cut(rest, "BW")
+	if !ok {
+		return 0, 0, fmt.Errorf("ingest: datr %q: missing BW", datr)
+	}
+	sf, err := strconv.Atoi(sfStr)
+	if err != nil || !lora.SF(sf).Valid() {
+		return 0, 0, fmt.Errorf("ingest: datr %q: bad SF %q", datr, sfStr)
+	}
+	bwKHz, err := strconv.ParseFloat(bwStr, 64)
+	if err != nil || bwKHz <= 0 {
+		return 0, 0, fmt.Errorf("ingest: datr %q: bad BW %q", datr, bwStr)
+	}
+	return lora.SF(sf), bwKHz * 1e3, nil
+}
+
+// Datr renders a spreading factor and bandwidth as a datarate identifier.
+func Datr(sf lora.SF, bwHz float64) string {
+	return fmt.Sprintf("SF%dBW%d", int(sf), int(bwHz/1e3))
+}
+
+// pushPayload is the JSON body of a PUSH_DATA packet.
+type pushPayload struct {
+	RXPK []RXPK `json:"rxpk,omitempty"`
+	// Stat (gateway status) is accepted and ignored.
+	Stat json.RawMessage `json:"stat,omitempty"`
+}
+
+// Packet is a decoded packet-forwarder datagram.
+type Packet struct {
+	Version byte
+	Token   uint16
+	Kind    byte
+	// EUI is the gateway's identifier (PUSH_DATA, PULL_DATA, TX_ACK).
+	EUI [8]byte
+	// RXPK holds the uplinks of a PUSH_DATA packet.
+	RXPK []RXPK
+}
+
+// DecodePacket parses an upstream datagram (PUSH_DATA, PULL_DATA or
+// TX_ACK — the kinds a gateway sends).
+func DecodePacket(buf []byte) (*Packet, error) {
+	if len(buf) < headerLen {
+		return nil, fmt.Errorf("ingest: datagram too short (%d bytes)", len(buf))
+	}
+	p := &Packet{
+		Version: buf[0],
+		Token:   uint16(buf[1]) | uint16(buf[2])<<8,
+		Kind:    buf[3],
+	}
+	if p.Version != ProtocolVersion {
+		return nil, fmt.Errorf("ingest: protocol version %d (want %d)", p.Version, ProtocolVersion)
+	}
+	switch p.Kind {
+	case PushData, PullData, TxAck:
+	default:
+		return nil, fmt.Errorf("ingest: unexpected upstream packet kind %#02x", p.Kind)
+	}
+	if len(buf) < headerLen+8 {
+		return nil, fmt.Errorf("ingest: %#02x datagram missing gateway EUI", p.Kind)
+	}
+	copy(p.EUI[:], buf[headerLen:headerLen+8])
+	if p.Kind == PushData {
+		var body pushPayload
+		if err := json.Unmarshal(buf[headerLen+8:], &body); err != nil {
+			return nil, fmt.Errorf("ingest: PUSH_DATA payload: %w", err)
+		}
+		p.RXPK = body.RXPK
+	}
+	return p, nil
+}
+
+// Ack builds the acknowledgement datagram for this packet (PUSH_ACK or
+// PULL_ACK); ok is false for kinds that are not acknowledged.
+func (p *Packet) Ack() ([]byte, bool) {
+	var kind byte
+	switch p.Kind {
+	case PushData:
+		kind = PushAck
+	case PullData:
+		kind = PullAck
+	default:
+		return nil, false
+	}
+	return []byte{ProtocolVersion, byte(p.Token), byte(p.Token >> 8), kind}, true
+}
+
+// EncodePushData builds a PUSH_DATA datagram carrying the given uplinks —
+// what a gateway (or the replay load generator) sends.
+func EncodePushData(token uint16, eui [8]byte, rxpks []RXPK) ([]byte, error) {
+	body, err := json.Marshal(pushPayload{RXPK: rxpks})
+	if err != nil {
+		return nil, fmt.Errorf("ingest: encode rxpk: %w", err)
+	}
+	out := make([]byte, 0, headerLen+8+len(body))
+	out = append(out, ProtocolVersion, byte(token), byte(token>>8), PushData)
+	out = append(out, eui[:]...)
+	return append(out, body...), nil
+}
+
+// EncodePullData builds a PULL_DATA keepalive datagram.
+func EncodePullData(token uint16, eui [8]byte) []byte {
+	out := make([]byte, 0, headerLen+8)
+	out = append(out, ProtocolVersion, byte(token), byte(token>>8), PullData)
+	return append(out, eui[:]...)
+}

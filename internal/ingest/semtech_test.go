@@ -1,0 +1,109 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/base64"
+	"testing"
+
+	"eflora/internal/lora"
+)
+
+func TestPushDataRoundTrip(t *testing.T) {
+	eui := [8]byte{0xAA, 1, 2, 3, 4, 5, 6, 0xBB}
+	phy := []byte{0x40, 1, 0, 0, 0, 0, 1, 0, 1, 9, 9, 9, 9, 1, 2, 3, 4}
+	rx := RXPK{
+		Tmst: 123456, Freq: 868.1, Chan: 2, RFCh: 0, Stat: 1,
+		Modu: "LORA", Datr: "SF9BW125", Codr: "4/7",
+		RSSI: -101, LSNR: -3.5, Size: len(phy),
+		Data: base64.StdEncoding.EncodeToString(phy),
+	}
+	buf, err := EncodePushData(0x1234, eui, []RXPK{rx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DecodePacket(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != PushData || p.Token != 0x1234 || p.EUI != eui {
+		t.Fatalf("decoded header = %+v", p)
+	}
+	if len(p.RXPK) != 1 {
+		t.Fatalf("rxpk = %d, want 1", len(p.RXPK))
+	}
+	got, err := p.RXPK[0].Payload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, phy) {
+		t.Errorf("payload = %x, want %x", got, phy)
+	}
+	if p.RXPK[0].LSNR != -3.5 || p.RXPK[0].Datr != "SF9BW125" {
+		t.Errorf("metadata = %+v", p.RXPK[0])
+	}
+	ack, ok := p.Ack()
+	if !ok || !bytes.Equal(ack, []byte{2, 0x34, 0x12, PushAck}) {
+		t.Errorf("push ack = %x", ack)
+	}
+}
+
+func TestPullDataAck(t *testing.T) {
+	eui := [8]byte{1, 2, 3, 4, 5, 6, 7, 8}
+	p, err := DecodePacket(EncodePullData(7, eui))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != PullData || p.EUI != eui {
+		t.Fatalf("decoded = %+v", p)
+	}
+	ack, ok := p.Ack()
+	if !ok || !bytes.Equal(ack, []byte{2, 7, 0, PullAck}) {
+		t.Errorf("pull ack = %x", ack)
+	}
+}
+
+func TestDecodePacketErrors(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{2, 0, 0},                                    // too short
+		{1, 0, 0, PushData, 1, 2, 3, 4, 5, 6, 7, 8},  // wrong version
+		{2, 0, 0, PullResp, 1, 2, 3, 4, 5, 6, 7, 8},  // downstream kind
+		{2, 0, 0, PushData, 1, 2, 3},                 // missing EUI
+		append([]byte{2, 0, 0, PushData, 1, 2, 3, 4, 5, 6, 7, 8}, []byte("{not json")...),
+	}
+	for i, buf := range cases {
+		if _, err := DecodePacket(buf); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestParseDatr(t *testing.T) {
+	sf, bw, err := ParseDatr("SF7BW125")
+	if err != nil || sf != lora.SF7 || bw != 125e3 {
+		t.Errorf("SF7BW125 -> %v/%v/%v", sf, bw, err)
+	}
+	sf, bw, err = ParseDatr("SF12BW500")
+	if err != nil || sf != lora.SF12 || bw != 500e3 {
+		t.Errorf("SF12BW500 -> %v/%v/%v", sf, bw, err)
+	}
+	for _, bad := range []string{"", "SF7", "BW125", "SFxBW125", "SF99BW125", "SF7BWx"} {
+		if _, _, err := ParseDatr(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	if got := Datr(lora.SF8, 125e3); got != "SF8BW125" {
+		t.Errorf("Datr = %q", got)
+	}
+}
+
+func TestRXPKPayloadSizeMismatch(t *testing.T) {
+	rx := RXPK{Size: 3, Data: base64.StdEncoding.EncodeToString([]byte{1, 2})}
+	if _, err := rx.Payload(); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	rx = RXPK{Data: "!!!"}
+	if _, err := rx.Payload(); err == nil {
+		t.Error("bad base64 accepted")
+	}
+}

@@ -4,6 +4,12 @@
 // uplink heard by several gateways counts once), verifies and decrypts
 // the frames, tracks per-device counters and retains the best-gateway
 // statistics that drive downlink routing and ADR.
+//
+// A Server is one unit of concurrency: it serializes ingestion under a
+// single mutex. Batch callers (the simulator, examples) use one Server
+// for the whole network; the live daemon in internal/ingest shards the
+// device population across a pool of Servers so independent devices
+// never contend on the same lock.
 package netserver
 
 import (
@@ -52,6 +58,9 @@ type Server struct {
 	// protection and FCnt roll-over reconstruction.
 	lastFCnt map[uint32]uint32
 	seen     map[uint32]bool // whether the device has sent before
+	// lastBest caches the best-SNR gateway of each device's most recent
+	// delivery so BestGateway is O(1) per downlink decision.
+	lastBest map[uint32]int
 	// pending groups copies of the current frame per device until the
 	// dedup window closes.
 	pending map[uint32]*pendingFrame
@@ -59,10 +68,18 @@ type Server struct {
 	// before finalizing a delivery (default 0.2 s).
 	DedupWindowS float64
 
+	// deliveries retains finalized uplinks. Unbounded by default; a ring
+	// of the most recent retainCap entries once SetRetention caps it.
 	deliveries []Delivery
-	// Duplicates counts redundant gateway copies that were merged;
+	ringHead   int // index of the oldest entry when the ring is full
+	retainCap  int // 0 = unbounded
+	drain      func(Delivery)
+
+	// Uplinks counts every HandleUplink call; Delivered counts finalized
+	// deliveries; Duplicates counts redundant gateway copies (merged into
+	// a pending frame or arriving late, after its window closed);
 	// Rejected counts frames that failed verification or replay checks.
-	Duplicates, Rejected int
+	Uplinks, Delivered, Duplicates, Rejected int
 }
 
 type pendingFrame struct {
@@ -79,6 +96,7 @@ func New(devices []Device) *Server {
 		devices:      make(map[uint32]lorawan.Keys, len(devices)),
 		lastFCnt:     make(map[uint32]uint32),
 		seen:         make(map[uint32]bool),
+		lastBest:     make(map[uint32]int),
 		pending:      make(map[uint32]*pendingFrame),
 		DedupWindowS: 0.2,
 	}
@@ -88,12 +106,37 @@ func New(devices []Device) *Server {
 	return s
 }
 
+// SetRetention bounds the delivery backlog to the most recent cap entries
+// (ring semantics) and registers a drain callback invoked with every
+// delivery as it finalizes, so a long-running caller can stream
+// deliveries out instead of accumulating them. cap 0 restores the
+// unbounded default (simulation use); drain may be nil. The callback runs
+// with the server lock held and must not call back into the Server.
+func (s *Server) SetRetention(cap int, drain func(Delivery)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cap < 0 {
+		cap = 0
+	}
+	// Normalize any existing ring to arrival order before re-bounding.
+	s.deliveries = append(s.deliveries[s.ringHead:], s.deliveries[:s.ringHead]...)
+	s.ringHead = 0
+	s.retainCap = cap
+	s.drain = drain
+	if cap > 0 && len(s.deliveries) > cap {
+		s.deliveries = append([]Delivery(nil), s.deliveries[len(s.deliveries)-cap:]...)
+	}
+}
+
 // HandleUplink ingests one gateway reception. Frames that fail MIC
 // verification, belong to unknown devices, or replay an old counter are
-// counted in Rejected. Copies of a frame already pending are merged.
+// counted in Rejected. Copies of a frame already pending are merged; a
+// same-counter copy arriving after the dedup window closed is counted as
+// a late Duplicate.
 func (s *Server) HandleUplink(up Uplink) error {
 	if len(up.PHYPayload) < lorawan.FrameOverheadBytes {
 		s.mu.Lock()
+		s.Uplinks++
 		s.Rejected++
 		s.mu.Unlock()
 		return fmt.Errorf("netserver: frame too short (%d bytes)", len(up.PHYPayload))
@@ -104,6 +147,7 @@ func (s *Server) HandleUplink(up Uplink) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.Uplinks++
 	keys, ok := s.devices[devAddr]
 	if !ok {
 		s.Rejected++
@@ -130,8 +174,15 @@ func (s *Server) HandleUplink(up Uplink) error {
 		return nil
 	}
 
-	// Replay protection: a finalized or pending counter must be fresh.
+	// Replay protection: a finalized or pending counter must be fresh. A
+	// copy of the *current* counter is not an attack — it is a gateway
+	// copy that lost the race with the dedup window (or with a clock
+	// flush) — so it counts as a late duplicate, not a reject.
 	if s.seen[devAddr] && f.FCnt <= s.lastFCnt[devAddr] {
+		if f.FCnt == s.lastFCnt[devAddr] {
+			s.Duplicates++
+			return nil
+		}
 		s.Rejected++
 		return fmt.Errorf("netserver: replayed FCnt %d (last %d)", f.FCnt, s.lastFCnt[devAddr])
 	}
@@ -152,13 +203,26 @@ func (s *Server) finalizeLocked(devAddr uint32, pf *pendingFrame) {
 	sort.SliceStable(pf.copies, func(i, j int) bool {
 		return pf.copies[i].SNRdB > pf.copies[j].SNRdB
 	})
-	s.deliveries = append(s.deliveries, Delivery{
+	if len(pf.copies) > 0 {
+		s.lastBest[devAddr] = pf.copies[0].Gateway
+	}
+	d := Delivery{
 		DevAddr:  devAddr,
 		FCnt:     pf.fcnt,
 		FPort:    pf.fport,
 		Payload:  pf.payload,
 		Gateways: pf.copies,
-	})
+	}
+	s.Delivered++
+	if s.drain != nil {
+		s.drain(d)
+	}
+	if s.retainCap > 0 && len(s.deliveries) >= s.retainCap {
+		s.deliveries[s.ringHead] = d
+		s.ringHead = (s.ringHead + 1) % s.retainCap
+		return
+	}
+	s.deliveries = append(s.deliveries, d)
 }
 
 // Flush finalizes every pending frame (end of a simulation or batch).
@@ -176,13 +240,72 @@ func (s *Server) Flush() {
 	}
 }
 
-// Deliveries returns the finalized, de-duplicated uplinks in arrival
-// order.
+// FlushExpired finalizes pending frames whose dedup window has closed by
+// nowS — the clock-driven flush a live server runs so a device's last
+// frame does not linger until that device happens to send again. It
+// returns the number of deliveries finalized.
+func (s *Server) FlushExpired(nowS float64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addrs := make([]uint32, 0, len(s.pending))
+	for a, pf := range s.pending {
+		if nowS-pf.firstAt > s.DedupWindowS {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		s.finalizeLocked(a, s.pending[a])
+		delete(s.pending, a)
+	}
+	return len(addrs)
+}
+
+// PendingCount reports how many frames are waiting for their dedup
+// window to close.
+func (s *Server) PendingCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Counters is a consistent snapshot of the server's accounting.
+type Counters struct {
+	// Uplinks counts every ingested gateway reception; Delivered the
+	// finalized de-duplicated frames; Duplicates the merged or late
+	// redundant copies; Rejected the verification/replay failures.
+	Uplinks, Delivered, Duplicates, Rejected int
+}
+
+// Add accumulates other into c (for aggregating shard counters).
+func (c *Counters) Add(other Counters) {
+	c.Uplinks += other.Uplinks
+	c.Delivered += other.Delivered
+	c.Duplicates += other.Duplicates
+	c.Rejected += other.Rejected
+}
+
+// Counters returns a consistent snapshot of the accounting counters.
+func (s *Server) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Counters{
+		Uplinks:    s.Uplinks,
+		Delivered:  s.Delivered,
+		Duplicates: s.Duplicates,
+		Rejected:   s.Rejected,
+	}
+}
+
+// Deliveries returns the retained finalized uplinks in arrival order
+// (all of them by default; the most recent retention-cap entries when
+// SetRetention bounds the backlog).
 func (s *Server) Deliveries() []Delivery {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]Delivery, len(s.deliveries))
-	copy(out, s.deliveries)
+	out := make([]Delivery, 0, len(s.deliveries))
+	out = append(out, s.deliveries[s.ringHead:]...)
+	out = append(out, s.deliveries[:s.ringHead]...)
 	return out
 }
 
@@ -191,10 +314,6 @@ func (s *Server) Deliveries() []Delivery {
 func (s *Server) BestGateway(devAddr uint32) (int, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for i := len(s.deliveries) - 1; i >= 0; i-- {
-		if s.deliveries[i].DevAddr == devAddr && len(s.deliveries[i].Gateways) > 0 {
-			return s.deliveries[i].Gateways[0].Gateway, true
-		}
-	}
-	return 0, false
+	gw, ok := s.lastBest[devAddr]
+	return gw, ok
 }

@@ -91,15 +91,50 @@ func TestReplayRejected(t *testing.T) {
 	if err := s.HandleUplink(Uplink{ReceivedAtS: 1, PHYPayload: phy5}); err != nil {
 		t.Fatal(err)
 	}
-	// An older (or equal) counter arriving after the window is a replay.
+	// A strictly older counter arriving after the window is a replay.
 	if err := s.HandleUplink(Uplink{ReceivedAtS: 10, PHYPayload: phy4}); err == nil {
 		t.Error("replayed counter accepted")
 	}
-	if err := s.HandleUplink(Uplink{ReceivedAtS: 20, PHYPayload: phy5}); err == nil {
-		t.Error("duplicate old frame accepted after window")
+	// The current counter arriving again is a late gateway copy, not an
+	// attack: counted as a Duplicate and not an error.
+	if err := s.HandleUplink(Uplink{ReceivedAtS: 20, PHYPayload: phy5}); err != nil {
+		t.Errorf("late copy of current frame errored: %v", err)
 	}
-	if s.Rejected != 2 {
-		t.Errorf("rejected = %d, want 2", s.Rejected)
+	if s.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", s.Rejected)
+	}
+	if s.Duplicates != 1 {
+		t.Errorf("duplicates = %d, want 1", s.Duplicates)
+	}
+	s.Flush()
+	if ds := s.Deliveries(); len(ds) != 1 {
+		t.Errorf("deliveries = %d, want 1", len(ds))
+	}
+}
+
+// Regression: a same-FCnt gateway copy that arrives after the dedup
+// window closed used to trip the replay check (Rejected); it must count
+// as a late Duplicate so dedup accounting is flush-timing invariant.
+func TestLateCopyAfterWindowCountedAsDuplicate(t *testing.T) {
+	dev := deviceFixture(0x310)
+	s := New([]Device{dev})
+	phy := encode(t, dev, 7, []byte("m"))
+	if err := s.HandleUplink(Uplink{Gateway: 0, ReceivedAtS: 1, PHYPayload: phy}); err != nil {
+		t.Fatal(err)
+	}
+	// Clock flush closes the window before the second gateway's copy
+	// lands — the live-daemon sequence of events.
+	if n := s.FlushExpired(2); n != 1 {
+		t.Fatalf("FlushExpired = %d, want 1", n)
+	}
+	if err := s.HandleUplink(Uplink{Gateway: 1, ReceivedAtS: 2.1, PHYPayload: phy}); err != nil {
+		t.Errorf("late copy errored: %v", err)
+	}
+	if s.Duplicates != 1 || s.Rejected != 0 {
+		t.Errorf("duplicates/rejected = %d/%d, want 1/0", s.Duplicates, s.Rejected)
+	}
+	if s.Delivered != 1 {
+		t.Errorf("delivered = %d, want 1", s.Delivered)
 	}
 }
 
@@ -132,9 +167,13 @@ func TestLateCopyOutsideWindowNotMerged(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Same frame, but far outside the dedup window: it flushes the
-	// pending frame and is then rejected as a replay.
-	if err := s.HandleUplink(Uplink{Gateway: 1, ReceivedAtS: 5, PHYPayload: phy}); err == nil {
-		t.Error("stale duplicate accepted")
+	// pending frame and is counted as a late duplicate, not merged into
+	// the delivery.
+	if err := s.HandleUplink(Uplink{Gateway: 1, ReceivedAtS: 5, PHYPayload: phy}); err != nil {
+		t.Errorf("late duplicate errored: %v", err)
+	}
+	if s.Duplicates != 1 {
+		t.Errorf("duplicates = %d, want 1", s.Duplicates)
 	}
 	ds := s.Deliveries()
 	if len(ds) != 1 || len(ds[0].Gateways) != 1 {
@@ -155,6 +194,90 @@ func TestBestGateway(t *testing.T) {
 	gw, ok := s.BestGateway(dev.DevAddr)
 	if !ok || gw != 2 {
 		t.Errorf("best gateway = (%d, %v), want (2, true)", gw, ok)
+	}
+}
+
+func TestFlushExpired(t *testing.T) {
+	devA, devB := deviceFixture(0x610), deviceFixture(0x611)
+	s := New([]Device{devA, devB})
+	if err := s.HandleUplink(Uplink{ReceivedAtS: 1.0, PHYPayload: encode(t, devA, 1, []byte("a"))}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HandleUplink(Uplink{ReceivedAtS: 1.15, PHYPayload: encode(t, devB, 1, []byte("b"))}); err != nil {
+		t.Fatal(err)
+	}
+	// At t=1.25 only devA's window (opened at 1.0, 0.2 s) has expired.
+	if n := s.FlushExpired(1.25); n != 1 {
+		t.Fatalf("FlushExpired(1.25) = %d, want 1", n)
+	}
+	if ds := s.Deliveries(); len(ds) != 1 || ds[0].DevAddr != devA.DevAddr {
+		t.Fatalf("deliveries after first flush = %+v", ds)
+	}
+	if got := s.PendingCount(); got != 1 {
+		t.Fatalf("pending = %d, want 1", got)
+	}
+	if n := s.FlushExpired(2.0); n != 1 {
+		t.Fatalf("FlushExpired(2.0) = %d, want 1", n)
+	}
+	if ds := s.Deliveries(); len(ds) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(ds))
+	}
+}
+
+func TestRetentionRingAndDrain(t *testing.T) {
+	dev := deviceFixture(0x620)
+	s := New([]Device{dev})
+	var drained []uint32
+	s.SetRetention(3, func(d Delivery) { drained = append(drained, d.FCnt) })
+	for fcnt := uint32(1); fcnt <= 8; fcnt++ {
+		phy := encode(t, dev, fcnt, []byte{byte(fcnt)})
+		if err := s.HandleUplink(Uplink{ReceivedAtS: float64(fcnt) * 10, PHYPayload: phy}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	// Every delivery streamed out through the drain...
+	if len(drained) != 8 {
+		t.Fatalf("drained = %d, want 8", len(drained))
+	}
+	for i, f := range drained {
+		if f != uint32(i+1) {
+			t.Errorf("drained[%d] = %d, want %d", i, f, i+1)
+		}
+	}
+	// ...while the backlog holds only the most recent 3, oldest first.
+	ds := s.Deliveries()
+	if len(ds) != 3 {
+		t.Fatalf("retained = %d, want 3", len(ds))
+	}
+	for i, want := range []uint32{6, 7, 8} {
+		if ds[i].FCnt != want {
+			t.Errorf("retained[%d].FCnt = %d, want %d", i, ds[i].FCnt, want)
+		}
+	}
+	if s.Delivered != 8 {
+		t.Errorf("Delivered = %d, want 8", s.Delivered)
+	}
+	c := s.Counters()
+	if c.Uplinks != 8 || c.Delivered != 8 || c.Duplicates != 0 || c.Rejected != 0 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestBestGatewayAcrossDeliveries(t *testing.T) {
+	dev := deviceFixture(0x630)
+	s := New([]Device{dev})
+	phy1 := encode(t, dev, 1, []byte("a"))
+	_ = s.HandleUplink(Uplink{Gateway: 4, SNRdB: 6, ReceivedAtS: 1, PHYPayload: phy1})
+	phy2 := encode(t, dev, 2, []byte("b"))
+	_ = s.HandleUplink(Uplink{Gateway: 1, SNRdB: -2, ReceivedAtS: 10, PHYPayload: phy2})
+	_ = s.HandleUplink(Uplink{Gateway: 3, SNRdB: 0.5, ReceivedAtS: 10.05, PHYPayload: phy2})
+	s.Flush()
+	// The most recent delivery's best copy wins, even though an earlier
+	// delivery had a better absolute SNR.
+	gw, ok := s.BestGateway(dev.DevAddr)
+	if !ok || gw != 3 {
+		t.Errorf("best gateway = (%d, %v), want (3, true)", gw, ok)
 	}
 }
 

@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"eflora/internal/lora"
+)
+
+// DeltaChange is one device's updated resource assignment.
+type DeltaChange struct {
+	Device  int     `json:"device"`
+	SF      int     `json:"sf"`
+	TPdBm   float64 `json:"tpDBm"`
+	Channel int     `json:"channel"`
+}
+
+// Delta is an incremental allocation update — the unit the live network
+// server emits when online re-allocation moves devices. Deltas are
+// appended to a JSON-lines stream (one Delta per line) so downstream
+// tooling can tail them; ApplyDelta folds one into a full scenario File.
+type Delta struct {
+	Version int `json:"version"`
+	// AtS is the server-relative emission time in seconds.
+	AtS float64 `json:"atS,omitempty"`
+	// Comment is free-form provenance (trigger, daemon instance).
+	Comment string        `json:"comment,omitempty"`
+	Changes []DeltaChange `json:"changes"`
+}
+
+// Validate checks the delta against a deployment of n devices.
+func (d *Delta) Validate(n int) error {
+	if d.Version != CurrentVersion {
+		return fmt.Errorf("scenario: unsupported delta version %d (want %d)", d.Version, CurrentVersion)
+	}
+	for _, c := range d.Changes {
+		if c.Device < 0 || c.Device >= n {
+			return fmt.Errorf("scenario: delta device %d out of range [0,%d)", c.Device, n)
+		}
+		if !lora.SF(c.SF).Valid() {
+			return fmt.Errorf("scenario: delta device %d has invalid SF %d", c.Device, c.SF)
+		}
+		if c.Channel < 0 {
+			return fmt.Errorf("scenario: delta device %d has negative channel", c.Device)
+		}
+	}
+	return nil
+}
+
+// ApplyDelta folds an allocation delta into the file. The file must
+// already carry an allocation.
+func (f *File) ApplyDelta(d *Delta) error {
+	if f.Allocation == nil {
+		return fmt.Errorf("scenario: cannot apply delta to a file without an allocation")
+	}
+	if err := d.Validate(len(f.Devices)); err != nil {
+		return err
+	}
+	for _, c := range d.Changes {
+		f.Allocation.SF[c.Device] = c.SF
+		f.Allocation.TPdBm[c.Device] = c.TPdBm
+		f.Allocation.Channel[c.Device] = c.Channel
+	}
+	return nil
+}
+
+// AppendDelta writes one delta as a single JSON line.
+func AppendDelta(w io.Writer, d *Delta) error {
+	buf, err := json.Marshal(d)
+	if err != nil {
+		return fmt.Errorf("scenario: encode delta: %w", err)
+	}
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("scenario: write delta: %w", err)
+	}
+	return nil
+}
+
+// ReadDeltas decodes a JSON-lines delta stream (blank lines skipped).
+func ReadDeltas(r io.Reader) ([]Delta, error) {
+	var out []Delta
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var d Delta
+		if err := json.Unmarshal(b, &d); err != nil {
+			return nil, fmt.Errorf("scenario: delta line %d: %w", line, err)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: read deltas: %w", err)
+	}
+	return out, nil
+}

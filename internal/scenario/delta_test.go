@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eflora/internal/geo"
+	"eflora/internal/lora"
+	"eflora/internal/model"
+)
+
+func deltaFixtureFile() *File {
+	net := &model.Network{
+		Devices:  []geo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 0, Y: 100}},
+		Gateways: []geo.Point{{X: 50, Y: 50}},
+	}
+	a := model.Allocation{
+		SF:      []lora.SF{lora.SF7, lora.SF8, lora.SF9},
+		TPdBm:   []float64{2, 5, 8},
+		Channel: []int{0, 1, 2},
+	}
+	return FromNetwork(net, &a, "delta test")
+}
+
+func TestDeltaRoundTripAndApply(t *testing.T) {
+	var buf bytes.Buffer
+	deltas := []Delta{
+		{Version: CurrentVersion, AtS: 10, Changes: []DeltaChange{
+			{Device: 1, SF: 10, TPdBm: 11, Channel: 0},
+		}},
+		{Version: CurrentVersion, AtS: 40, Comment: "drift", Changes: []DeltaChange{
+			{Device: 0, SF: 8, TPdBm: 14, Channel: 2},
+			{Device: 2, SF: 7, TPdBm: 2, Channel: 1},
+		}},
+	}
+	for i := range deltas {
+		if err := AppendDelta(&buf, &deltas[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadDeltas(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got[1].Changes) != 2 || got[1].Comment != "drift" {
+		t.Fatalf("round trip = %+v", got)
+	}
+
+	f := deltaFixtureFile()
+	for i := range got {
+		if err := f.ApplyDelta(&got[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Allocation.SF[1] != 10 || f.Allocation.TPdBm[1] != 11 || f.Allocation.Channel[1] != 0 {
+		t.Errorf("device 1 after apply = %d/%v/%d", f.Allocation.SF[1], f.Allocation.TPdBm[1], f.Allocation.Channel[1])
+	}
+	if f.Allocation.SF[0] != 8 || f.Allocation.SF[2] != 7 {
+		t.Errorf("second delta not applied: %+v", f.Allocation)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("file invalid after deltas: %v", err)
+	}
+}
+
+func TestDeltaValidation(t *testing.T) {
+	f := deltaFixtureFile()
+	bad := []Delta{
+		{Version: 99, Changes: []DeltaChange{{Device: 0, SF: 7}}},
+		{Version: CurrentVersion, Changes: []DeltaChange{{Device: 3, SF: 7}}},
+		{Version: CurrentVersion, Changes: []DeltaChange{{Device: -1, SF: 7}}},
+		{Version: CurrentVersion, Changes: []DeltaChange{{Device: 0, SF: 42}}},
+		{Version: CurrentVersion, Changes: []DeltaChange{{Device: 0, SF: 7, Channel: -2}}},
+	}
+	for i := range bad {
+		if err := f.ApplyDelta(&bad[i]); err == nil {
+			t.Errorf("bad delta %d accepted", i)
+		}
+	}
+	noAlloc := deltaFixtureFile()
+	noAlloc.Allocation = nil
+	ok := Delta{Version: CurrentVersion, Changes: []DeltaChange{{Device: 0, SF: 7}}}
+	if err := noAlloc.ApplyDelta(&ok); err == nil {
+		t.Error("delta applied to allocation-less file")
+	}
+}
+
+func TestReadDeltasSkipsBlankAndReportsBadLines(t *testing.T) {
+	in := `{"version":1,"changes":[{"device":0,"sf":7,"tpDBm":2,"channel":0}]}
+
+{"version":1,"changes":[]}
+`
+	got, err := ReadDeltas(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(got))
+	}
+	if _, err := ReadDeltas(strings.NewReader("{not json\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+}
