@@ -137,6 +137,21 @@ func BenchmarkEFLoRaAllocate(b *testing.B) {
 // (1000 devices x 20 packets x 3 gateways).
 func BenchmarkSimulator(b *testing.B) {
 	net, p, a := benchNetwork(1000, 3)
+	sc := new(sim.Scratch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{PacketsPerDevice: 20, Seed: uint64(i), Scratch: sc}
+		if _, err := sim.Run(net, p, a, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorNoScratch is the same workload without a reusable
+// arena — the spread against BenchmarkSimulator is the allocation cost a
+// cold caller pays per run.
+func BenchmarkSimulatorNoScratch(b *testing.B) {
+	net, p, a := benchNetwork(1000, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(net, p, a, sim.Config{PacketsPerDevice: 20, Seed: uint64(i)}); err != nil {
@@ -176,9 +191,10 @@ func BenchmarkSimulatorParallel(b *testing.B)   { benchSimulator(b, 0) }
 func benchSimulator(b *testing.B, workers int) {
 	b.Helper()
 	net, p, a := benchNetwork(1000, 9)
+	sc := new(sim.Scratch)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cfg := sim.Config{PacketsPerDevice: 20, Seed: uint64(i), Parallelism: workers}
+		cfg := sim.Config{PacketsPerDevice: 20, Seed: uint64(i), Parallelism: workers, Scratch: sc}
 		if _, err := sim.Run(net, p, a, cfg); err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,342 @@
+// Command eflora-bench records and compares benchmark runs.
+//
+// Record mode (the default) shells out to `go test -bench`, parses the
+// standard benchmark output and writes a JSON recording in the same schema
+// as BENCH_parallel.json:
+//
+//	eflora-bench -bench 'Sequential|Parallel' -benchtime 3x -o BENCH_sim.json
+//
+// Diff mode compares two recordings benchmark-by-benchmark and exits
+// non-zero when any shared benchmark regressed beyond the threshold ratio
+// on time, bytes or allocations:
+//
+//	eflora-bench -diff -threshold 1.3 BENCH_parallel.json BENCH_sim.json
+//
+// The parser and differ are plain functions over readers and structs so
+// they are unit-testable without running the suite.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Recording mirrors the schema of BENCH_parallel.json.
+type Recording struct {
+	Description string      `json:"description"`
+	Date        string      `json:"date"`
+	Host        Host        `json:"host"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+}
+
+// Host identifies the recording machine.
+type Host struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPU    string `json:"cpu"`
+	CPUs   int    `json:"cpus"`
+}
+
+// Benchmark is one `go test -bench -benchmem` result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// parseBenchOutput extracts benchmark result lines and host metadata from
+// standard `go test -bench` output. Benchmark names have their trailing
+// -N GOMAXPROCS suffix kept as printed (the suite pins names without it on
+// single-proc runs); unparseable lines are skipped.
+func parseBenchOutput(r io.Reader) ([]Benchmark, Host, error) {
+	host := Host{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.GOMAXPROCS(0)}
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			host.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "goos:"):
+			host.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			host.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Iterations: iters}
+		// The remainder is value/unit pairs: `12345 ns/op 67 B/op ...`.
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp, ok = v, true
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out, host, sc.Err()
+}
+
+// regression describes one metric of one benchmark exceeding the
+// threshold ratio.
+type regression struct {
+	Name   string
+	Metric string
+	Old    float64
+	New    float64
+	Ratio  float64
+}
+
+func (r regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx, threshold exceeded)",
+		r.Name, r.Metric, r.Old, r.New, r.Ratio)
+}
+
+// diffRecordings compares the benchmarks shared by two recordings and
+// returns the metrics whose new/old ratio exceeds threshold. Benchmarks
+// present in only one recording are listed in the second return value and
+// never count as regressions. A zero old value with a non-zero new value
+// is treated as an infinite ratio.
+func diffRecordings(old, new Recording, threshold float64) ([]regression, []string) {
+	oldBy := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	var regs []regression
+	var unmatched []string
+	seen := make(map[string]bool, len(new.Benchmarks))
+	for _, nb := range new.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			unmatched = append(unmatched, nb.Name)
+			continue
+		}
+		seen[nb.Name] = true
+		for _, m := range []struct {
+			metric string
+			ov, nv float64
+		}{
+			{"ns/op", ob.NsPerOp, nb.NsPerOp},
+			{"B/op", ob.BytesPerOp, nb.BytesPerOp},
+			{"allocs/op", ob.AllocsPerOp, nb.AllocsPerOp},
+		} {
+			var ratio float64
+			switch {
+			case m.ov > 0:
+				ratio = m.nv / m.ov
+			case m.nv > 0:
+				ratio = threshold + 1 // 0 -> nonzero: always a regression
+			default:
+				continue
+			}
+			if ratio > threshold {
+				regs = append(regs, regression{nb.Name, m.metric, m.ov, m.nv, ratio})
+			}
+		}
+	}
+	for _, b := range old.Benchmarks {
+		if !seen[b.Name] {
+			unmatched = append(unmatched, b.Name)
+		}
+	}
+	return regs, unmatched
+}
+
+func readRecording(path string) (Recording, error) {
+	var rec Recording
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// writeRecording marshals the recording with one benchmark per line,
+// matching the hand-formatted style of BENCH_parallel.json closely enough
+// to diff comfortably.
+func writeRecording(w io.Writer, rec Recording) error {
+	head, err := json.Marshal(struct {
+		Description string `json:"description"`
+		Date        string `json:"date"`
+		Host        Host   `json:"host"`
+	}{rec.Description, rec.Date, rec.Host})
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	var pretty map[string]json.RawMessage
+	if err := json.Unmarshal(head, &pretty); err != nil {
+		return err
+	}
+	b.WriteString("{\n")
+	fmt.Fprintf(&b, "  \"description\": %s,\n", pretty["description"])
+	fmt.Fprintf(&b, "  \"date\": %s,\n", pretty["date"])
+	hostJSON, err := json.MarshalIndent(rec.Host, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&b, "  \"host\": %s,\n", hostJSON)
+	b.WriteString("  \"benchmarks\": [\n")
+	for i, bm := range rec.Benchmarks {
+		line, err := json.Marshal(bm)
+		if err != nil {
+			return err
+		}
+		sep := ","
+		if i == len(rec.Benchmarks)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&b, "    %s%s\n", line, sep)
+	}
+	b.WriteString("  ]\n}\n")
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+func runRecord(benchRe, benchtime, pkg, outPath, desc string) error {
+	args := []string{"test", "-run", "^$", "-bench", benchRe,
+		"-benchtime", benchtime, "-benchmem", "-count=1", pkg}
+	fmt.Fprintf(os.Stderr, "eflora-bench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		os.Stderr.Write(out)
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+	benches, host, err := parseBenchOutput(strings.NewReader(string(out)))
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		os.Stderr.Write(out)
+		return fmt.Errorf("no benchmark results matched %q", benchRe)
+	}
+	rec := Recording{
+		Description: desc,
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		Host:        host,
+		Benchmarks:  benches,
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := writeRecording(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(benches), outPath)
+	return nil
+}
+
+func runDiff(oldPath, newPath string, threshold float64) error {
+	old, err := readRecording(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := readRecording(newPath)
+	if err != nil {
+		return err
+	}
+	regs, unmatched := diffRecordings(old, cur, threshold)
+	for _, n := range unmatched {
+		fmt.Printf("only in one recording: %s\n", n)
+	}
+	oldBy := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	for _, nb := range cur.Benchmarks {
+		if ob, ok := oldBy[nb.Name]; ok && ob.NsPerOp > 0 {
+			fmt.Printf("%s: %.2fx time, %.2fx bytes, %.2fx allocs\n", nb.Name,
+				nb.NsPerOp/ob.NsPerOp, ratioOf(nb.BytesPerOp, ob.BytesPerOp), ratioOf(nb.AllocsPerOp, ob.AllocsPerOp))
+		}
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "REGRESSION "+r.String())
+		}
+		return fmt.Errorf("%d regressions above %.2fx", len(regs), threshold)
+	}
+	fmt.Printf("no regressions above %.2fx\n", threshold)
+	return nil
+}
+
+func ratioOf(n, o float64) float64 {
+	if o == 0 {
+		if n == 0 {
+			return 1
+		}
+		return 0
+	}
+	return n / o
+}
+
+func main() {
+	var (
+		diff      = flag.Bool("diff", false, "compare two recordings instead of running the suite")
+		threshold = flag.Float64("threshold", 1.30, "diff mode: failure ratio for new/old on any metric")
+		benchRe   = flag.String("bench", "Sequential|Parallel", "record mode: -bench regexp passed to go test")
+		benchtime = flag.String("benchtime", "3x", "record mode: -benchtime passed to go test")
+		pkg       = flag.String("pkg", ".", "record mode: package to benchmark")
+		outPath   = flag.String("o", "BENCH_sim.json", "record mode: output recording path")
+		desc      = flag.String("description", "", "record mode: recording description")
+	)
+	flag.Parse()
+	var err error
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: eflora-bench -diff [-threshold R] old.json new.json")
+			os.Exit(2)
+		}
+		err = runDiff(flag.Arg(0), flag.Arg(1), *threshold)
+	} else {
+		err = runRecord(*benchRe, *benchtime, *pkg, *outPath, *desc)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eflora-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: eflora
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimulatorSequential 	       3	 41319687 ns/op	11579672 B/op	  202082 allocs/op
+BenchmarkSimulatorParallel-4 	       3	 38295278 ns/op	11579672 B/op	  202082 allocs/op
+BenchmarkTimeOnAir 	12345678	        95.31 ns/op
+some unrelated line
+PASS
+ok  	eflora	3.021s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	benches, host, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" || host.GOOS != "linux" || host.GOARCH != "amd64" {
+		t.Errorf("host = %+v", host)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(benches), benches)
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkSimulatorSequential" || b.Iterations != 3 ||
+		b.NsPerOp != 41319687 || b.BytesPerOp != 11579672 || b.AllocsPerOp != 202082 {
+		t.Errorf("benches[0] = %+v", b)
+	}
+	if benches[1].Name != "BenchmarkSimulatorParallel-4" {
+		t.Errorf("benches[1] = %+v", benches[1])
+	}
+	// ns-only line (no -benchmem columns) still parses.
+	if benches[2].NsPerOp != 95.31 || benches[2].BytesPerOp != 0 {
+		t.Errorf("benches[2] = %+v", benches[2])
+	}
+}
+
+func rec(bs ...Benchmark) Recording { return Recording{Benchmarks: bs} }
+
+func TestDiffRecordings(t *testing.T) {
+	old := rec(
+		Benchmark{Name: "A", NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+		Benchmark{Name: "B", NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+		Benchmark{Name: "OnlyOld", NsPerOp: 1},
+	)
+	cur := rec(
+		Benchmark{Name: "A", NsPerOp: 120, BytesPerOp: 500, AllocsPerOp: 10}, // within 1.3x
+		Benchmark{Name: "B", NsPerOp: 150, BytesPerOp: 1000, AllocsPerOp: 20},
+		Benchmark{Name: "OnlyNew", NsPerOp: 1},
+	)
+	regs, unmatched := diffRecordings(old, cur, 1.3)
+	if len(unmatched) != 2 {
+		t.Errorf("unmatched = %v, want [OnlyNew OnlyOld]", unmatched)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want ns and allocs of B", regs)
+	}
+	for _, r := range regs {
+		if r.Name != "B" {
+			t.Errorf("unexpected regression %+v", r)
+		}
+	}
+	if regs[0].Metric != "ns/op" || regs[1].Metric != "allocs/op" {
+		t.Errorf("metrics = %s, %s", regs[0].Metric, regs[1].Metric)
+	}
+}
+
+func TestDiffZeroToNonzero(t *testing.T) {
+	old := rec(Benchmark{Name: "A", NsPerOp: 100, AllocsPerOp: 0})
+	cur := rec(Benchmark{Name: "A", NsPerOp: 100, AllocsPerOp: 5})
+	regs, _ := diffRecordings(old, cur, 10)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Errorf("regs = %+v, want one allocs/op regression", regs)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	in := Recording{
+		Description: "test",
+		Date:        "2026-08-06",
+		Host:        Host{GOOS: "linux", GOARCH: "amd64", CPU: "x", CPUs: 1},
+		Benchmarks: []Benchmark{
+			{Name: "A", Iterations: 3, NsPerOp: 1.5, BytesPerOp: 2, AllocsPerOp: 3},
+			{Name: "B", Iterations: 1, NsPerOp: 10, BytesPerOp: 20, AllocsPerOp: 30},
+		},
+	}
+	var b strings.Builder
+	if err := writeRecording(&b, in); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/rec.json"
+	if err := writeFile(path, b.String()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readRecording(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Description != in.Description || out.Host != in.Host || len(out.Benchmarks) != 2 ||
+		out.Benchmarks[0] != in.Benchmarks[0] || out.Benchmarks[1] != in.Benchmarks[1] {
+		t.Errorf("round-trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// TestParseExistingRecording guards the schema against drift: the checked-in
+// PR-1 recording must stay readable.
+func TestParseExistingRecording(t *testing.T) {
+	recFile, err := readRecording("../../BENCH_parallel.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recFile.Benchmarks) == 0 || recFile.Host.GOOS == "" {
+		t.Errorf("BENCH_parallel.json parsed to %+v", recFile)
+	}
+}

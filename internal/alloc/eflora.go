@@ -186,7 +186,7 @@ func (a *EFLoRa) refine(ev *model.Evaluator, gains [][]float64, order []int, p m
 			rep.Passes++
 			before := cur
 			for _, i := range order {
-				curAlloc := ev.Allocation()
+				curSF, curTP, curCh := ev.Assignment(i)
 				cands = cands[:0]
 				for _, sf := range lora.SFs() {
 					for _, tp := range tpLevels {
@@ -194,7 +194,7 @@ func (a *EFLoRa) refine(ev *model.Evaluator, gains [][]float64, order []int, p m
 							continue
 						}
 						for ch := 0; ch < nch; ch++ {
-							if sf == curAlloc.SF[i] && tp == curAlloc.TPdBm[i] && ch == curAlloc.Channel[i] {
+							if sf == curSF && tp == curTP && ch == curCh {
 								continue
 							}
 							cands = append(cands, candidate{sf: sf, tp: tp, ch: ch})

@@ -85,11 +85,14 @@ func runAblationCapture(cfg Config) (*Result, error) {
 	}
 	values := make(map[string]float64)
 	var rows [][]string
+	sc := scratchPool.Get().(*sim.Scratch)
+	defer scratchPool.Put(sc)
 	for _, capture := range []bool{false, true} {
 		res, err := netw.Simulate(a, sim.Config{
 			PacketsPerDevice: cfg.PacketsPerDevice,
 			Seed:             cfg.Seed + 5,
 			Capture:          capture,
+			Scratch:          sc,
 		})
 		if err != nil {
 			return nil, err

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"eflora/internal/alloc"
 	"eflora/internal/core"
@@ -240,6 +241,12 @@ func runMethodTrials(cfg Config, devices, gateways int, params *model.Params, me
 	return runMethodTrialsR(cfg, devices, gateways, 5000, params, method, opts)
 }
 
+// scratchPool recycles simulator arenas across trials: each in-flight
+// trial checks one out for its Simulate call, so a figure's hundreds of
+// trials share a handful of arenas (one per worker) instead of
+// re-allocating schedules, fading matrices and result slices per trial.
+var scratchPool = sync.Pool{New: func() any { return new(sim.Scratch) }}
+
 func runMethodTrialsR(cfg Config, devices, gateways int, radiusM float64, params *model.Params, method string, opts alloc.Options) (trialStats, error) {
 	ts := trialStats{Method: method}
 	p := cfg.params(params)
@@ -280,10 +287,13 @@ func runMethodTrialsR(cfg Config, devices, gateways int, radiusM float64, params
 			errs[trial] = err
 			return
 		}
+		sc := scratchPool.Get().(*sim.Scratch)
+		defer scratchPool.Put(sc)
 		res, err := netw.Simulate(a, sim.Config{
 			PacketsPerDevice: cfg.PacketsPerDevice,
 			Seed:             seed + 13,
 			Parallelism:      cfg.Parallelism,
+			Scratch:          sc,
 		})
 		if err != nil {
 			errs[trial] = err
@@ -295,7 +305,8 @@ func runMethodTrialsR(cfg Config, devices, gateways int, radiusM float64, params
 			return
 		}
 		outs[trial] = trialOut{
-			ee:   res.EE,
+			// res aliases the pooled scratch; copy what outlives this trial.
+			ee:   append([]float64(nil), res.EE...),
 			min:  stats.Percentile(res.EE, 0.02),
 			mean: stats.Mean(res.EE),
 			jain: stats.JainIndex(res.EE),

@@ -1,0 +1,100 @@
+// Package golden provides bit-exact serialization helpers and the
+// file plumbing for golden-output regression tests: hot-path refactors
+// that change results (not just speed) fail loudly against digests
+// checked into testdata/.
+//
+// Floats are rendered in hexadecimal ('x') format, so two serializations
+// match iff every float is bit-identical — the determinism contract the
+// parallel engine and the scratch-reuse optimizations must preserve.
+package golden
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Float formats a float64 exactly: two values render identically iff
+// their bits are identical (hex mantissa; ±Inf and NaN render as such).
+func Float(x float64) string { return strconv.FormatFloat(x, 'x', -1, 64) }
+
+// Floats renders a slice of float64 exactly, space-separated.
+func Floats(xs []float64) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(Float(x))
+	}
+	return b.String()
+}
+
+// Ints renders a slice of int, space-separated.
+func Ints(xs []int) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+	return b.String()
+}
+
+// Map renders a map[string]float64 deterministically (sorted by key,
+// exact float rendering).
+func Map(m map[string]float64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s\n", k, Float(m[k]))
+	}
+	return b.String()
+}
+
+// Digest returns the hex SHA-256 of the labeled sections, which are
+// hashed with their labels and lengths so section boundaries are
+// unambiguous.
+func Digest(sections ...string) string {
+	h := sha256.New()
+	for _, s := range sections {
+		fmt.Fprintf(h, "%d:", len(s))
+		h.Write([]byte(s))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Check compares got (typically a set of "label digest" lines) against
+// the golden file at path. When update is true it (re)writes the file
+// instead of comparing; tests pass an -update flag through to here.
+func Check(t *testing.T, path, got string, update bool) {
+	t.Helper()
+	if update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden: wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden: %v (run `go test -run %s -update ./...` to create it)", err, t.Name())
+	}
+	if string(want) != got {
+		t.Errorf("golden mismatch against %s:\n--- want ---\n%s--- got ---\n%s", path, want, got)
+	}
+}

@@ -31,6 +31,15 @@ func NewPoissonBinomial(capN int) *PoissonBinomial {
 	return &PoissonBinomial{cap: capN, pm: pm}
 }
 
+// Reset returns the distribution to the empty state (P{N=0} = 1),
+// reusing its storage.
+func (pb *PoissonBinomial) Reset() {
+	clear(pb.pm)
+	pb.pm[0] = 1
+	pb.tail = 0
+	pb.n = 0
+}
+
 // Clone returns an independent copy.
 func (pb *PoissonBinomial) Clone() *PoissonBinomial {
 	cp := &PoissonBinomial{cap: pb.cap, pm: make([]float64, pb.cap), tail: pb.tail, n: pb.n}

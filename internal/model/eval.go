@@ -133,6 +133,13 @@ func NewEvaluator(net *Network, p Params, alloc Allocation, mode Mode) (*Evaluat
 	e.es = make([]float64, e.n)
 	e.vis = make([][]float64, e.n)
 	e.q = make([][]float64, e.n)
+	// One backing array for all vis/q rows: per-row make calls were half
+	// the allocator's per-evaluator allocation count.
+	visq := make([]float64, 2*e.n*e.g)
+	for i := 0; i < e.n; i++ {
+		e.vis[i] = visq[2*i*e.g : (2*i+1)*e.g : (2*i+1)*e.g]
+		e.q[i] = visq[(2*i+1)*e.g : (2*i+2)*e.g : (2*i+2)*e.g]
+	}
 	e.ee = make([]float64, e.n)
 	copy(e.sf, alloc.SF)
 	copy(e.tpDBm, alloc.TPdBm)
@@ -163,8 +170,6 @@ func NewEvaluator(net *Network, p Params, alloc Allocation, mode Mode) (*Evaluat
 		interval := p.IntervalFor(net, i, e.sf[i])
 		e.alpha[i] = math.Min(1, toa/interval)
 		e.es[i] = p.Profile.TransmissionEnergy(e.tpDBm[i], toa)
-		e.vis[i] = make([]float64, e.g)
-		e.q[i] = make([]float64, e.g)
 		gr := e.groupOf(e.sf[i], e.ch[i])
 		gr.count++
 		gr.members[i] = struct{}{}
@@ -181,20 +186,6 @@ func NewEvaluator(net *Network, p Params, alloc Allocation, mode Mode) (*Evaluat
 	e.rebuildCapacity()
 	e.RecomputeAll()
 	return e, nil
-}
-
-// Gains precomputes the [device][gateway] linear path attenuation matrix.
-func Gains(net *Network, p Params) [][]float64 {
-	gains := make([][]float64, net.N())
-	for i, d := range net.Devices {
-		env := p.Environments[net.EnvOf(i)]
-		row := make([]float64, net.G())
-		for k, gw := range net.Gateways {
-			row[k] = env.Gain(d.Dist(gw))
-		}
-		gains[i] = row
-	}
-	return gains
 }
 
 // deviceDensity estimates devices per square meter from the deployment's
@@ -236,9 +227,15 @@ func (e *Evaluator) visibility(i, k int, s lora.SF, tpmw float64) float64 {
 // distribution from scratch, clearing any numerical drift from incremental
 // removals.
 func (e *Evaluator) rebuildCapacity() {
-	e.capDP = make([]*mathx.PoissonBinomial, e.g)
-	for k := 0; k < e.g; k++ {
-		e.capDP[k] = mathx.NewPoissonBinomial(e.p.GatewayCapacity)
+	if e.capDP == nil {
+		e.capDP = make([]*mathx.PoissonBinomial, e.g)
+		for k := 0; k < e.g; k++ {
+			e.capDP[k] = mathx.NewPoissonBinomial(e.p.GatewayCapacity)
+		}
+	} else {
+		for _, dp := range e.capDP {
+			dp.Reset()
+		}
 	}
 	for i := 0; i < e.n; i++ {
 		for k := 0; k < e.g; k++ {
@@ -393,6 +390,13 @@ func (e *Evaluator) MinEE() (float64, int) {
 		}
 	}
 	return min, idx
+}
+
+// Assignment returns device i's committed (SF, TP dBm, channel) without
+// snapshotting the whole allocation — the greedy's inner loop only needs
+// the device it is about to re-optimize.
+func (e *Evaluator) Assignment(i int) (lora.SF, float64, int) {
+	return e.sf[i], e.tpDBm[i], e.ch[i]
 }
 
 // Allocation returns a snapshot of the committed allocation.

@@ -38,7 +38,17 @@ func MinFeasibleTP(gains [][]float64, i int, s lora.SF, plan lora.Plan) (float64
 		return plan.MaxTxPowerDBm, false
 	}
 	need := lora.SensitivityDBm(s) - lora.LinearToDB(g)
-	for _, tp := range plan.TxPowerLevels() {
+	// Walk the plan's power ladder with the same accumulation
+	// TxPowerLevels uses, so the returned level is bit-identical to a
+	// scan of that slice without materializing it (this sits on the
+	// per-device path of every baseline allocator).
+	if plan.TxPowerStepDBm <= 0 {
+		if plan.MaxTxPowerDBm >= need {
+			return plan.MaxTxPowerDBm, true
+		}
+		return plan.MaxTxPowerDBm, false
+	}
+	for tp := plan.MinTxPowerDBm; tp <= plan.MaxTxPowerDBm+1e-9; tp += plan.TxPowerStepDBm {
 		if tp >= need {
 			return tp, true
 		}

@@ -9,100 +9,99 @@ import (
 	"eflora/internal/rng"
 )
 
-// TestEvaluatorFuzzConsistency drives the incremental evaluator through
-// long random SetDevice sequences across several random topologies and
-// parameter variants, checking after each burst that every cached metric
-// matches a freshly constructed evaluator bit-for-bit (after the
-// RecomputeAll flush). This is the strongest guard on the incremental
-// group/exposure/capacity bookkeeping the allocator relies on.
-func TestEvaluatorFuzzConsistency(t *testing.T) {
-	r := rng.New(20260706)
-	variants := []func(*Params){
-		func(p *Params) {},
-		func(p *Params) { p.TrafficDutyCycle = 0.05 },
-		func(p *Params) { p.InterSFRejectionDB = 16 },
-		func(p *Params) { p.Objective = ObjectiveThroughput },
-		func(p *Params) { p.GatewayCapacity = 2 },
+// fuzzEvalScenario derives a bounded random deployment, parameter variant
+// and allocation from (seed, knobs) for the evaluator fuzz targets.
+func fuzzEvalScenario(seed, knobs uint64) (*Network, Params, Allocation) {
+	r := rng.New(seed)
+	p := DefaultParams()
+	switch knobs % 5 {
+	case 1:
+		p.TrafficDutyCycle = 0.05
+	case 2:
+		p.InterSFRejectionDB = 16
+	case 3:
+		p.Objective = ObjectiveThroughput
+	case 4:
+		p.GatewayCapacity = 2
 	}
-	for vi, variant := range variants {
-		p := DefaultParams()
-		variant(&p)
-		net := &Network{
-			Devices:  geo.UniformDisc(40+r.Intn(40), 3500, r),
-			Gateways: geo.GridGateways(1+r.Intn(3), 3500),
-		}
-		a := NewAllocation(net.N(), p.Plan)
-		tpLevels := p.Plan.TxPowerLevels()
-		for i := range a.SF {
-			a.SF[i] = lora.SF7 + lora.SF(r.Intn(6))
-			a.TPdBm[i] = tpLevels[r.Intn(len(tpLevels))]
-			a.Channel[i] = r.Intn(p.Plan.NumChannels())
-		}
-		ev, err := NewEvaluator(net, p, a, ModeExact)
-		if err != nil {
-			t.Fatalf("variant %d: %v", vi, err)
-		}
-		for burst := 0; burst < 4; burst++ {
-			for op := 0; op < 60; op++ {
-				i := r.Intn(net.N())
-				sf := lora.SF7 + lora.SF(r.Intn(6))
-				tp := tpLevels[r.Intn(len(tpLevels))]
-				ch := r.Intn(p.Plan.NumChannels())
-				// Interleave trials (must not mutate) with commits.
-				if op%3 == 0 {
-					before, _ := ev.MinEE()
-					_ = ev.MinEEIf(i, sf, tp, ch)
-					after, _ := ev.MinEE()
-					if before != after {
-						t.Fatalf("variant %d: MinEEIf mutated state (%v -> %v)", vi, before, after)
-					}
-					continue
-				}
-				if err := ev.SetDevice(i, sf, tp, ch); err != nil {
-					t.Fatalf("variant %d: SetDevice: %v", vi, err)
-				}
-			}
-			ev.RecomputeAll()
-			fresh, err := NewEvaluator(net, p, ev.Allocation(), ModeExact)
-			if err != nil {
-				t.Fatalf("variant %d: fresh: %v", vi, err)
-			}
-			got, want := ev.EEAll(), fresh.EEAll()
-			for i := range got {
-				if math.Abs(got[i]-want[i]) > 1e-9*math.Max(1e-12, math.Abs(want[i])) {
-					t.Fatalf("variant %d burst %d: EE[%d] incremental %v vs fresh %v",
-						vi, burst, i, got[i], want[i])
-				}
-			}
-			gm, gi := ev.MinEE()
-			fm, fi := fresh.MinEE()
-			if math.Abs(gm-fm) > 1e-9*math.Max(1e-12, math.Abs(fm)) || gi != fi {
-				t.Fatalf("variant %d: MinEE (%v, %d) vs fresh (%v, %d)", vi, gm, gi, fm, fi)
-			}
-		}
+	net := &Network{
+		Devices:  geo.UniformDisc(40+r.Intn(40), 3500, r),
+		Gateways: geo.GridGateways(1+r.Intn(3), 3500),
 	}
+	a := NewAllocation(net.N(), p.Plan)
+	tpLevels := p.Plan.TxPowerLevels()
+	for i := range a.SF {
+		a.SF[i] = lora.SF7 + lora.SF(r.Intn(6))
+		a.TPdBm[i] = tpLevels[r.Intn(len(tpLevels))]
+		a.Channel[i] = r.Intn(p.Plan.NumChannels())
+	}
+	return net, p, a
 }
 
-// TestEvaluatorFuzzEEInvariants checks physical invariants hold across
-// random configurations: EE and PRR are finite, non-negative and PRR <= 1.
-func TestEvaluatorFuzzEEInvariants(t *testing.T) {
-	r := rng.New(424242)
-	for trial := 0; trial < 10; trial++ {
-		p := DefaultParams()
-		if trial%2 == 1 {
-			p.TrafficDutyCycle = 0.01 * float64(1+r.Intn(10))
-		}
-		net := &Network{
-			Devices:  geo.UniformDisc(30+r.Intn(60), 1000+4000*r.Float64(), r),
-			Gateways: geo.GridGateways(1+r.Intn(5), 4000),
-		}
-		a := NewAllocation(net.N(), p.Plan)
+// FuzzEvaluatorConsistency drives the incremental evaluator through a
+// random SetDevice burst, then checks every cached metric against a
+// freshly constructed evaluator (after the RecomputeAll flush). This is
+// the strongest guard on the incremental group/exposure/capacity
+// bookkeeping the allocator relies on.
+func FuzzEvaluatorConsistency(f *testing.F) {
+	for v := uint64(0); v < 5; v++ {
+		f.Add(uint64(20260706)+v, v)
+	}
+	f.Fuzz(func(t *testing.T, seed, knobs uint64) {
+		net, p, a := fuzzEvalScenario(seed, knobs)
+		r := rng.New(seed ^ 0xa0761d6478bd642f)
 		tpLevels := p.Plan.TxPowerLevels()
-		for i := range a.SF {
-			a.SF[i] = lora.SF7 + lora.SF(r.Intn(6))
-			a.TPdBm[i] = tpLevels[r.Intn(len(tpLevels))]
-			a.Channel[i] = r.Intn(p.Plan.NumChannels())
+		ev, err := NewEvaluator(net, p, a, ModeExact)
+		if err != nil {
+			t.Fatal(err)
 		}
+		for op := 0; op < 60; op++ {
+			i := r.Intn(net.N())
+			sf := lora.SF7 + lora.SF(r.Intn(6))
+			tp := tpLevels[r.Intn(len(tpLevels))]
+			ch := r.Intn(p.Plan.NumChannels())
+			// Interleave trials (must not mutate) with commits.
+			if op%3 == 0 {
+				before, _ := ev.MinEE()
+				_ = ev.MinEEIf(i, sf, tp, ch)
+				after, _ := ev.MinEE()
+				if before != after {
+					t.Fatalf("MinEEIf mutated state (%v -> %v)", before, after)
+				}
+				continue
+			}
+			if err := ev.SetDevice(i, sf, tp, ch); err != nil {
+				t.Fatalf("SetDevice: %v", err)
+			}
+		}
+		ev.RecomputeAll()
+		fresh, err := NewEvaluator(net, p, ev.Allocation(), ModeExact)
+		if err != nil {
+			t.Fatalf("fresh: %v", err)
+		}
+		got, want := ev.EEAll(), fresh.EEAll()
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9*math.Max(1e-12, math.Abs(want[i])) {
+				t.Fatalf("EE[%d] incremental %v vs fresh %v", i, got[i], want[i])
+			}
+		}
+		gm, gi := ev.MinEE()
+		fm, fi := fresh.MinEE()
+		if math.Abs(gm-fm) > 1e-9*math.Max(1e-12, math.Abs(fm)) || gi != fi {
+			t.Fatalf("MinEE (%v, %d) vs fresh (%v, %d)", gm, gi, fm, fi)
+		}
+	})
+}
+
+// FuzzEvaluatorInvariants checks physical invariants across fuzz-chosen
+// configurations and both interference modes: EE and PRR are finite,
+// non-negative and PRR <= 1.
+func FuzzEvaluatorInvariants(f *testing.F) {
+	for trial := uint64(0); trial < 10; trial++ {
+		f.Add(uint64(424242)+trial, trial)
+	}
+	f.Fuzz(func(t *testing.T, seed, knobs uint64) {
+		net, p, a := fuzzEvalScenario(seed, knobs)
 		for _, mode := range []Mode{ModeExact, ModePPP} {
 			ev, err := NewEvaluator(net, p, a, mode)
 			if err != nil {
@@ -112,12 +111,12 @@ func TestEvaluatorFuzzEEInvariants(t *testing.T) {
 				ee := ev.EE(i)
 				prr := ev.PRR(i)
 				if math.IsNaN(ee) || math.IsInf(ee, 0) || ee < 0 {
-					t.Fatalf("trial %d mode %d: EE[%d] = %v", trial, mode, i, ee)
+					t.Fatalf("mode %d: EE[%d] = %v", mode, i, ee)
 				}
 				if prr < -1e-9 || prr > 1+1e-9 {
-					t.Fatalf("trial %d mode %d: PRR[%d] = %v", trial, mode, i, prr)
+					t.Fatalf("mode %d: PRR[%d] = %v", mode, i, prr)
 				}
 			}
 		}
-	}
+	})
 }

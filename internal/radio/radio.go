@@ -34,9 +34,12 @@ type Profile struct {
 	// SleepCurrent is drawn for the remainder of the reporting period.
 	SleepCurrent float64
 
-	// txCurrentByDBm maps transmission power (dBm) to TX supply current
-	// (A). Interpolated linearly between entries.
-	txCurrentByDBm map[float64]float64
+	// txDBm and txAmp are the TX supply-current interpolation table:
+	// txAmp[i] amperes at txDBm[i] dBm, with txDBm sorted ascending.
+	// TxCurrent interpolates linearly between entries. Kept as parallel
+	// sorted slices so lookups are allocation-free — TxCurrent sits on
+	// the allocator's candidate-evaluation hot path.
+	txDBm, txAmp []float64
 }
 
 // DefaultProfile returns the SX1272/SX1276-class profile used throughout
@@ -55,19 +58,9 @@ func DefaultProfile() Profile {
 		PostProcDuration: 28.0e-3,
 		PostProcCurrent:  14.2e-3,
 		SleepCurrent:     45e-6,
-		txCurrentByDBm: map[float64]float64{
-			// SX1272/76 datasheet TX supply currents (RFO/PA_BOOST path).
-			2:  24e-3,
-			4:  26e-3,
-			6:  28e-3,
-			8:  31e-3,
-			10: 35e-3,
-			12: 39e-3,
-			14: 44e-3,
-			16: 58e-3,
-			18: 75e-3,
-			20: 125e-3,
-		},
+		// SX1272/76 datasheet TX supply currents (RFO/PA_BOOST path).
+		txDBm: []float64{2, 4, 6, 8, 10, 12, 14, 16, 18, 20},
+		txAmp: []float64{24e-3, 26e-3, 28e-3, 31e-3, 35e-3, 39e-3, 44e-3, 58e-3, 75e-3, 125e-3},
 	}
 }
 
@@ -75,27 +68,23 @@ func DefaultProfile() Profile {
 // tpDBm, interpolating linearly between table entries and clamping outside
 // the table's range.
 func (p Profile) TxCurrent(tpDBm float64) float64 {
-	if len(p.txCurrentByDBm) == 0 {
+	if len(p.txDBm) == 0 {
 		return 0
 	}
-	keys := make([]float64, 0, len(p.txCurrentByDBm))
-	for k := range p.txCurrentByDBm {
-		keys = append(keys, k)
+	last := len(p.txDBm) - 1
+	if tpDBm <= p.txDBm[0] {
+		return p.txAmp[0]
 	}
-	sort.Float64s(keys)
-	if tpDBm <= keys[0] {
-		return p.txCurrentByDBm[keys[0]]
+	if tpDBm >= p.txDBm[last] {
+		return p.txAmp[last]
 	}
-	if tpDBm >= keys[len(keys)-1] {
-		return p.txCurrentByDBm[keys[len(keys)-1]]
+	i := sort.SearchFloat64s(p.txDBm, tpDBm)
+	if p.txDBm[i] == tpDBm {
+		return p.txAmp[i]
 	}
-	i := sort.SearchFloat64s(keys, tpDBm)
-	if keys[i] == tpDBm {
-		return p.txCurrentByDBm[tpDBm]
-	}
-	lo, hi := keys[i-1], keys[i]
+	lo, hi := p.txDBm[i-1], p.txDBm[i]
 	frac := (tpDBm - lo) / (hi - lo)
-	return p.txCurrentByDBm[lo] + frac*(p.txCurrentByDBm[hi]-p.txCurrentByDBm[lo])
+	return p.txAmp[i-1] + frac*(p.txAmp[i]-p.txAmp[i-1])
 }
 
 // TxPowerDraw returns the electrical power in watts drawn while

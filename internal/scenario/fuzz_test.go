@@ -1,0 +1,44 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioDelta feeds arbitrary bytes to the JSON-lines delta reader.
+// Malformed input may be rejected but must not panic; streams that parse
+// must round-trip losslessly through AppendDelta and a second read.
+func FuzzScenarioDelta(f *testing.F) {
+	f.Add([]byte(`{"version":1,"atS":12.5,"comment":"drift","changes":[{"device":3,"sf":9,"tpDBm":8,"channel":2}]}` + "\n"))
+	f.Add([]byte(`{"version":1,"changes":[]}` + "\n\n" + `{"version":1,"changes":[{"device":0,"sf":7,"tpDBm":2,"channel":0}]}` + "\n"))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"version":`))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := ReadDeltas(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		for i := range ds {
+			if err := AppendDelta(&buf, &ds[i]); err != nil {
+				t.Fatalf("append parsed delta %d: %v", i, err)
+			}
+		}
+		ds2, err := ReadDeltas(&buf)
+		if err != nil {
+			t.Fatalf("re-read appended deltas: %v", err)
+		}
+		if len(ds) == 0 {
+			if len(ds2) != 0 {
+				t.Fatalf("empty stream round-tripped to %d deltas", len(ds2))
+			}
+			return
+		}
+		if !reflect.DeepEqual(ds, ds2) {
+			t.Fatalf("round trip changed deltas:\n was %+v\n now %+v", ds, ds2)
+		}
+	})
+}

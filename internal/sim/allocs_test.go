@@ -1,0 +1,32 @@
+package sim
+
+import "testing"
+
+// TestRunAllocBudget pins the steady-state allocation count of a Run that
+// reuses a Scratch. The budget is deliberately a little above the measured
+// value (a handful of allocations from the parallel fan-out's goroutine
+// bookkeeping) but two orders of magnitude below the unpooled cost, so any
+// hot-path regression — a buffer that stopped being reused, a slice that
+// escapes again — trips it immediately.
+func TestRunAllocBudget(t *testing.T) {
+	net, p, a := goldenNetwork(120, 4)
+	sc := new(Scratch)
+	for name, cfg := range map[string]Config{
+		"sequential": {PacketsPerDevice: 12, Seed: 7, Parallelism: 1, Scratch: sc},
+		"parallel":   {PacketsPerDevice: 12, Seed: 7, Parallelism: 0, Scratch: sc},
+	} {
+		// Warm the scratch to its high-water mark first.
+		if _, err := Run(net, p, a, cfg); err != nil {
+			t.Fatal(err)
+		}
+		got := testing.AllocsPerRun(10, func() {
+			if _, err := Run(net, p, a, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+		const budget = 24
+		if got > budget {
+			t.Errorf("%s: Run with Scratch allocates %v per run, budget %d", name, got, budget)
+		}
+	}
+}

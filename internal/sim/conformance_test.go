@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"eflora/internal/geo"
+	"eflora/internal/lora"
+	"eflora/internal/model"
+	"eflora/internal/rng"
+	"eflora/internal/stats"
+)
+
+// TestModelSimConformance cross-validates the two implementations of the
+// paper's physics: for every device, the analytical PRR of
+// model.Evaluator (Eq. 10-13) must sit inside a confidence band around
+// the packet simulator's empirical PRR estimated over many independent
+// seeds. The band is the multi-seed CI half-width (z·σ̂/√seeds from
+// stats.Summarize) plus a fixed modeling slack for the terms where the
+// analysis is deliberately approximate (the shared-collision weighting,
+// the capacity factor's independence assumption). A bug in either
+// implementation — a wrong fading exponent, a dropped capacity term, a
+// mis-counted collision window — moves one side and trips the bound.
+func TestModelSimConformance(t *testing.T) {
+	const (
+		devices = 60
+		gw      = 2
+		seeds   = 16
+		packets = 25
+		// z99 is the two-sided 99% normal quantile for the per-device CI.
+		z99 = 2.58
+		// modelSlack absorbs the analytical approximations; calibrated on
+		// the scenario below where the worst per-device gap sits near 0.05
+		// (see the log line). Doubling it would let real physics bugs hide;
+		// halving it flakes on honest Monte-Carlo noise.
+		modelSlack = 0.08
+	)
+	r := rng.New(4242)
+	net := &model.Network{
+		Devices:  geo.UniformDisc(devices, 4000, r),
+		Gateways: geo.GridGateways(gw, 4000),
+	}
+	p := model.DefaultParams()
+	gains := model.Gains(net, p)
+	a := model.NewAllocation(devices, p.Plan)
+	tpLevels := p.Plan.TxPowerLevels()
+	for i := 0; i < devices; i++ {
+		sf, ok := model.MinFeasibleSF(gains, i, p.Plan.MaxTxPowerDBm)
+		if !ok {
+			sf = lora.MaxSF
+		}
+		a.SF[i] = sf
+		a.TPdBm[i] = tpLevels[2+i%(len(tpLevels)-2)]
+		a.Channel[i] = i % p.Plan.NumChannels()
+	}
+
+	ev, err := model.NewEvaluator(net, p, a, model.ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// perSeed[i] collects device i's empirical PRR from each seed.
+	perSeed := make([][]float64, devices)
+	for i := range perSeed {
+		perSeed[i] = make([]float64, 0, seeds)
+	}
+	sc := new(Scratch)
+	for s := 0; s < seeds; s++ {
+		res, err := Run(net, p, a, Config{
+			PacketsPerDevice: packets,
+			Seed:             1000 + uint64(s)*7919,
+			Scratch:          sc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < devices; i++ {
+			perSeed[i] = append(perSeed[i], res.PRR[i])
+		}
+	}
+
+	var worst, worstCI float64
+	worstDev := -1
+	var devSum float64
+	for i := 0; i < devices; i++ {
+		sum := stats.Summarize(perSeed[i])
+		ci := z99 * sum.Std / math.Sqrt(seeds)
+		gap := math.Abs(ev.PRR(i) - sum.Mean)
+		devSum += gap
+		if gap > worst {
+			worst, worstCI, worstDev = gap, ci, i
+		}
+		if gap > modelSlack+ci {
+			t.Errorf("device %d (SF%d ch%d): model PRR %.4f vs sim %.4f ± %.4f (gap %.4f, slack %.2f)",
+				i, a.SF[i], a.Channel[i], ev.PRR(i), sum.Mean, ci, gap, modelSlack)
+		}
+	}
+	t.Logf("worst per-device gap %.4f (device %d, CI ±%.4f); mean gap %.4f",
+		worst, worstDev, worstCI, devSum/devices)
+
+	// The network-mean PRR averages out per-device modeling error, so it
+	// must agree much tighter than any single device.
+	var modelMean float64
+	simAll := make([]float64, 0, devices*seeds)
+	for i := 0; i < devices; i++ {
+		modelMean += ev.PRR(i)
+		simAll = append(simAll, perSeed[i]...)
+	}
+	modelMean /= devices
+	simMean := stats.Mean(simAll)
+	if gap := math.Abs(modelMean - simMean); gap > 0.02 {
+		t.Errorf("network-mean PRR: model %.4f vs sim %.4f (gap %.4f > 0.02)", modelMean, simMean, gap)
+	}
+}

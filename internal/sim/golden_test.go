@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+
+	"eflora/internal/geo"
+	"eflora/internal/golden"
+	"eflora/internal/lora"
+	"eflora/internal/model"
+	"eflora/internal/rng"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenNetwork builds the fixed topology and allocation the golden
+// digests are pinned to.
+func goldenNetwork(n, g int) (*model.Network, model.Params, model.Allocation) {
+	r := rng.New(42)
+	net := &model.Network{
+		Devices:  geo.UniformDisc(n, 4000, r),
+		Gateways: geo.GridGateways(g, 4000),
+	}
+	p := model.DefaultParams()
+	// Duty-cycle traffic on two channels puts the run deep into the
+	// collision-limited regime, so the golden digests exercise the
+	// collision scan, the capture rule and the demodulator-capacity path.
+	p.TrafficDutyCycle = 0.05
+	gains := model.Gains(net, p)
+	a := model.NewAllocation(n, p.Plan)
+	tpLevels := p.Plan.TxPowerLevels()
+	for i := 0; i < n; i++ {
+		sf, ok := model.MinFeasibleSF(gains, i, p.Plan.MaxTxPowerDBm)
+		if !ok {
+			sf = lora.MaxSF
+		}
+		a.SF[i] = sf
+		a.TPdBm[i] = tpLevels[i%len(tpLevels)]
+		a.Channel[i] = i % 2
+	}
+	return net, p, a
+}
+
+// resultDigest serializes every field of a Result exactly (bit-level for
+// floats) and hashes it.
+func resultDigest(res *Result) string {
+	trace := make([]string, len(res.Trace))
+	for i, pr := range res.Trace {
+		trace[i] = fmt.Sprintf("%d,%s,%d,%d", pr.Device, golden.Float(pr.StartS), pr.Outcome, pr.Gateway)
+	}
+	return golden.Digest(
+		golden.Ints(res.Attempts),
+		golden.Ints(res.Delivered),
+		golden.Floats(res.PRR),
+		golden.Floats(res.TxEnergyJ),
+		golden.Floats(res.TotalEnergyJ),
+		golden.Floats(res.EE),
+		golden.Floats(res.AvgPowerW),
+		golden.Floats(res.RetxAvgPowerW),
+		golden.Float(res.SimTimeS),
+		fmt.Sprintf("%d %d %d", res.CollisionLosses, res.CapacityDrops, res.SensitivityMisses),
+		strings.Join(trace, "\n"),
+		golden.Floats(res.MaxSNRdB),
+	)
+}
+
+// TestGoldenDeterminism pins the simulator's full output — every
+// per-device statistic, counter and trace record — to digests checked
+// into testdata/. It proves two properties at once: results are
+// bit-identical at Parallelism 1 and 0 (all CPUs), and hot-path
+// refactors cannot change outputs without failing this test.
+func TestGoldenDeterminism(t *testing.T) {
+	net, p, a := goldenNetwork(120, 4)
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"base", Config{PacketsPerDevice: 12, Seed: 7, Trace: true, MeasureSNR: true}},
+		{"capture", Config{PacketsPerDevice: 12, Seed: 7, Capture: true, Trace: true, MeasureSNR: true}},
+	}
+	var out strings.Builder
+	for _, v := range variants {
+		var digests []string
+		for _, par := range []int{1, 0} {
+			cfg := v.cfg
+			cfg.Parallelism = par
+			res, err := Run(net, p, a, cfg)
+			if err != nil {
+				t.Fatalf("%s parallelism=%d: %v", v.name, par, err)
+			}
+			digests = append(digests, resultDigest(res))
+		}
+		if digests[0] != digests[1] {
+			t.Errorf("%s: Parallelism=1 digest %s != Parallelism=0 digest %s",
+				v.name, digests[0], digests[1])
+		}
+		fmt.Fprintf(&out, "%s %s\n", v.name, digests[0])
+	}
+	golden.Check(t, "testdata/golden_determinism.txt", out.String(), *update)
+}
+
+// TestGoldenDeterminismConfirmed pins the confirmed-traffic engine the
+// same way (it is sequential, so only one digest per variant).
+func TestGoldenDeterminismConfirmed(t *testing.T) {
+	net, p, a := goldenNetwork(60, 2)
+	res, err := RunConfirmed(net, p, a, ConfirmedConfig{
+		Config:         Config{PacketsPerDevice: 8, Seed: 11},
+		MaxAttempts:    4,
+		HalfDuplexAcks: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := golden.Digest(
+		resultDigest(&res.Result),
+		golden.Ints(res.Generated),
+		fmt.Sprintf("%d %d %d", res.Retransmissions, res.Abandoned, res.AckBlocked),
+	)
+	golden.Check(t, "testdata/golden_confirmed.txt", "confirmed "+d+"\n", *update)
+}

@@ -1,0 +1,58 @@
+package sim
+
+// Scratch holds every buffer a Run invocation needs, so repeated runs —
+// the repeated packet-level trials behind each figure — reuse one arena
+// instead of re-allocating the schedule, the fading matrix, the
+// per-gateway replay buffers and the Result slices each time. A zero
+// Scratch is ready to use; buffers grow to the high-water mark of the
+// runs they serve and stay there.
+//
+// Ownership contract: the *Result returned by a Run with a Scratch
+// aliases the scratch's buffers. It is valid until the next Run with the
+// same scratch; callers that keep per-device slices across runs must
+// copy them first. A Scratch serves one Run at a time (gateway replay
+// inside that run still fans out across cores); concurrent trials need
+// one Scratch each, e.g. from a sync.Pool.
+type Scratch struct {
+	// Per-device schedule-building buffers.
+	toa, tpMW, interval []float64
+	packets             []int
+
+	// The shared transmission schedule and the flattened
+	// per-transmission×gateway fading matrix (row t, column k at
+	// fading[t*g+k]).
+	txs    []transmission
+	fading []float64
+
+	// Per-gateway replay state, one slot per gateway; each slot's
+	// buffers are owned by that gateway's goroutine during the fan-out.
+	replays []gwReplay
+
+	// Network-server merge buffers.
+	delivered []bool
+	outcome   []Outcome
+	outGw     []int
+
+	// Backing arrays for the optional Result fields, kept here because
+	// Run nils the Result fields out when the options are off.
+	trace  []PacketRecord
+	maxSNR []float64
+
+	res Result
+}
+
+// grow returns buf resized to n, reallocating only when capacity is
+// insufficient. Contents are unspecified; callers overwrite or clear.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// growZero returns buf resized to n with every element zeroed.
+func growZero[T any](buf []T, n int) []T {
+	buf = grow(buf, n)
+	clear(buf)
+	return buf
+}

@@ -58,6 +58,12 @@ type Config struct {
 	// Results are bit-identical at any value; it only trades wall-clock
 	// time for cores.
 	Parallelism int
+	// Scratch, when non-nil, supplies the reusable buffer arena for this
+	// run, making repeated runs (the trials behind every figure)
+	// allocation-free. See Scratch for the aliasing contract. nil keeps
+	// the old behaviour: every run allocates fresh buffers, and the
+	// returned Result is independently owned.
+	Scratch *Scratch
 }
 
 // MaxTransmissions caps the expected transmission count of the
@@ -127,12 +133,21 @@ type transmission struct {
 	tpMW       float64
 }
 
-// rxState tracks one transmission's fate at one gateway.
-type rxState struct {
-	tx       *transmission
-	rxMW     float64
-	locked   bool
-	collided bool
+// sfTables caches one run's per-SF receiver thresholds in linear units,
+// indexed by sf - lora.SF7, so the per-reception hot loop does no dB
+// conversions.
+type sfTables struct {
+	ssMW  [6]float64 // sensitivity in mW
+	thLin [6]float64 // linear SNR threshold
+}
+
+func newSFTables() sfTables {
+	var t sfTables
+	for _, s := range lora.SFs() {
+		t.ssMW[s-lora.SF7] = lora.DBmToMilliwatts(lora.SensitivityDBm(s))
+		t.thLin[s-lora.SF7] = lora.DBToLinear(lora.SNRThresholdDB(s))
+	}
+	return t
 }
 
 // Run simulates the network under the given allocation and returns
@@ -150,20 +165,26 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 	cfg = cfg.withDefaults()
 	n, g := net.N(), net.G()
 	r := rng.New(cfg.Seed)
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = new(Scratch)
+	}
 
 	gains := model.Gains(net, p)
 	noiseMW := lora.DBmToMilliwatts(p.NoiseDBm)
 	captureLin := lora.DBToLinear(*cfg.CaptureThresholdDB)
+	sfTab := newSFTables()
 
 	// Build the transmission schedule: periodic with random phase. The
 	// simulated horizon is PacketsPerDevice periods of the slowest
 	// device, so every device gets at least PacketsPerDevice packets and
 	// devices with shorter reporting intervals (duty-cycle traffic)
 	// correctly send proportionally more.
-	toa := make([]float64, n)
-	tpMW := make([]float64, n)
-	interval := make([]float64, n)
-	packets := make([]int, n)
+	toa := grow(sc.toa, n)
+	tpMW := grow(sc.tpMW, n)
+	interval := grow(sc.interval, n)
+	packets := grow(sc.packets, n)
+	sc.toa, sc.tpMW, sc.interval, sc.packets = toa, tpMW, interval, packets
 	simEnd := 0.0
 	for i := 0; i < n; i++ {
 		toa[i] = p.TimeOnAir(a.SF[i])
@@ -173,18 +194,22 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 			simEnd = t
 		}
 	}
+	total := 0
 	for i := 0; i < n; i++ {
 		packets[i] = int(simEnd / interval[i])
 		if packets[i] < cfg.PacketsPerDevice {
 			packets[i] = cfg.PacketsPerDevice
 		}
+		total += packets[i]
 	}
 	// Each device sends one packet per reporting period at a uniformly
 	// random instant within the period (the paper's unslotted ALOHA with
 	// per-cycle Poisson send times) — a fixed per-device phase would lock
 	// pairs of same-group devices into colliding either every cycle or
 	// never.
-	var txs []transmission
+	txs := grow(sc.txs, total)
+	sc.txs = txs
+	ti := 0
 	for i := 0; i < n; i++ {
 		// Jitter within [0, interval-ToA] so a device never overlaps its
 		// own next packet (a real device queues, it does not double-send).
@@ -194,14 +219,15 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 		}
 		for m := 0; m < packets[i]; m++ {
 			start := float64(m)*interval[i] + r.Float64()*slack
-			txs = append(txs, transmission{
+			txs[ti] = transmission{
 				dev:   i,
 				start: start,
 				end:   start + toa[i],
 				sf:    a.SF[i],
 				ch:    a.Channel[i],
 				tpMW:  tpMW[i],
-			})
+			}
+			ti++
 		}
 	}
 	sort.Slice(txs, func(x, y int) bool {
@@ -212,32 +238,33 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 	})
 
 	// Pre-draw Rayleigh fading per transmission and gateway so gateway
-	// processing order cannot change the random stream.
-	fading := make([][]float64, len(txs))
-	for t := range fading {
-		row := make([]float64, g)
-		for k := range row {
-			row[k] = r.RayleighPowerGain()
-		}
-		fading[t] = row
+	// processing order cannot change the random stream. The matrix is
+	// flattened row-major (transmission t, gateway k at t*g+k).
+	fading := grow(sc.fading, total*g)
+	sc.fading = fading
+	for f := range fading {
+		fading[f] = r.RayleighPowerGain()
 	}
 
-	res := &Result{
-		Attempts:      make([]int, n),
-		Delivered:     make([]int, n),
-		PRR:           make([]float64, n),
-		TxEnergyJ:     make([]float64, n),
-		TotalEnergyJ:  make([]float64, n),
-		EE:            make([]float64, n),
-		AvgPowerW:     make([]float64, n),
-		RetxAvgPowerW: make([]float64, n),
-		SimTimeS:      simEnd,
-	}
+	res := &sc.res
+	res.Attempts = grow(res.Attempts, n)
+	res.Delivered = growZero(res.Delivered, n)
+	res.PRR = grow(res.PRR, n)
+	res.TxEnergyJ = grow(res.TxEnergyJ, n)
+	res.TotalEnergyJ = grow(res.TotalEnergyJ, n)
+	res.EE = growZero(res.EE, n)
+	res.AvgPowerW = grow(res.AvgPowerW, n)
+	res.RetxAvgPowerW = grow(res.RetxAvgPowerW, n)
+	res.SimTimeS = simEnd
+	res.CollisionLosses, res.CapacityDrops, res.SensitivityMisses = 0, 0, 0
+	res.Trace = nil
+	res.MaxSNRdB = nil
 	for i := 0; i < n; i++ {
 		res.Attempts[i] = packets[i]
 	}
 	if cfg.MeasureSNR {
-		res.MaxSNRdB = make([]float64, n)
+		sc.maxSNR = grow(sc.maxSNR, n)
+		res.MaxSNRdB = sc.maxSNR
 		for i := range res.MaxSNRdB {
 			res.MaxSNRdB[i] = math.Inf(-1)
 		}
@@ -247,17 +274,20 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 	// its buffers, so the replays are independent and run concurrently;
 	// the merge below folds them back in ascending gateway order, which
 	// makes the result identical to a sequential k = 0..g-1 loop.
-	replays := make([]gwReplay, g)
+	replays := grow(sc.replays, g)
+	sc.replays = replays
 	par.For(cfg.Parallelism, g, func(k int) {
-		replays[k] = simulateGateway(k, txs, fading, gains, p, noiseMW, captureLin, cfg)
+		simulateGateway(k, txs, fading, g, gains, p, noiseMW, captureLin, &sfTab, cfg, &replays[k])
 	})
 
-	delivered := make([]bool, len(txs))
+	delivered := growZero(sc.delivered, len(txs))
+	sc.delivered = delivered
 	var outcome []Outcome
 	var outGw []int
 	if cfg.Trace {
-		outcome = make([]Outcome, len(txs))
-		outGw = make([]int, len(txs))
+		outcome = growZero(sc.outcome, len(txs))
+		outGw = grow(sc.outGw, len(txs))
+		sc.outcome, sc.outGw = outcome, outGw
 		for i := range outGw {
 			outGw[i] = -1
 		}
@@ -293,7 +323,8 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 		}
 	}
 	if cfg.Trace {
-		res.Trace = make([]PacketRecord, len(txs))
+		sc.trace = grow(sc.trace, len(txs))
+		res.Trace = sc.trace
 		for t := range txs {
 			res.Trace[t] = PacketRecord{
 				Device:  txs[t].dev,
@@ -334,29 +365,50 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 }
 
 // gwReplay is the outcome of replaying the transmission schedule at one
-// gateway: private buffers that Run merges in gateway order. outcome is
-// populated only under Config.Trace and snrDB only under
-// Config.MeasureSNR.
+// gateway: private buffers that Run merges in gateway order, reused
+// across runs when a Scratch is supplied. outcome is populated only
+// under Config.Trace and snrDB only under Config.MeasureSNR.
 type gwReplay struct {
-	delivered                                         []bool
+	delivered []bool
+	// outcome and snrDB are nil when their option is off; outcomeBuf and
+	// snrBuf retain the backing arrays across runs either way.
 	outcome                                           []Outcome
 	snrDB                                             []float64
+	outcomeBuf                                        []Outcome
+	snrBuf                                            []float64
+	active                                            []activeRx
 	collisionLosses, capacityDrops, sensitivityMisses int
 }
 
-// simulateGateway replays the transmission schedule at gateway k into a
-// fresh gwReplay. It reads only shared immutable state (schedule, fading,
-// gains), so concurrent calls for different gateways are safe.
+// activeRx is one locked reception in progress at a gateway. Entries
+// live inline in the gateway's active list — no per-reception heap
+// state — and later arrivals mark overlapping entries collided in
+// place.
+type activeRx struct {
+	idx      int // into txs
+	rxMW     float64
+	collided bool
+}
+
+// simulateGateway replays the transmission schedule at gateway k into
+// rp, reusing rp's buffers from previous runs. It reads only shared
+// immutable state (schedule, flattened fading, gains), so concurrent
+// calls for different gateways are safe.
 func simulateGateway(
-	k int, txs []transmission, fading [][]float64, gains [][]float64,
-	p model.Params, noiseMW, captureLin float64, cfg Config,
-) gwReplay {
-	rp := gwReplay{delivered: make([]bool, len(txs))}
+	k int, txs []transmission, fading []float64, g int, gains [][]float64,
+	p model.Params, noiseMW, captureLin float64, sfTab *sfTables, cfg Config,
+	rp *gwReplay,
+) {
+	rp.collisionLosses, rp.capacityDrops, rp.sensitivityMisses = 0, 0, 0
+	rp.delivered = growZero(rp.delivered, len(txs))
+	rp.outcome, rp.snrDB = nil, nil
 	if cfg.Trace {
-		rp.outcome = make([]Outcome, len(txs))
+		rp.outcomeBuf = growZero(rp.outcomeBuf, len(txs))
+		rp.outcome = rp.outcomeBuf
 	}
 	if cfg.MeasureSNR {
-		rp.snrDB = make([]float64, len(txs))
+		rp.snrBuf = grow(rp.snrBuf, len(txs))
+		rp.snrDB = rp.snrBuf
 	}
 	// record stores this gateway's outcome for a traced packet (one
 	// outcome per transmission per gateway; Run keeps the max).
@@ -366,11 +418,8 @@ func simulateGateway(
 		}
 	}
 
-	type activeRx struct {
-		idx int // into txs
-		st  *rxState
-	}
-	var active []activeRx
+	active := rp.active[:0]
+	defer func() { rp.active = active[:0] }()
 	lockedCount := 0
 
 	finish := func(cut float64) {
@@ -381,23 +430,20 @@ func simulateGateway(
 				keep = append(keep, ar)
 				continue
 			}
-			st := ar.st
-			if st.locked {
-				lockedCount--
-				snrOK := st.rxMW/noiseMW >= lora.DBToLinear(lora.SNRThresholdDB(txs[ar.idx].sf))
-				switch {
-				case st.collided:
-					rp.collisionLosses++
-					record(ar.idx, OutcomeCollided)
-				case snrOK:
-					rp.delivered[ar.idx] = true
-					record(ar.idx, OutcomeDelivered)
-					if rp.snrDB != nil {
-						rp.snrDB[ar.idx] = 10 * math.Log10(st.rxMW/noiseMW)
-					}
-				default:
-					record(ar.idx, OutcomeFaded)
+			lockedCount--
+			snrOK := ar.rxMW/noiseMW >= sfTab.thLin[txs[ar.idx].sf-lora.SF7]
+			switch {
+			case ar.collided:
+				rp.collisionLosses++
+				record(ar.idx, OutcomeCollided)
+			case snrOK:
+				rp.delivered[ar.idx] = true
+				record(ar.idx, OutcomeDelivered)
+				if rp.snrDB != nil {
+					rp.snrDB[ar.idx] = 10 * math.Log10(ar.rxMW/noiseMW)
 				}
+			default:
+				record(ar.idx, OutcomeFaded)
 			}
 		}
 		active = keep
@@ -406,9 +452,8 @@ func simulateGateway(
 	for t := range txs {
 		tx := &txs[t]
 		finish(tx.start)
-		rxMW := tx.tpMW * gains[tx.dev][k] * fading[t][k]
-		st := &rxState{tx: tx, rxMW: rxMW}
-		if rxMW < lora.DBmToMilliwatts(lora.SensitivityDBm(tx.sf)) {
+		rxMW := tx.tpMW * gains[tx.dev][k] * fading[t*g+k]
+		if rxMW < sfTab.ssMW[tx.sf-lora.SF7] {
 			// Below sensitivity: invisible to this gateway; it occupies
 			// no demodulator and collides with nobody.
 			rp.sensitivityMisses++
@@ -421,25 +466,27 @@ func simulateGateway(
 		// transmission that finds no free demodulator is still RF energy
 		// on the air and corrupts locked receptions all the same (on an
 		// SX1301 the lock only selects what gets decoded, not what
-		// interferes).
-		for _, ar := range active {
-			other := ar.st
-			if txs[ar.idx].dev == tx.dev ||
-				txs[ar.idx].sf != tx.sf || txs[ar.idx].ch != tx.ch {
+		// interferes). Marks on the arriving transmission itself are
+		// kept in a local and only take effect if it locks below.
+		collided := false
+		for j := range active {
+			other := &active[j]
+			if txs[other.idx].dev == tx.dev ||
+				txs[other.idx].sf != tx.sf || txs[other.idx].ch != tx.ch {
 				continue
 			}
 			if cfg.Capture {
 				switch {
-				case st.rxMW >= captureLin*other.rxMW:
+				case rxMW >= captureLin*other.rxMW:
 					other.collided = true
-				case other.rxMW >= captureLin*st.rxMW:
-					st.collided = true
+				case other.rxMW >= captureLin*rxMW:
+					collided = true
 				default:
-					st.collided = true
+					collided = true
 					other.collided = true
 				}
 			} else {
-				st.collided = true
+				collided = true
 				other.collided = true
 			}
 		}
@@ -448,12 +495,10 @@ func simulateGateway(
 			record(t, OutcomeCapacity)
 			continue
 		}
-		st.locked = true
 		lockedCount++
-		active = append(active, activeRx{idx: t, st: st})
+		active = append(active, activeRx{idx: t, rxMW: rxMW, collided: collided})
 	}
 	finish(math.Inf(1))
-	return rp
 }
 
 // Summary renders headline statistics for logs.
