@@ -1,0 +1,120 @@
+// Command eflora-vet runs the repository's first-party analyzer suite —
+// detrand (determinism), hotalloc (zero-alloc hot paths), units
+// (dB/dBm/mW safety) and boundedsend (non-blocking ingest) — over the
+// given packages, in the style of a go/analysis multichecker. It is the
+// CI lint gate: the tree must produce zero unannotated findings.
+//
+// Usage:
+//
+//	eflora-vet [flags] [packages]
+//
+//	-json       emit findings as a JSON document instead of text
+//	-fix        apply suggested fixes to the source files, then re-report
+//	-list       list the analyzers and exit
+//	-analyzers  comma-separated subset to run (default: all)
+//
+// Packages are directories or recursive patterns ("./...",
+// "./internal/sim"); the default is "./...". Standard toolchain checks
+// (go vet's own passes) are not duplicated here — CI runs `go vet ./...`
+// alongside. Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"eflora/internal/analysis"
+	"eflora/internal/analysis/framework"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eflora-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	fix := fs.Bool("fix", false, "apply suggested fixes to source files")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*framework.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var selected []*framework.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "eflora-vet: unknown analyzer %q\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+		analyzers = selected
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	dirs, err := framework.Expand(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "eflora-vet: %v\n", err)
+		return 2
+	}
+	loader := framework.NewLoader()
+	var diags []framework.Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "eflora-vet: %v\n", err)
+			return 2
+		}
+		pkgDiags, err := framework.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "eflora-vet: %v\n", err)
+			return 2
+		}
+		diags = append(diags, pkgDiags...)
+	}
+
+	if *fix {
+		applied, err := framework.ApplyFixes(loader.Fset, diags)
+		if err != nil {
+			fmt.Fprintf(stderr, "eflora-vet: applying fixes: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "eflora-vet: applied %d suggested fix(es)\n", applied)
+	}
+
+	if *jsonOut {
+		if err := framework.WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "eflora-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		framework.WriteText(stdout, diags)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestJSONSmoke runs the multichecker with -json over a determinism-
+// critical package of the real tree and checks the document parses and is
+// clean — the same invariant the CI lint gate enforces repo-wide.
+func TestJSONSmoke(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-json", "../../internal/sim"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errBuf.String(), out.String())
+	}
+	var rep struct {
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("parse -json output: %v\n%s", err, out.String())
+	}
+	if rep.Count != len(rep.Findings) {
+		t.Errorf("count %d != len(findings) %d", rep.Count, len(rep.Findings))
+	}
+	if rep.Count != 0 {
+		t.Errorf("internal/sim has %d unannotated findings, want 0:\n%s", rep.Count, out.String())
+	}
+}
+
+func TestListSmoke(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	for _, name := range []string{"detrand", "hotalloc", "units", "boundedsend"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-analyzers", "nosuch"}, &out, &errBuf); code != 2 {
+		t.Errorf("exit %d for unknown analyzer, want 2", code)
+	}
+}
+
+// TestAnalyzerSubset runs a single analyzer over a package outside its
+// scope and expects a clean exit.
+func TestAnalyzerSubset(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-analyzers", "boundedsend", "../../internal/model"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errBuf.String(), out.String())
+	}
+}

@@ -102,6 +102,7 @@ func (a *EFLoRa) Allocate(net *model.Network, p model.Params, r *rng.RNG) (model
 // AllocateWithReport runs the greedy optimization and returns its
 // diagnostics alongside the allocation.
 func (a *EFLoRa) AllocateWithReport(net *model.Network, p model.Params, r *rng.RNG) (model.Allocation, Report, error) {
+	//eflora:nondeterminism-ok Report.Elapsed is a wall-clock diagnostic (Fig. 10); it never feeds the allocation
 	start := time.Now()
 	var rep Report
 	if err := p.Validate(); err != nil {
@@ -159,6 +160,7 @@ func (a *EFLoRa) AllocateWithReport(net *model.Network, p model.Params, r *rng.R
 		}
 	}
 	rep.FinalMinEE = bestMin
+	//eflora:nondeterminism-ok Report.Elapsed is a wall-clock diagnostic (Fig. 10); it never feeds the allocation
 	rep.Elapsed = time.Since(start)
 	return bestAlloc, rep, nil
 }
@@ -171,6 +173,8 @@ func (a *EFLoRa) AllocateWithReport(net *model.Network, p model.Params, r *rng.R
 // phase 2 can only improve on phase 1; running TP moves from a cold start
 // instead lets micro power-reduction gains drag the whole network into a
 // no-fading-margin basin long before the structural moves have been found.
+//
+//eflora:hotpath
 func (a *EFLoRa) refine(ev *model.Evaluator, gains [][]float64, order []int, p model.Params, rep *Report) (float64, error) {
 	phases := [][]float64{{p.Plan.MaxTxPowerDBm}, a.tpLevels(p.Plan)}
 	if a.opts.FixedTPdBm != nil {
@@ -249,6 +253,8 @@ type candidate struct {
 // still evaluate exactly, and the reduce resolves ties by candidate
 // index. That reproduces the sequential first-winner rule bit-for-bit at
 // any worker count.
+//
+//eflora:hotpath
 func scanCandidates(ev *model.Evaluator, dev int, cands []candidate, cur float64, workers int) int {
 	if workers > len(cands) {
 		workers = len(cands)
@@ -281,6 +287,7 @@ func scanCandidates(ev *model.Evaluator, dev int, cands []candidate, cur float64
 			continue
 		}
 		wg.Add(1)
+		//eflora:alloc-ok one goroutine closure per worker per scan, bounded by Parallelism; the allocator's alloc budget (BenchmarkEFLoRaAllocate) is measured at workers=1
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			b := scanBest{idx: -1, val: cur}

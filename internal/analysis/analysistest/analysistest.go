@@ -1,0 +1,146 @@
+// Package analysistest runs an analyzer against testdata packages and
+// checks its diagnostics against want comments — a first-party,
+// stdlib-only equivalent of golang.org/x/tools/go/analysis/analysistest.
+//
+// Testdata layout follows the upstream convention: <testdata>/src/<pkg>
+// holds one package per directory; the directory name is the package's
+// import-path base, which is what the analyzers scope on (so a testdata
+// package named "sim" is determinism-critical and one named "free" is
+// not).
+//
+// Expectations are trailing comments of the form
+//
+//	code() // want "regexp"
+//	code() // want "first" "second"
+//
+// Each quoted (or backquoted) regexp must match exactly one diagnostic
+// reported on that line, and every diagnostic must be matched by a want.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"eflora/internal/analysis/framework"
+)
+
+// Run loads each pkgs directory under testdata/src, applies the analyzer,
+// and reports mismatches between diagnostics and want comments as test
+// errors. It returns all diagnostics for additional assertions (e.g. on
+// suggested fixes).
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) []framework.Diagnostic {
+	t.Helper()
+	loader := framework.NewLoader()
+	var all []framework.Diagnostic
+	for _, pkgName := range pkgs {
+		dir := filepath.Join(testdata, "src", pkgName)
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			t.Errorf("load %s: %v", dir, err)
+			continue
+		}
+		diags, err := framework.RunPackage(pkg, []*framework.Analyzer{a})
+		if err != nil {
+			t.Errorf("run %s on %s: %v", a.Name, dir, err)
+			continue
+		}
+		checkWants(t, pkg, diags)
+		all = append(all, diags...)
+	}
+	return all
+}
+
+// want is one expectation parsed from a comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(.*)$")
+
+func checkWants(t *testing.T, pkg *framework.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWants(t, pkg.Fset, c)...)
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Position.Filename || w.line != d.Position.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s",
+				filepath.Base(d.Position.Filename), d.Position.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q",
+				filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*want {
+	m := wantRE.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	var wants []*want
+	rest := strings.TrimSpace(m[1])
+	for rest != "" {
+		var raw string
+		var err error
+		raw, rest, err = cutPattern(rest)
+		if err != nil {
+			t.Errorf("%s:%d: malformed want comment: %v", filepath.Base(pos.Filename), pos.Line, err)
+			return wants
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Errorf("%s:%d: bad want regexp %q: %v", filepath.Base(pos.Filename), pos.Line, raw, err)
+			return wants
+		}
+		wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+		rest = strings.TrimSpace(rest)
+	}
+	return wants
+}
+
+// cutPattern splits the leading quoted or backquoted pattern off s.
+func cutPattern(s string) (pattern, rest string, err error) {
+	if s == "" {
+		return "", "", fmt.Errorf("empty pattern")
+	}
+	quote := s[0]
+	if quote != '"' && quote != '`' {
+		return "", "", fmt.Errorf("pattern must start with \" or `, got %q", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] == quote && (quote == '`' || s[i-1] != '\\') {
+			return strings.ReplaceAll(s[1:i], `\"`, `"`), s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated pattern in %q", s)
+}

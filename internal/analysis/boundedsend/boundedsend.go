@@ -1,0 +1,133 @@
+// Package boundedsend implements the no-blocking-ingest analyzer of
+// eflora-vet.
+//
+// The live serving path (PR 2) promises that packet ingest never blocks
+// indefinitely on an unbounded queue: every channel send on the packet
+// path must either be a select with a default (shed or count, never
+// stall) or be an explicitly acknowledged bounded-backpressure point.
+// boundedsend enforces this in the ingest and netserver packages (and the
+// eflora-nsd daemon): a send statement outside a select-with-default is
+// flagged, with a suggested fix rewriting it to the canonical
+// non-blocking form. Deliberate blocking sends — documented backpressure
+// — are annotated //eflora:blocking-ok <reason>.
+package boundedsend
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+
+	"eflora/internal/analysis/framework"
+)
+
+// Analyzer is the boundedsend analysis.
+var Analyzer = &framework.Analyzer{
+	Name: "boundedsend",
+	Doc: "require channel sends on the packet path (ingest, netserver, eflora-nsd) to be " +
+		"select-with-default or annotated bounded backpressure",
+	Run: run,
+}
+
+// packetPathPackages are the packages (by import-path base) forming the
+// live packet path.
+var packetPathPackages = map[string]bool{
+	"ingest":     true,
+	"netserver":  true,
+	"eflora-nsd": true,
+}
+
+const suppression = "blocking-ok"
+
+func run(pass *framework.Pass) error {
+	if !packetPathPackages[pass.PkgBase()] {
+		return nil
+	}
+	// Sends appearing as the comm clause of a select with a default are
+	// non-blocking by construction. Comm-clause sends of a default-less
+	// select still block, but rewriting the clause in place would not be
+	// valid Go, so those findings carry no suggested fix.
+	nonBlocking := make(map[*ast.SendStmt]bool)
+	inComm := make(map[*ast.SendStmt]bool)
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok {
+				inComm[send] = true
+				if hasDefault {
+					nonBlocking[send] = true
+				}
+			}
+		}
+		return true
+	})
+	pass.Inspect(func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok || nonBlocking[send] {
+			return true
+		}
+		if pass.Suppressed(send.Pos(), suppression) {
+			return true
+		}
+		d := framework.Diagnostic{
+			Pos: send.Pos(),
+			Message: "blocking channel send on the packet path can stall ingest; use " +
+				"select-with-default (shed and count) or annotate the bounded-backpressure " +
+				"contract with //eflora:" + suppression + " <reason>",
+		}
+		if !inComm[send] {
+			d.SuggestedFixes = []framework.SuggestedFix{nonBlockingFix(pass.Fset, send)}
+		}
+		pass.Report(d)
+		return true
+	})
+	return nil
+}
+
+// nonBlockingFix rewrites `ch <- v` into the canonical shedding form:
+//
+//	select {
+//	case ch <- v:
+//	default: // dropped: packet path must not block
+//	}
+func nonBlockingFix(fset *token.FileSet, send *ast.SendStmt) framework.SuggestedFix {
+	var chBuf, valBuf strings.Builder
+	printer.Fprint(&chBuf, fset, send.Chan)
+	printer.Fprint(&valBuf, fset, send.Value)
+	indent := strings.Repeat("\t", indentOf(fset, send))
+	newText := "select {\n" +
+		indent + "case " + chBuf.String() + " <- " + valBuf.String() + ":\n" +
+		indent + "default: // dropped: packet path must not block\n" +
+		indent + "}"
+	return framework.SuggestedFix{
+		Message: "wrap the send in select-with-default",
+		TextEdits: []framework.TextEdit{{
+			Pos:     send.Pos(),
+			End:     send.End(),
+			NewText: newText,
+		}},
+	}
+}
+
+// indentOf estimates the send's indentation depth in tabs from its
+// column (gofmt indents one tab per level).
+func indentOf(fset *token.FileSet, n ast.Node) int {
+	col := fset.Position(n.Pos()).Column - 1
+	if col < 0 {
+		return 0
+	}
+	return col
+}

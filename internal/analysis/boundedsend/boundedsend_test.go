@@ -1,0 +1,97 @@
+package boundedsend_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eflora/internal/analysis/analysistest"
+	"eflora/internal/analysis/boundedsend"
+	"eflora/internal/analysis/framework"
+)
+
+func TestBoundedsend(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", boundedsend.Analyzer, "ingest", "other")
+	// Standalone sends carry the select-with-default rewrite; comm-clause
+	// sends of a default-less select cannot be rewritten in place and must
+	// not offer one.
+	sawFix := false
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, e := range fix.TextEdits {
+				if strings.Contains(e.NewText, "default:") && strings.Contains(e.NewText, "case ch <- v:") {
+					sawFix = true
+				}
+			}
+		}
+	}
+	if !sawFix {
+		t.Error("no suggested fix rewrites the plain send to select-with-default")
+	}
+}
+
+// TestApplyFix round-trips the suggested fix through framework.ApplyFixes
+// on a copy of the fixture: the plain send must become non-blocking while
+// the unfixable comm-clause findings remain.
+func TestApplyFix(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "ingest", "ingest.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ingest")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(dir, "ingest.go")
+	if err := os.WriteFile(target, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loader := framework.NewLoader()
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.RunPackage(pkg, []*framework.Analyzer{boundedsend.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := framework.ApplyFixes(loader.Fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 {
+		t.Fatalf("ApplyFixes applied %d edits, want 1 (the plain send)", applied)
+	}
+	fixed, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "default: // dropped: packet path must not block") {
+		t.Errorf("rewritten file lacks the shedding default clause:\n%s", fixed)
+	}
+
+	// The rewritten package must still parse and type-check, and only the
+	// comm-clause findings of the default-less select may remain.
+	pkg2, err := framework.NewLoader().Load(dir)
+	if err != nil {
+		t.Fatalf("rewritten package fails to load: %v", err)
+	}
+	diags2, err := framework.RunPackage(pkg2, []*framework.Analyzer{boundedsend.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remaining := 0
+	for _, d := range diags2 {
+		if strings.Contains(d.Message, "blocking channel send") {
+			remaining++
+			if len(d.SuggestedFixes) != 0 {
+				t.Errorf("%s:%d: comm-clause finding should carry no fix", d.Position.Filename, d.Position.Line)
+			}
+		}
+	}
+	if remaining != 2 {
+		t.Errorf("after fixing, %d blocking-send findings remain, want the 2 comm-clause sends", remaining)
+	}
+}

@@ -1,0 +1,29 @@
+// Package ingest is boundedsend testdata: its directory name puts it on
+// the packet path, where channel sends must be select-with-default or
+// annotated bounded backpressure.
+package ingest
+
+func Blocking(ch chan int, v int) {
+	ch <- v // want `blocking channel send on the packet path can stall ingest`
+}
+
+func NonBlocking(ch chan int, v int) {
+	select {
+	case ch <- v:
+	default:
+	}
+}
+
+// A select without a default still blocks until some case fires, so its
+// send clauses are flagged too.
+func SelectNoDefault(ch1, ch2 chan int, v int) {
+	select {
+	case ch1 <- v: // want `blocking channel send on the packet path can stall ingest`
+	case ch2 <- v: // want `blocking channel send on the packet path can stall ingest`
+	}
+}
+
+func Annotated(ch chan int, v int) {
+	//eflora:blocking-ok bounded inbox; a full shard must stall the reader by contract
+	ch <- v
+}

@@ -1,0 +1,7 @@
+// Package other is boundedsend testdata: off the packet path, blocking
+// sends are ordinary Go and produce no findings.
+package other
+
+func Blocking(ch chan int, v int) {
+	ch <- v
+}

@@ -1,0 +1,130 @@
+// Package detrand implements the determinism analyzer of eflora-vet.
+//
+// The repository's headline guarantee (PR 1) is that simulation and
+// allocation are bit-identical for a given seed at any parallelism. That
+// only holds if the determinism-critical packages never consult ambient
+// state: wall clocks, the globally seeded math/rand, process environment,
+// or Go's randomized map iteration order. detrand rejects those
+// constructs in the critical packages and directs authors to the
+// deterministic alternatives (internal/rng, explicit timestamps, sorted
+// key iteration).
+//
+// Deliberate exceptions — wall-clock diagnostics, map iterations whose
+// result is order-independent — are annotated in place:
+//
+//	//eflora:nondeterminism-ok <reason>
+//
+// on the finding's line or the line above. The reason is mandatory; the
+// framework reports reasonless suppressions.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"eflora/internal/analysis/framework"
+)
+
+// Analyzer is the detrand analysis.
+var Analyzer = &framework.Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall clocks, global math/rand, environment reads and map iteration " +
+		"in determinism-critical packages (sim, model, alloc, exp, par, golden, mathx)",
+	Run: run,
+}
+
+// criticalPackages are the packages (by import-path base) whose outputs
+// feed the golden-determinism digests.
+var criticalPackages = map[string]bool{
+	"sim":    true,
+	"model":  true,
+	"alloc":  true,
+	"exp":    true,
+	"par":    true,
+	"golden": true,
+	"mathx":  true,
+}
+
+const suppression = "nondeterminism-ok"
+
+// bannedCalls maps package path -> function name -> replacement advice.
+var bannedCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "thread an explicit timestamp parameter instead of reading the wall clock",
+		"Since": "thread explicit timestamps instead of reading the wall clock",
+		"Until": "thread explicit timestamps instead of reading the wall clock",
+	},
+	"os": {
+		"Getenv":    "plumb configuration through Config structs, not the process environment",
+		"LookupEnv": "plumb configuration through Config structs, not the process environment",
+		"Environ":   "plumb configuration through Config structs, not the process environment",
+	},
+}
+
+// nondeterministicImports are packages whose use is nondeterministic
+// regardless of the member called.
+var nondeterministicImports = map[string]string{
+	"math/rand":    "use eflora/internal/rng with an explicit seed",
+	"math/rand/v2": "use eflora/internal/rng with an explicit seed",
+}
+
+func run(pass *framework.Pass) error {
+	if !criticalPackages[pass.PkgBase()] {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			pkgPath, ok := packageQualifier(pass, n)
+			if !ok {
+				return true
+			}
+			if advice, ok := nondeterministicImports[pkgPath]; ok {
+				if !pass.Suppressed(n.Pos(), suppression) {
+					pass.Reportf(n.Pos(),
+						"%s.%s is nondeterministic in a determinism-critical package; %s "+
+							"(or annotate //eflora:%s <reason>)",
+						pkgPath, n.Sel.Name, advice, suppression)
+				}
+				return true
+			}
+			if byName, ok := bannedCalls[pkgPath]; ok {
+				if advice, ok := byName[n.Sel.Name]; ok && !pass.Suppressed(n.Pos(), suppression) {
+					pass.Reportf(n.Pos(),
+						"%s.%s is nondeterministic in a determinism-critical package; %s "+
+							"(or annotate //eflora:%s <reason>)",
+						pkgPath, n.Sel.Name, advice, suppression)
+				}
+			}
+		case *ast.RangeStmt:
+			tv, ok := pass.TypesInfo.Types[n.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				if !pass.Suppressed(n.Pos(), suppression) {
+					pass.Reportf(n.Pos(),
+						"map iteration order is randomized and flows into results in a "+
+							"determinism-critical package; iterate sorted keys "+
+							"(cf. golden.Map) or annotate //eflora:%s <reason>", suppression)
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// packageQualifier resolves sel's X to an imported package path when the
+// selector is a package-qualified reference (e.g. time.Now).
+func packageQualifier(pass *framework.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pkgName.Imported().Path(), true
+}

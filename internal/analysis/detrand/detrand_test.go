@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"eflora/internal/analysis/analysistest"
+	"eflora/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "sim", "free")
+}

@@ -1,0 +1,29 @@
+// Package free is detrand testdata: its directory name is outside the
+// determinism-critical set, so the same constructs produce no findings.
+package free
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Clock() time.Time {
+	return time.Now()
+}
+
+func Roll() int {
+	return rand.Intn(6)
+}
+
+func Env() string {
+	return os.Getenv("EFLORA_SEED")
+}
+
+func SumValues(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

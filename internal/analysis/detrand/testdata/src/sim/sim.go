@@ -1,0 +1,55 @@
+// Package sim is detrand testdata: its directory name puts it in the
+// determinism-critical set, so every ambient-state construct is flagged.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func Clock() time.Time {
+	return time.Now() // want `time\.Now is nondeterministic in a determinism-critical package`
+}
+
+func Elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time\.Since is nondeterministic in a determinism-critical package`
+}
+
+func Roll() int {
+	return rand.Intn(6) // want `math/rand\.Intn is nondeterministic in a determinism-critical package`
+}
+
+func Env() string {
+	return os.Getenv("EFLORA_SEED") // want `os\.Getenv is nondeterministic in a determinism-critical package`
+}
+
+func SumValues(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `map iteration order is randomized`
+		s += v
+	}
+	return s
+}
+
+// SumSorted iterates a map the sanctioned way: collect keys, sort, walk.
+func SumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	//eflora:nondeterminism-ok order-independent: keys are collected then explicitly sorted below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := 0.0
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// Diagnostic timing is a sanctioned wall-clock use when annotated.
+func Timed() time.Time {
+	//eflora:nondeterminism-ok wall-clock diagnostic only; never feeds results
+	return time.Now()
+}

@@ -1,0 +1,204 @@
+// Package framework is a first-party reimplementation of the core of
+// golang.org/x/tools/go/analysis, built only on the standard library's
+// go/ast, go/parser and go/types. The repository vendors no third-party
+// modules, so the eflora-vet analyzers (detrand, hotalloc, units,
+// boundedsend) run on this framework instead; the API deliberately
+// mirrors go/analysis (Analyzer, Pass, Diagnostic, SuggestedFix) so the
+// analyzers port to the upstream framework mechanically if x/tools is
+// ever vendored.
+//
+// Beyond the go/analysis core, the framework owns the two conventions
+// every eflora analyzer shares:
+//
+//   - //eflora:<name> annotations. A marker like //eflora:hotpath tags a
+//     declaration; a suppression like //eflora:nondeterminism-ok <reason>
+//     silences a finding on its own line or the line directly below. A
+//     suppression with an empty reason is itself reported, so the escape
+//     hatches stay auditable.
+//   - Package loading via the stdlib source importer, which resolves both
+//     standard-library and module-local imports without network access.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name is the analyzer's identifier in reports (lowercase, no spaces).
+	Name string
+	// Doc is the one-paragraph description shown by eflora-vet -list.
+	Doc string
+	// Run executes the check against one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// annotations indexes //eflora: comments by file and line.
+	annotations map[string]map[int]Annotation
+
+	diagnostics *[]Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos            token.Pos
+	Message        string
+	SuggestedFixes []SuggestedFix
+	// Analyzer and Position are filled in by the runner.
+	Analyzer string
+	Position token.Position
+}
+
+// SuggestedFix is a mechanical rewrite that would resolve the finding.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// Annotation is one parsed //eflora:<name> [reason] comment.
+type Annotation struct {
+	Name   string // e.g. "hotpath", "nondeterminism-ok"
+	Reason string // trailing free text; suppressions must have one
+	Line   int
+}
+
+const annotationPrefix = "//eflora:"
+
+// parseAnnotation decodes an //eflora: comment, reporting ok=false for
+// ordinary comments.
+func parseAnnotation(c *ast.Comment) (name, reason string, ok bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, annotationPrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, annotationPrefix)
+	name, reason, _ = strings.Cut(rest, " ")
+	return strings.TrimSpace(name), strings.TrimSpace(reason), name != ""
+}
+
+// buildAnnotations indexes every //eflora: comment of the pass's files by
+// filename and line.
+func (p *Pass) buildAnnotations() {
+	p.annotations = make(map[string]map[int]Annotation)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, reason, ok := parseAnnotation(c)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := p.annotations[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]Annotation)
+					p.annotations[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = Annotation{Name: name, Reason: reason, Line: pos.Line}
+			}
+		}
+	}
+}
+
+// Suppressed reports whether a finding at pos is silenced by the given
+// suppression annotation (e.g. "nondeterminism-ok") on the same line or
+// the line directly above. A matching annotation with an empty reason
+// does not suppress — the runner separately reports reasonless
+// suppressions — so every escape hatch carries its justification.
+func (p *Pass) Suppressed(pos token.Pos, name string) bool {
+	position := p.Fset.Position(pos)
+	byLine := p.annotations[position.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{position.Line, position.Line - 1} {
+		if a, ok := byLine[line]; ok && a.Name == name && a.Reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncAnnotated reports whether fn's doc comment (or a comment on the
+// line directly above the declaration) carries the given marker
+// annotation, e.g. "hotpath".
+func (p *Pass) FuncAnnotated(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if n, _, ok := parseAnnotation(c); ok && n == name {
+				return true
+			}
+		}
+	}
+	pos := p.Fset.Position(fn.Pos())
+	if byLine := p.annotations[pos.Filename]; byLine != nil {
+		if a, ok := byLine[pos.Line-1]; ok && a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Annotations returns every parsed //eflora: annotation of the package,
+// for checks that validate the annotations themselves.
+func (p *Pass) Annotations() []Annotation {
+	var out []Annotation
+	for _, byLine := range p.annotations {
+		for _, a := range byLine {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	d.Position = p.Fset.Position(d.Pos)
+	*p.diagnostics = append(*p.diagnostics, d)
+}
+
+// Reportf records a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// PkgBase returns the last element of the package's import path — the
+// unit analyzers use to scope themselves to named packages, which also
+// makes testdata packages (whose synthetic path is just the directory
+// name) scope correctly.
+func (p *Pass) PkgBase() string {
+	path := p.Pkg.Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// Inspect walks every file of the pass in depth-first order, calling fn
+// for each node; fn returning false prunes the subtree (ast.Inspect
+// semantics).
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

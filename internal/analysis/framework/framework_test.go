@@ -1,0 +1,83 @@
+package framework_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eflora/internal/analysis/framework"
+)
+
+// TestAnnotationHygiene checks that RunPackage reports misspelled
+// annotations and reasonless suppressions even with no analyzers loaded.
+func TestAnnotationHygiene(t *testing.T) {
+	pkg, err := framework.NewLoader().Load(filepath.Join("testdata", "src", "hygiene"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.RunPackage(pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d hygiene findings, want 2: %+v", len(diags), diags)
+	}
+	var sawUnknown, sawReasonless bool
+	for _, d := range diags {
+		if d.Analyzer != "annotations" {
+			t.Errorf("hygiene finding attributed to %q, want \"annotations\"", d.Analyzer)
+		}
+		if strings.Contains(d.Message, "unknown annotation //eflora:hotpth") {
+			sawUnknown = true
+		}
+		if strings.Contains(d.Message, "//eflora:alloc-ok needs a reason") {
+			sawReasonless = true
+		}
+	}
+	if !sawUnknown {
+		t.Error("no finding for the misspelled //eflora:hotpth")
+	}
+	if !sawReasonless {
+		t.Error("no finding for the reasonless //eflora:alloc-ok")
+	}
+}
+
+// TestExpandSkipsTestdata checks the package-pattern expansion never
+// descends into testdata trees (mirroring the go tool's convention).
+func TestExpandSkipsTestdata(t *testing.T) {
+	dirs, err := framework.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("Expand(./...) matched no packages")
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("Expand descended into testdata: %s", d)
+		}
+	}
+}
+
+// TestWriteJSONShape pins the -json wire format consumed by CI.
+func TestWriteJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := framework.WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Findings []json.RawMessage `json:"findings"`
+		Count    int               `json:"count"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("parse: %v; output: %s", err, buf.String())
+	}
+	if rep.Findings == nil {
+		t.Error("findings must serialize as an empty array, not null")
+	}
+	if rep.Count != 0 {
+		t.Errorf("count = %d, want 0", rep.Count)
+	}
+}

@@ -1,0 +1,198 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+}
+
+// Loader parses and type-checks packages from source. It uses the stdlib
+// "source" importer, which resolves stdlib and module-local dependencies
+// from their source code — no compiled export data and no network — so
+// eflora-vet works in a hermetic build environment.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader with a shared FileSet and importer cache.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Expand resolves command-line package patterns into package directories.
+// Supported forms: a directory path ("./internal/sim"), and a recursive
+// pattern ("./...", "./internal/..."). Directories named testdata or
+// vendor, and hidden directories, are skipped, as are directories with no
+// non-test Go files.
+func Expand(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if root, ok := strings.CutSuffix(pat, "/..."); ok {
+			if root == "" || root == "." {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		info, err := os.Stat(pat)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("pattern %q: not a directory", pat)
+		}
+		add(pat)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load parses and type-checks the package in dir. Test files are
+// excluded: the determinism and allocation contracts apply to shipped
+// code, and tests legitimately use maps, clocks and fmt freely.
+func (l *Loader) Load(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	importPath, err := importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", importPath, err)
+	}
+	return &Package{
+		Dir:        dir,
+		ImportPath: importPath,
+		Fset:       l.Fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// importPathFor derives dir's import path from the enclosing go.mod. A
+// directory outside any module (e.g. an analyzer's testdata tree) gets
+// its base name, which is what the analyzers' package-scoping matches on.
+func importPathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			modPath := modulePath(data)
+			if modPath == "" {
+				return "", fmt.Errorf("no module line in %s/go.mod", d)
+			}
+			rel, err := filepath.Rel(d, abs)
+			if err != nil {
+				return "", err
+			}
+			if rel == "." {
+				return modPath, nil
+			}
+			return modPath + "/" + filepath.ToSlash(rel), nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return filepath.Base(abs), nil
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(data []byte) string {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}

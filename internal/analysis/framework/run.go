@@ -1,0 +1,217 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// KnownAnnotations lists every //eflora: annotation name the suite
+// defines. Anything else is reported as a typo — a misspelled suppression
+// must not silently disable itself.
+var KnownAnnotations = []string{
+	"hotpath",           // marks a function for the hotalloc analyzer
+	"nondeterminism-ok", // suppresses a detrand finding (reason required)
+	"alloc-ok",          // suppresses a hotalloc finding (reason required)
+	"units-ok",          // suppresses a units finding (reason required)
+	"blocking-ok",       // suppresses a boundedsend finding (reason required)
+}
+
+// RunPackage executes each analyzer against one loaded package and
+// returns the findings, including annotation-hygiene findings (unknown
+// annotation names, suppressions without a reason).
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:    a,
+			Fset:        pkg.Fset,
+			Files:       pkg.Files,
+			Pkg:         pkg.Pkg,
+			TypesInfo:   pkg.TypesInfo,
+			diagnostics: &diags,
+		}
+		pass.buildAnnotations()
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	diags = append(diags, annotationHygiene(pkg)...)
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := diags[i].Position, diags[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// annotationHygiene validates the //eflora: annotations themselves.
+func annotationHygiene(pkg *Package) []Diagnostic {
+	known := make(map[string]bool, len(KnownAnnotations))
+	for _, n := range KnownAnnotations {
+		known[n] = true
+	}
+	scratch := &Pass{
+		Analyzer: &Analyzer{Name: "annotations"},
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+	}
+	scratch.buildAnnotations()
+	var diags []Diagnostic
+	for file, byLine := range scratch.annotations {
+		for _, a := range byLine {
+			var msg string
+			switch {
+			case !known[a.Name]:
+				msg = fmt.Sprintf("unknown annotation //eflora:%s (known: %s)",
+					a.Name, strings.Join(KnownAnnotations, ", "))
+			case strings.HasSuffix(a.Name, "-ok") && a.Reason == "":
+				msg = fmt.Sprintf("//eflora:%s needs a reason: write //eflora:%s <why this is safe>",
+					a.Name, a.Name)
+			default:
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "annotations",
+				Message:  msg,
+				Position: token.Position{Filename: file, Line: a.Line, Column: 1},
+			})
+		}
+	}
+	return diags
+}
+
+// Vet loads every package matched by patterns and runs the analyzers over
+// them, returning all findings sorted by position.
+func Vet(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	dirs, err := Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	loader := NewLoader()
+	var all []Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		diags, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}
+
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	HasFix   bool   `json:"has_fix,omitempty"`
+}
+
+// jsonReport is the -json top-level document.
+type jsonReport struct {
+	Findings []jsonDiagnostic `json:"findings"`
+	Count    int              `json:"count"`
+}
+
+// WriteJSON renders findings as a stable JSON document.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	rep := jsonReport{Findings: make([]jsonDiagnostic, 0, len(diags)), Count: len(diags)}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     d.Position.Filename,
+			Line:     d.Position.Line,
+			Column:   d.Position.Column,
+			Message:  d.Message,
+			HasFix:   len(d.SuggestedFixes) > 0,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteText renders findings in the file:line:col: analyzer: message form
+// editors understand.
+func WriteText(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fix := ""
+		if len(d.SuggestedFixes) > 0 {
+			fix = " (fix available)"
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s%s\n",
+			d.Position.Filename, d.Position.Line, d.Position.Column, d.Analyzer, d.Message, fix)
+	}
+}
+
+// ApplyFixes applies every suggested fix among diags to the files on
+// disk, skipping files with overlapping edits. It returns the number of
+// edits applied. Fixes are applied end-to-start per file so earlier
+// offsets stay valid.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (int, error) {
+	type edit struct {
+		start, end int
+		text       string
+	}
+	perFile := make(map[string][]edit)
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				start := fset.Position(te.Pos)
+				end := fset.Position(te.End)
+				if start.Filename == "" || start.Filename != end.Filename {
+					continue
+				}
+				perFile[start.Filename] = append(perFile[start.Filename],
+					edit{start: start.Offset, end: end.Offset, text: te.NewText})
+			}
+		}
+	}
+	applied := 0
+	for file, edits := range perFile {
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		overlap := false
+		for i := 1; i < len(edits); i++ {
+			if edits[i].end > edits[i-1].start {
+				overlap = true
+			}
+		}
+		if overlap {
+			continue
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return applied, err
+		}
+		for _, e := range edits {
+			if e.start < 0 || e.end > len(data) || e.start > e.end {
+				continue
+			}
+			data = append(data[:e.start], append([]byte(e.text), data[e.end:]...)...)
+			applied++
+		}
+		if err := os.WriteFile(file, data, 0o644); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}

@@ -1,0 +1,14 @@
+// Package hygiene is framework testdata for annotation hygiene: unknown
+// annotation names and reasonless suppressions are themselves findings.
+package hygiene
+
+//eflora:hotpth marks a typo'd annotation name
+func Typo() {}
+
+func MissingReason(m map[int]int) {
+	//eflora:alloc-ok
+	_ = len(m)
+}
+
+//eflora:hotpath
+func Fine() {}

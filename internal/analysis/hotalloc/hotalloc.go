@@ -1,0 +1,407 @@
+// Package hotalloc implements the zero-alloc hot-path analyzer of
+// eflora-vet.
+//
+// PR 3 made the simulator and allocator hot paths allocation-free
+// (sim.Run: 202k allocs -> 25; EFLoRaAllocate: 1.5M -> 1.8k), protected
+// at runtime by testing.AllocsPerRun budgets. hotalloc moves the
+// guardrail earlier: functions annotated
+//
+//	//eflora:hotpath
+//
+// in their doc comment are scanned for allocating constructs inside
+// loops — the per-iteration allocations that rot a zero-alloc kernel:
+//
+//   - make, new, and slice/map composite literals (and &T{} literals)
+//   - append that does not write back into its own first argument
+//     (x = append(x, ...) into a preallocated buffer is the sanctioned
+//     arena pattern; appending into a fresh slice is not)
+//   - fmt.* formatting and errors.New (allowed inside return statements:
+//     error construction on the failure path is cold)
+//   - non-constant string concatenation
+//   - closures created per iteration
+//   - interface boxing at call sites (a concrete argument passed as an
+//     interface parameter allocates when it escapes)
+//
+// One-time setup allocations before the loops are deliberately out of
+// scope: the budget tests bound the total, hotalloc guards the
+// per-iteration slope. Known-bounded exceptions are annotated
+// //eflora:alloc-ok <reason>.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"eflora/internal/analysis/framework"
+)
+
+// Analyzer is the hotalloc analysis.
+var Analyzer = &framework.Analyzer{
+	Name: "hotalloc",
+	Doc: "flag allocating constructs inside loops of functions annotated //eflora:hotpath " +
+		"(append into fresh slices, make, map/slice literals, fmt formatting, closures, interface boxing)",
+	Run: run,
+}
+
+const suppression = "alloc-ok"
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !pass.FuncAnnotated(fn, "hotpath") {
+				continue
+			}
+			w := &walker{pass: pass}
+			w.walkStmts(fn.Body.List)
+		}
+	}
+	return nil
+}
+
+// walker tracks lexical context (loop depth, enclosing return) while
+// scanning a hot function body.
+type walker struct {
+	pass     *framework.Pass
+	loops    int
+	inReturn bool
+	// sanctioned holds append calls of the x = append(x, ...) form.
+	sanctioned map[*ast.CallExpr]bool
+}
+
+func (w *walker) report(pos token.Pos, format string, args ...interface{}) {
+	if w.pass.Suppressed(pos, suppression) {
+		return
+	}
+	w.pass.Reportf(pos, format+" (or annotate //eflora:"+suppression+" <reason>)", args...)
+}
+
+func (w *walker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.walkStmt(s)
+	}
+}
+
+func (w *walker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ForStmt:
+		w.walkStmt(s.Init)
+		w.walkExpr(s.Cond)
+		w.walkStmt(s.Post)
+		w.loops++
+		w.walkStmts(s.Body.List)
+		w.loops--
+	case *ast.RangeStmt:
+		w.walkExpr(s.X)
+		w.loops++
+		w.walkStmts(s.Body.List)
+		w.loops--
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if call := appendCall(rhs); call != nil && len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+				if exprString(s.Lhs[0]) == exprString(call.Args[0]) {
+					if w.sanctioned == nil {
+						w.sanctioned = make(map[*ast.CallExpr]bool)
+					}
+					w.sanctioned[call] = true
+				}
+			}
+		}
+		for _, e := range s.Rhs {
+			w.walkExpr(e)
+		}
+		for _, e := range s.Lhs {
+			w.walkExpr(e)
+		}
+	case *ast.ReturnStmt:
+		wasReturn := w.inReturn
+		w.inReturn = true
+		for _, e := range s.Results {
+			w.walkExpr(e)
+		}
+		w.inReturn = wasReturn
+	case *ast.BlockStmt:
+		w.walkStmts(s.List)
+	case *ast.IfStmt:
+		w.walkStmt(s.Init)
+		w.walkExpr(s.Cond)
+		w.walkStmts(s.Body.List)
+		w.walkStmt(s.Else)
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init)
+		w.walkExpr(s.Tag)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.walkExpr(e)
+			}
+			w.walkStmts(cc.Body)
+		}
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init)
+		w.walkStmt(s.Assign)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.walkStmts(cc.Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			w.walkStmt(cc.Comm)
+			w.walkStmts(cc.Body)
+		}
+	case *ast.ExprStmt:
+		w.walkExpr(s.X)
+	case *ast.SendStmt:
+		w.walkExpr(s.Chan)
+		w.walkExpr(s.Value)
+	case *ast.IncDecStmt:
+		w.walkExpr(s.X)
+	case *ast.GoStmt:
+		w.walkExpr(s.Call)
+	case *ast.DeferStmt:
+		w.walkExpr(s.Call)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.walkExpr(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (w *walker) walkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		w.checkCall(e)
+		w.walkExpr(e.Fun)
+		for _, a := range e.Args {
+			w.walkExpr(a)
+		}
+	case *ast.CompositeLit:
+		w.checkCompositeLit(e, false)
+		for _, el := range e.Elts {
+			w.walkExpr(el)
+		}
+	case *ast.UnaryExpr:
+		if cl, ok := e.X.(*ast.CompositeLit); ok && e.Op == token.AND {
+			w.checkCompositeLit(cl, true)
+			for _, el := range cl.Elts {
+				w.walkExpr(el)
+			}
+			return
+		}
+		w.walkExpr(e.X)
+	case *ast.FuncLit:
+		if w.loops > 0 {
+			w.report(e.Pos(), "closure created per loop iteration allocates; hoist it out of the loop")
+		}
+		// The literal's own body is a fresh lexical context: allocations
+		// there count only against loops inside the literal.
+		saved := *w
+		w.loops, w.inReturn = 0, false
+		w.walkStmts(e.Body.List)
+		w.loops, w.inReturn = saved.loops, saved.inReturn
+	case *ast.BinaryExpr:
+		w.checkStringConcat(e)
+		w.walkExpr(e.X)
+		w.walkExpr(e.Y)
+	case *ast.ParenExpr:
+		w.walkExpr(e.X)
+	case *ast.StarExpr:
+		w.walkExpr(e.X)
+	case *ast.IndexExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Index)
+	case *ast.SliceExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Low)
+		w.walkExpr(e.High)
+		w.walkExpr(e.Max)
+	case *ast.SelectorExpr:
+		w.walkExpr(e.X)
+	case *ast.TypeAssertExpr:
+		w.walkExpr(e.X)
+	case *ast.KeyValueExpr:
+		w.walkExpr(e.Value)
+	}
+}
+
+func (w *walker) checkCall(call *ast.CallExpr) {
+	if w.loops == 0 {
+		return
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make":
+			if isBuiltin(w.pass, fun) {
+				w.report(call.Pos(), "make inside a hot loop allocates per iteration; preallocate before the loop")
+			}
+			return
+		case "new":
+			if isBuiltin(w.pass, fun) {
+				w.report(call.Pos(), "new inside a hot loop allocates per iteration; preallocate before the loop")
+			}
+			return
+		case "append":
+			if isBuiltin(w.pass, fun) && !w.sanctioned[call] {
+				w.report(call.Pos(), "append that does not write back into its own first argument grows a fresh slice per iteration; use the x = append(x, ...) arena pattern on a preallocated buffer")
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if pkgPath, ok := packageQualifier(w.pass, fun); ok {
+			if pkgPath == "fmt" && !w.inReturn {
+				w.report(call.Pos(), "fmt.%s formats through interfaces and allocates; move formatting off the hot path", fun.Sel.Name)
+				return
+			}
+			if pkgPath == "errors" && fun.Sel.Name == "New" && !w.inReturn {
+				w.report(call.Pos(), "errors.New allocates; construct sentinel errors once at package scope")
+				return
+			}
+		}
+	}
+	w.checkBoxing(call)
+}
+
+// checkBoxing flags call arguments whose concrete value is passed as an
+// interface parameter (boxing allocates when the value escapes). Calls
+// inside return statements are exempt: error construction on the failure
+// path is cold.
+func (w *walker) checkBoxing(call *ast.CallExpr) {
+	if w.inReturn {
+		return
+	}
+	tv, ok := w.pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() { // conversions don't box
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue
+			}
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			paramType = slice.Elem()
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(paramType) {
+			continue
+		}
+		argTV, ok := w.pass.TypesInfo.Types[arg]
+		if !ok || argTV.Type == nil || types.IsInterface(argTV.Type) {
+			continue
+		}
+		if b, ok := argTV.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		w.report(arg.Pos(), "passing %s as interface %s boxes the value and may allocate per iteration",
+			argTV.Type.String(), paramType.String())
+	}
+}
+
+func (w *walker) checkCompositeLit(cl *ast.CompositeLit, addressed bool) {
+	if w.loops == 0 {
+		return
+	}
+	tv, ok := w.pass.TypesInfo.Types[cl]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		w.report(cl.Pos(), "slice literal inside a hot loop allocates per iteration; preallocate and reuse")
+	case *types.Map:
+		w.report(cl.Pos(), "map literal inside a hot loop allocates per iteration; preallocate and reuse")
+	default:
+		if addressed {
+			w.report(cl.Pos(), "&%s literal inside a hot loop escapes to the heap per iteration; reuse a preallocated object", typeName(tv.Type))
+		}
+	}
+}
+
+func (w *walker) checkStringConcat(e *ast.BinaryExpr) {
+	if w.loops == 0 || e.Op != token.ADD || w.inReturn {
+		return
+	}
+	tv, ok := w.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil { // constant-folded concat is free
+		return
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		w.report(e.OpPos, "string concatenation inside a hot loop allocates per iteration; use a preallocated []byte or strings.Builder outside the loop")
+	}
+}
+
+func appendCall(e ast.Expr) *ast.CallExpr {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	return call
+}
+
+func isBuiltin(pass *framework.Pass, id *ast.Ident) bool {
+	_, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func packageQualifier(pass *framework.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pkgName.Imported().Path(), true
+}
+
+func exprString(e ast.Expr) string {
+	var b strings.Builder
+	printer.Fprint(&b, token.NewFileSet(), e)
+	return b.String()
+}
+
+func typeName(t types.Type) string {
+	s := t.String()
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}

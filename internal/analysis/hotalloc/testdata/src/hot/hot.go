@@ -1,0 +1,64 @@
+// Package hot is hotalloc testdata: functions annotated //eflora:hotpath
+// are scanned for per-iteration allocations; unannotated functions and
+// one-time setup allocations are out of scope.
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+type obj struct{ v int }
+
+func sink(x interface{}) { _ = x }
+
+var errSentinel = errors.New("sentinel")
+
+//eflora:hotpath
+func Hot(n int, buf []int, names []string) ([]int, error) {
+	// One-time setup before the loops is exempt: budgets bound the total,
+	// hotalloc guards the per-iteration slope.
+	scratch := make([]float64, n)
+	_ = scratch
+	for i := 0; i < n; i++ {
+		tmp := make([]int, 8) // want `make inside a hot loop allocates per iteration`
+		_ = tmp
+		p := new(obj) // want `new inside a hot loop allocates per iteration`
+		_ = p
+		buf = append(buf, i)        // sanctioned arena pattern: no finding
+		fresh := append(names, "x") // want `append that does not write back into its own first argument`
+		_ = fresh
+		s := []int{i} // want `slice literal inside a hot loop allocates per iteration`
+		_ = s
+		m := map[int]int{i: i} // want `map literal inside a hot loop allocates per iteration`
+		_ = m
+		o := &obj{v: i} // want `&hot\.obj literal inside a hot loop escapes to the heap`
+		_ = o
+		msg := fmt.Sprintf("%d", i) // want `fmt\.Sprintf formats through interfaces and allocates`
+		_ = msg
+		sink(i)                      // want `passing int as interface interface\{\} boxes the value`
+		f := func() int { return i } // want `closure created per loop iteration allocates`
+		_ = f
+		joined := msg + names[0] // want `string concatenation inside a hot loop allocates per iteration`
+		_ = joined
+		if i == n-1 {
+			// Error construction on the failure path is cold: fmt and
+			// boxing inside return statements are exempt.
+			return nil, fmt.Errorf("bad index %d", i)
+		}
+		//eflora:alloc-ok bounded by the test harness; exercising the suppression
+		annotated := make([]int, 1)
+		_ = annotated
+	}
+	return buf, errSentinel
+}
+
+// Cold has the same constructs but no //eflora:hotpath annotation, so
+// hotalloc ignores it entirely.
+func Cold(n int) {
+	for i := 0; i < n; i++ {
+		_ = make([]int, 8)
+		_ = fmt.Sprintf("%d", i)
+		sink(i)
+	}
+}

@@ -1,0 +1,30 @@
+// Package analysis aggregates the eflora-vet analyzer suite: the
+// first-party static checks that keep the repository's three load-bearing
+// guarantees honest at review time instead of runtime —
+//
+//	detrand     bit-identical determinism (PR 1)
+//	hotalloc    allocation-free hot paths (PR 3)
+//	units       dB/dBm/mW link-budget arithmetic (PAPER.md §III)
+//	boundedsend no-blocking packet ingest (PR 2)
+//
+// cmd/eflora-vet runs the suite from the command line and CI; see
+// DESIGN.md "Static analysis & invariants" for the annotation language.
+package analysis
+
+import (
+	"eflora/internal/analysis/boundedsend"
+	"eflora/internal/analysis/detrand"
+	"eflora/internal/analysis/framework"
+	"eflora/internal/analysis/hotalloc"
+	"eflora/internal/analysis/units"
+)
+
+// All returns the full eflora-vet analyzer suite in stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		boundedsend.Analyzer,
+		detrand.Analyzer,
+		hotalloc.Analyzer,
+		units.Analyzer,
+	}
+}

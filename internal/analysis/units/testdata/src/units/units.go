@@ -1,0 +1,39 @@
+// Package units is units testdata: identifier suffixes drive a dataflow
+// over +, - and comparisons, rejecting physically meaningless mixes of
+// dBm (absolute log power), dB (ratio) and mW (linear power).
+package units
+
+func Invalid(txDBm, rxDBm, gainDB, noiseMW, sigMW float64) {
+	_ = txDBm + rxDBm    // want `adding two absolute powers in the log domain`
+	_ = noiseMW + gainDB // want `mixing linear and log domains \(mW \+ dB\)`
+	_ = sigMW - txDBm    // want `mixing linear and log domains \(mW - dBm\)`
+	_ = gainDB - txDBm   // want `subtracting an absolute power from a ratio \(dB - dBm\)`
+	_ = txDBm < noiseMW  // want `comparing different radio units \(dBm vs mW\)`
+	_ = gainDB >= rxDBm  // want `comparing different radio units \(dB vs dBm\)`
+	// Propagation: dBm - dBm yields dB, so subtracting another dBm from
+	// the difference is a ratio minus an absolute power.
+	_ = (txDBm - rxDBm) - txDBm // want `subtracting an absolute power from a ratio \(dB - dBm\)`
+}
+
+func Valid(txDBm, rxDBm, gainDB, fadeDB, sigMW, noiseMW float64) {
+	_ = txDBm + gainDB  // link budget: absolute power plus a gain
+	_ = txDBm - rxDBm   // difference of absolute powers is a ratio
+	_ = gainDB + fadeDB // ratios add
+	_ = sigMW + noiseMW // linear powers sum
+	_ = txDBm > rxDBm   // same-unit comparisons
+	_ = sigMW < noiseMW
+	_ = gainDB == fadeDB
+}
+
+// Acronyms must not classify: the suffix has to sit on a camel-case
+// boundary, so BMW is not milliwatts and ADB is not a ratio.
+func Acronyms(BMW, ADB, speedKMH float64) {
+	_ = BMW + ADB
+	_ = BMW - speedKMH
+	_ = ADB < speedKMH
+}
+
+func Suppressed(txDBm, rxDBm float64) {
+	//eflora:units-ok contrived fixture exercising the suppression path
+	_ = txDBm + rxDBm
+}

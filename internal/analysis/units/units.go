@@ -1,0 +1,238 @@
+// Package units implements the radio-unit safety analyzer of eflora-vet.
+//
+// The link-budget model (PAPER.md §III, Table IV) mixes three numeric
+// domains that share the float64 type: absolute powers in dBm, ratios in
+// dB, and linear powers in milliwatts. The compiler cannot tell them
+// apart, but the repository's naming convention can: identifiers and
+// functions carry a DBm/DB/MW suffix (txPowerDBm, snrThresholdDB,
+// noiseMW). units performs a suffix-driven dataflow over +, - and
+// comparison expressions and rejects the combinations that are physically
+// meaningless:
+//
+//   - dBm + dBm      (adding two absolute log-domain powers; sum in mW)
+//   - mW ± dB/dBm    (mixing linear and log domains; convert first)
+//   - dB - dBm       (a ratio minus an absolute power)
+//   - cross-domain comparisons (dBm vs mW, dB vs dBm, ...)
+//
+// Valid log-domain arithmetic (dBm ± dB, dBm - dBm -> dB, dB ± dB) and
+// same-unit comparisons pass. Conversions must go through the
+// internal/lora helpers (DBmToMilliwatts, MilliwattsToDBm, DBToLinear,
+// LinearToDB), whose names give their results the right unit. Deliberate
+// exceptions are annotated //eflora:units-ok <reason>.
+package units
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"eflora/internal/analysis/framework"
+)
+
+// Analyzer is the units analysis.
+var Analyzer = &framework.Analyzer{
+	Name: "units",
+	Doc: "detect dB/dBm/mW confusion via identifier-suffix dataflow on +, - and comparisons; " +
+		"conversions go through the internal/lora helpers",
+	Run: run,
+}
+
+const suppression = "units-ok"
+
+// unit is the inferred radio unit of an expression.
+type unit int
+
+const (
+	unknown unit = iota
+	dbm          // absolute power, log domain
+	db           // ratio, log domain
+	mw           // linear power, milliwatts
+)
+
+func (u unit) String() string {
+	switch u {
+	case dbm:
+		return "dBm"
+	case db:
+		return "dB"
+	case mw:
+		return "mW"
+	}
+	return "?"
+}
+
+func run(pass *framework.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		checkBinary(pass, be)
+		return true
+	})
+	return nil
+}
+
+func checkBinary(pass *framework.Pass, be *ast.BinaryExpr) {
+	switch be.Op {
+	case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	if !isNumeric(pass, be.X) || !isNumeric(pass, be.Y) {
+		return
+	}
+	ux, uy := unitOf(pass, be.X), unitOf(pass, be.Y)
+	if ux == unknown || uy == unknown {
+		return
+	}
+	if pass.Suppressed(be.OpPos, suppression) || pass.Suppressed(be.Pos(), suppression) {
+		return
+	}
+	switch be.Op {
+	case token.ADD:
+		switch {
+		case ux == dbm && uy == dbm:
+			pass.Reportf(be.OpPos,
+				"adding two absolute powers in the log domain (dBm + dBm) is meaningless; "+
+					"convert with lora.DBmToMilliwatts, sum in mW, and convert back "+
+					"(or annotate //eflora:%s <reason>)", suppression)
+		case (ux == mw) != (uy == mw):
+			pass.Reportf(be.OpPos,
+				"mixing linear and log domains (%s + %s); convert with the internal/lora helpers "+
+					"(DBmToMilliwatts, DBToLinear) before adding (or annotate //eflora:%s <reason>)",
+				ux, uy, suppression)
+		}
+	case token.SUB:
+		switch {
+		case (ux == mw) != (uy == mw):
+			pass.Reportf(be.OpPos,
+				"mixing linear and log domains (%s - %s); convert with the internal/lora helpers "+
+					"(DBmToMilliwatts, DBToLinear) before subtracting (or annotate //eflora:%s <reason>)",
+				ux, uy, suppression)
+		case ux == db && uy == dbm:
+			pass.Reportf(be.OpPos,
+				"subtracting an absolute power from a ratio (dB - dBm) is meaningless "+
+					"(or annotate //eflora:%s <reason>)", suppression)
+		}
+	default: // comparisons
+		if ux != uy {
+			pass.Reportf(be.OpPos,
+				"comparing different radio units (%s vs %s); convert with the internal/lora "+
+					"helpers first (or annotate //eflora:%s <reason>)", ux, uy, suppression)
+		}
+	}
+}
+
+func isNumeric(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// unitOf infers the radio unit of an expression from identifier and
+// function-name suffixes, propagating through parentheses, indexing,
+// unary sign, and the +/- combination rules.
+func unitOf(pass *framework.Pass, e ast.Expr) unit {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return unitOf(pass, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return unitOf(pass, e.X)
+		}
+	case *ast.StarExpr:
+		return unitOf(pass, e.X)
+	case *ast.Ident:
+		return suffixUnit(e.Name)
+	case *ast.SelectorExpr:
+		return suffixUnit(e.Sel.Name)
+	case *ast.IndexExpr:
+		return unitOf(pass, e.X)
+	case *ast.CallExpr:
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			return suffixUnit(fun.Name)
+		case *ast.SelectorExpr:
+			return suffixUnit(fun.Sel.Name)
+		}
+	case *ast.BinaryExpr:
+		ux, uy := unitOf(pass, e.X), unitOf(pass, e.Y)
+		switch e.Op {
+		case token.ADD:
+			switch {
+			case ux == mw && uy == mw:
+				return mw
+			case ux == db && uy == db:
+				return db
+			case (ux == dbm && uy == db) || (ux == db && uy == dbm):
+				return dbm
+			}
+		case token.SUB:
+			switch {
+			case ux == mw && uy == mw:
+				return mw
+			case ux == db && uy == db:
+				return db
+			case ux == dbm && uy == dbm:
+				return db
+			case ux == dbm && uy == db:
+				return dbm
+			}
+		}
+	}
+	return unknown
+}
+
+// suffixUnit classifies an identifier by its unit suffix. The suffix must
+// sit on a camel-case boundary (the rune before it is a lowercase letter
+// or digit) or be the whole name, so acronyms like "BMW" or "ADB" do not
+// match.
+func suffixUnit(name string) unit {
+	for _, c := range []struct {
+		suffix string
+		u      unit
+	}{
+		{"DBm", dbm}, {"dBm", dbm},
+		{"Milliwatts", mw}, {"MW", mw}, {"mW", mw},
+		{"DB", db}, {"dB", db},
+	} {
+		if name == c.suffix {
+			return c.u
+		}
+		if rest, ok := cutSuffix(name, c.suffix); ok && boundary(rest) {
+			return c.u
+		}
+	}
+	switch name {
+	case "dbm":
+		return dbm
+	case "db":
+		return db
+	case "mw":
+		return mw
+	}
+	return unknown
+}
+
+func cutSuffix(s, suffix string) (string, bool) {
+	if len(s) <= len(suffix) || s[len(s)-len(suffix):] != suffix {
+		return "", false
+	}
+	return s[:len(s)-len(suffix)], true
+}
+
+// boundary reports whether the last rune of the prefix ends a camel-case
+// word (lowercase letter or digit), so "noiseDBm" matches but "ADB" and
+// "SNRDB" (all-caps run) do not — all-caps identifiers are classified
+// only by exact name.
+func boundary(prefix string) bool {
+	if prefix == "" {
+		return false
+	}
+	c := prefix[len(prefix)-1]
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9'
+}

@@ -1,0 +1,12 @@
+package units_test
+
+import (
+	"testing"
+
+	"eflora/internal/analysis/analysistest"
+	"eflora/internal/analysis/units"
+)
+
+func TestUnits(t *testing.T) {
+	analysistest.Run(t, "testdata", units.Analyzer, "units")
+}

@@ -137,6 +137,7 @@ func registry() map[string]runner {
 // IDs lists the experiment identifiers in presentation order.
 func IDs() []string {
 	ids := make([]string, 0, len(registry()))
+	//eflora:nondeterminism-ok order-independent: keys are collected then explicitly sorted below
 	for id := range registry() {
 		ids = append(ids, id)
 	}

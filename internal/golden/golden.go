@@ -52,6 +52,7 @@ func Ints(xs []int) string {
 // exact float rendering).
 func Map(m map[string]float64) string {
 	keys := make([]string, 0, len(m))
+	//eflora:nondeterminism-ok order-independent: keys are collected then explicitly sorted below
 	for k := range m {
 		keys = append(keys, k)
 	}

@@ -140,6 +140,7 @@ func (p *Pool) Dispatch(up netserver.Uplink) {
 	sh := p.shards[k]
 	p.inflight.Add(1)
 	sh.depth.Add(1)
+	//eflora:blocking-ok bounded backpressure is the documented contract: the inbox caps at QueueDepth and a full shard must stall the UDP reader, not grow without bound
 	sh.inbox <- queued{up: up, enq: time.Now()}
 }
 

@@ -132,4 +132,3 @@ func TestAddrIndexRoundTrip(t *testing.T) {
 		t.Error("address 0 resolved")
 	}
 }
-

@@ -65,10 +65,10 @@ func TestPullDataAck(t *testing.T) {
 func TestDecodePacketErrors(t *testing.T) {
 	cases := [][]byte{
 		{},
-		{2, 0, 0},                                    // too short
-		{1, 0, 0, PushData, 1, 2, 3, 4, 5, 6, 7, 8},  // wrong version
-		{2, 0, 0, PullResp, 1, 2, 3, 4, 5, 6, 7, 8},  // downstream kind
-		{2, 0, 0, PushData, 1, 2, 3},                 // missing EUI
+		{2, 0, 0}, // too short
+		{1, 0, 0, PushData, 1, 2, 3, 4, 5, 6, 7, 8}, // wrong version
+		{2, 0, 0, PullResp, 1, 2, 3, 4, 5, 6, 7, 8}, // downstream kind
+		{2, 0, 0, PushData, 1, 2, 3},                // missing EUI
 		append([]byte{2, 0, 0, PushData, 1, 2, 3, 4, 5, 6, 7, 8}, []byte("{not json")...),
 	}
 	for i, buf := range cases {

@@ -250,6 +250,8 @@ func (e *Evaluator) rebuildCapacity() {
 // interSum(k) the co-channel other-SF mean power excluding i (used only
 // when the inter-SF extension is on). The gateway-capacity factor excludes
 // i's currently registered trial probability.
+//
+//eflora:hotpath
 func (e *Evaluator) eeCompute(
 	i int, sf lora.SF, tpmw float64, total int,
 	collExposure func(k int) (visEx, qEx float64),
@@ -320,6 +322,8 @@ func (e *Evaluator) eeCompute(
 }
 
 // eeOf computes device i's EE under the committed allocation.
+//
+//eflora:hotpath
 func (e *Evaluator) eeOf(i int) float64 {
 	gr := e.groupOf(e.sf[i], e.ch[i])
 	c := e.ch[i]
@@ -356,12 +360,19 @@ func (e *Evaluator) RecomputeAll() {
 }
 
 // refreshGroup recomputes EE for every member of the group and its min.
+//
+//eflora:hotpath
 func (e *Evaluator) refreshGroup(gr *group) {
 	gr.minEE = math.Inf(1)
 	gr.minIndex = -1
+	// Every member is visited exactly once and ties on minEE break toward
+	// the lowest device index, so the outcome does not depend on Go's
+	// randomized map order (RecomputeAll, which iterates devices in
+	// ascending order, must agree with this on exact-EE ties).
+	//eflora:nondeterminism-ok order-independent: all members updated; min tie-broken on device index
 	for i := range gr.members {
 		e.ee[i] = e.eeOf(i)
-		if e.ee[i] < gr.minEE {
+		if e.ee[i] < gr.minEE || (e.ee[i] == gr.minEE && i < gr.minIndex) {
 			gr.minEE = e.ee[i]
 			gr.minIndex = i
 		}
@@ -425,6 +436,8 @@ func (e *Evaluator) MinEEIf(i int, sf lora.SF, tpDBm float64, ch int) float64 {
 // with that value. The greedy allocator only cares whether a candidate
 // beats the current best, so most candidates are rejected after O(G) work
 // instead of a full scan of the affected groups.
+//
+//eflora:hotpath
 func (e *Evaluator) MinEEIfAbove(i int, sf lora.SF, tpDBm float64, ch int, threshold float64) float64 {
 	oldGr := e.groupOf(e.sf[i], e.ch[i])
 	newGr := e.groupOf(sf, ch)
@@ -491,12 +504,18 @@ func (e *Evaluator) MinEEIfAbove(i int, sf lora.SF, tpDBm float64, ch int, thres
 
 	if !same {
 		// Members of the old group (i leaves): count-1, exposure minus
-		// i's old contribution.
+		// i's old contribution. Iterating the member set in map order is
+		// safe here and below: without early abort the full scan computes
+		// an order-independent minimum, and when the threshold aborts the
+		// scan the caller discards the exact value (any return <= its
+		// threshold means "candidate rejected").
 		oldCount := oldGr.count - 1
+		//eflora:nondeterminism-ok order-independent min; early-abort returns are only compared against the threshold
 		for j := range oldGr.members {
 			if j == i {
 				continue
 			}
+			//eflora:alloc-ok non-escaping callback: eeCompute never retains it, proven zero-alloc by TestEvaluatorAllocBudget
 			collJ := func(k int) (float64, float64) {
 				return oldGr.visSum[k] - e.vis[i][k] - e.vis[j][k],
 					oldGr.qSum[k] - e.q[i][k] - e.q[j][k]
@@ -505,6 +524,7 @@ func (e *Evaluator) MinEEIfAbove(i int, sf lora.SF, tpDBm float64, ch int, thres
 			// too, so the other-SF remainder keeps its value — except
 			// that when i stays on the same channel with a new SF, its
 			// new power arrives as other-SF interference.
+			//eflora:alloc-ok non-escaping callback: eeCompute never retains it, proven zero-alloc by TestEvaluatorAllocBudget
 			interJ := func(k int) float64 {
 				s := e.chSum[oldCh][k] - oldGr.sumPG[k]
 				if newCh == oldCh {
@@ -521,7 +541,9 @@ func (e *Evaluator) MinEEIfAbove(i int, sf lora.SF, tpDBm float64, ch int, thres
 			}
 		}
 		// Members of the new group (i joins).
+		//eflora:nondeterminism-ok order-independent min; early-abort returns are only compared against the threshold
 		for j := range newGr.members {
+			//eflora:alloc-ok non-escaping callback: eeCompute never retains it, proven zero-alloc by TestEvaluatorAllocBudget
 			collJ := func(k int) (float64, float64) {
 				return newGr.visSum[k] + visNew(k) - e.vis[j][k],
 					newGr.qSum[k] + qNew(k) - e.q[j][k]
@@ -529,6 +551,7 @@ func (e *Evaluator) MinEEIfAbove(i int, sf lora.SF, tpDBm float64, ch int, thres
 			// chSum[newCh] gains i's new power and the group sum gains it
 			// too, cancelling out — but when i left the same channel
 			// (different SF), its old other-SF power disappears.
+			//eflora:alloc-ok non-escaping callback: eeCompute never retains it, proven zero-alloc by TestEvaluatorAllocBudget
 			interJ := func(k int) float64 {
 				s := e.chSum[newCh][k] - newGr.sumPG[k]
 				if oldCh == newCh {
@@ -547,16 +570,19 @@ func (e *Evaluator) MinEEIfAbove(i int, sf lora.SF, tpDBm float64, ch int, thres
 	} else {
 		// Same group, possibly different TP: peers see i's exposure
 		// change.
+		//eflora:nondeterminism-ok order-independent min; early-abort returns are only compared against the threshold
 		for j := range newGr.members {
 			if j == i {
 				continue
 			}
+			//eflora:alloc-ok non-escaping callback: eeCompute never retains it, proven zero-alloc by TestEvaluatorAllocBudget
 			collJ := func(k int) (float64, float64) {
 				return newGr.visSum[k] - e.vis[i][k] + visNew(k) - e.vis[j][k],
 					newGr.qSum[k] - e.q[i][k] + qNew(k) - e.q[j][k]
 			}
 			// chSum gains (new-old) and the group sum gains the same, so
 			// the other-SF remainder is unchanged.
+			//eflora:alloc-ok non-escaping callback: eeCompute never retains it, proven zero-alloc by TestEvaluatorAllocBudget
 			interJ := func(k int) float64 {
 				return e.chSum[newCh][k] - newGr.sumPG[k]
 			}
@@ -574,6 +600,8 @@ func (e *Evaluator) MinEEIfAbove(i int, sf lora.SF, tpDBm float64, ch int, thres
 
 // SetDevice commits a reassignment of device i and refreshes the caches of
 // the affected groups. It returns an error for invalid arguments.
+//
+//eflora:hotpath
 func (e *Evaluator) SetDevice(i int, sf lora.SF, tpDBm float64, ch int) error {
 	if i < 0 || i >= e.n {
 		return fmt.Errorf("model: device index %d out of range", i)

@@ -97,6 +97,8 @@ func (h *txHeap) Pop() interface{} {
 // Unlike Run, the event loop is inherently sequential — every delivery
 // outcome feeds back into the future schedule through retransmission
 // timing — so Config.Parallelism is ignored here.
+//
+//eflora:hotpath
 func RunConfirmed(net *model.Network, p model.Params, a model.Allocation, cfg ConfirmedConfig) (*ConfirmedResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -182,6 +184,7 @@ func RunConfirmed(net *model.Network, p model.Params, a model.Allocation, cfg Co
 		}
 		for m := 0; m < packets[i]; m++ {
 			res.Generated[i]++
+			//eflora:alloc-ok container/heap boxes once per event; the confirmed path models retransmission feedback and is deliberately not zero-alloc (only Run has an alloc budget)
 			heap.Push(starts, newTx(i, 1, float64(m)*interval[i]+r.Float64()*slack))
 		}
 	}
@@ -306,10 +309,13 @@ func RunConfirmed(net *model.Network, p model.Params, a model.Allocation, cfg Co
 
 	for starts.Len() > 0 || ends.Len() > 0 {
 		if ends.Len() == 0 || (starts.Len() > 0 && starts.items[0].start < ends.items[0].end) {
+			//eflora:alloc-ok container/heap boxes once per event; the confirmed path models retransmission feedback and is deliberately not zero-alloc (only Run has an alloc budget)
 			t := heap.Pop(starts).(*cTx)
 			handleStart(t)
+			//eflora:alloc-ok container/heap boxes once per event; the confirmed path models retransmission feedback and is deliberately not zero-alloc (only Run has an alloc budget)
 			heap.Push(ends, t)
 		} else {
+			//eflora:alloc-ok container/heap boxes once per event; the confirmed path models retransmission feedback and is deliberately not zero-alloc (only Run has an alloc budget)
 			handleEnd(heap.Pop(ends).(*cTx))
 		}
 	}

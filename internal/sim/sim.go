@@ -152,6 +152,8 @@ func newSFTables() sfTables {
 
 // Run simulates the network under the given allocation and returns
 // per-device statistics.
+//
+//eflora:hotpath
 func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -394,6 +396,8 @@ type activeRx struct {
 // rp, reusing rp's buffers from previous runs. It reads only shared
 // immutable state (schedule, flattened fading, gains), so concurrent
 // calls for different gateways are safe.
+//
+//eflora:hotpath
 func simulateGateway(
 	k int, txs []transmission, fading []float64, g int, gains [][]float64,
 	p model.Params, noiseMW, captureLin float64, sfTab *sfTables, cfg Config,
