@@ -201,6 +201,23 @@ func benchSimulator(b *testing.B, workers int) {
 	}
 }
 
+// BenchmarkSimulatorStreaming is BenchmarkSimulatorSequential in
+// time-windowed streaming mode (60 s windows): same bit-identical
+// results, O(devices + active window) resident schedule memory instead of
+// the whole materialized schedule.
+func BenchmarkSimulatorStreaming(b *testing.B) {
+	net, p, a := benchNetwork(1000, 9)
+	sc := new(sim.Scratch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{PacketsPerDevice: 20, Seed: uint64(i), Parallelism: 1,
+			StreamWindowS: 60, Scratch: sc}
+		if _, err := sim.Run(net, p, a, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEFLoRaAllocateSequential / Parallel scan each device's
 // (SF, TP, channel) candidates serially vs across workers.
 func BenchmarkEFLoRaAllocateSequential(b *testing.B) { benchEFLoRaAllocate(b, 1) }

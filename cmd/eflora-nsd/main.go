@@ -154,11 +154,12 @@ func loadScenario(cfg config) (*core.Network, model.Allocation, error) {
 
 // daemon is the live serving path.
 type daemon struct {
-	cfg     config
-	start   time.Time
-	pool    *ingest.Pool
-	tracker *ingest.Tracker
-	realloc *ingest.Reallocator
+	cfg      config
+	start    time.Time
+	pool     *ingest.Pool
+	tracker  *ingest.Tracker
+	realloc  *ingest.Reallocator
+	frontend *ingest.Frontend
 
 	udp      *net.UDPConn
 	httpLis  net.Listener
@@ -173,6 +174,15 @@ type daemon struct {
 
 func newDaemon(cfg config, netw *core.Network, a model.Allocation) (*daemon, error) {
 	d := &daemon{cfg: cfg, start: time.Now(), tracker: ingest.NewTracker(0)}
+	// The receiver frontend runs the same engine.Gateway physics as the
+	// simulators over the live RXPK stream, exposing RF-contention
+	// counters the dedup/delivery pipeline cannot see.
+	d.frontend = ingest.NewFrontend(ingest.FrontendConfig{
+		Plan:       netw.Params.Plan,
+		NoiseDBm:   netw.Params.NoiseDBm,
+		Capacity:   netw.Params.GatewayCapacity,
+		CodingRate: netw.Params.CodingRate,
+	})
 	d.pool = ingest.NewPool(ingest.ProvisionDevices(netw.Net.N()), ingest.PoolConfig{
 		Shards:       cfg.shards,
 		QueueDepth:   cfg.queueDepth,
@@ -257,7 +267,9 @@ func (d *daemon) Serve(ctx context.Context) error {
 			wg.Wait()
 			return nil
 		case <-flush.C:
-			d.pool.FlushExpired(d.nowS())
+			now := d.nowS()
+			d.pool.FlushExpired(now)
+			d.frontend.Advance(now)
 		case <-reallocC:
 			if err := d.reallocStep(); err != nil {
 				d.shutdown()
@@ -335,8 +347,15 @@ func (d *daemon) udpLoop() {
 		now := d.nowS()
 		for i := range pkt.RXPK {
 			rx := &pkt.RXPK[i]
-			if rx.Stat < 0 || (rx.Modu != "" && rx.Modu != "LORA") {
-				continue // CRC-failed or FSK traffic
+			if rx.Modu != "" && rx.Modu != "LORA" {
+				continue // FSK traffic
+			}
+			// Even a CRC-failed frame was RF on the air that occupied a
+			// demodulator and interfered, so it feeds the receiver
+			// frontend before the pipeline drops it.
+			d.frontend.Observe(gw, rx, now)
+			if rx.Stat < 0 {
+				continue // CRC-failed
 			}
 			phy, err := rx.Payload()
 			if err != nil {
@@ -357,12 +376,14 @@ func (d *daemon) udpLoop() {
 // handleMetrics renders the Prometheus-style text counters.
 func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	rf := d.frontend.Counters()
 	writeMetrics(w, d.pool, metricsExtra{
 		uptimeS:     d.nowS(),
 		gateways:    int(d.gwCount.Load()),
 		parseErrors: d.parseErr.Load(),
 		tracked:     d.tracker.Len(),
 		reallocated: d.reallocated(),
+		rf:          &rf,
 	})
 }
 
@@ -379,6 +400,9 @@ type metricsExtra struct {
 	parseErrors int64
 	tracked     int
 	reallocated int
+	// rf is the receiver frontend's RF-contention accounting (live mode
+	// only; replay traffic has no RXPK stream to observe).
+	rf *ingest.FrontendCounters
 }
 
 // writeMetrics is shared between the live /metrics endpoint and the
@@ -400,6 +424,13 @@ func writeMetrics(w io.Writer, pool *ingest.Pool, x metricsExtra) {
 	fmt.Fprintf(w, "eflora_nsd_gateways %d\n", x.gateways)
 	fmt.Fprintf(w, "eflora_nsd_tracked_devices %d\n", x.tracked)
 	fmt.Fprintf(w, "eflora_nsd_realloc_devices_total %d\n", x.reallocated)
+	if x.rf != nil {
+		fmt.Fprintf(w, "eflora_nsd_rf_collision_losses_total %d\n", x.rf.CollisionLosses)
+		fmt.Fprintf(w, "eflora_nsd_rf_capacity_drops_total %d\n", x.rf.CapacityDrops)
+		fmt.Fprintf(w, "eflora_nsd_rf_sensitivity_misses_total %d\n", x.rf.SensitivityMisses)
+		fmt.Fprintf(w, "eflora_nsd_rf_unknown_channel_total %d\n", x.rf.UnknownChannel)
+		fmt.Fprintf(w, "eflora_nsd_rf_bad_datr_total %d\n", x.rf.BadDatr)
+	}
 	for k, depth := range pool.ShardDepths() {
 		fmt.Fprintf(w, "eflora_nsd_shard_depth{shard=\"%d\"} %d\n", k, depth)
 	}

@@ -29,7 +29,7 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name: "detrand",
 	Doc: "forbid wall clocks, global math/rand, environment reads and map iteration " +
-		"in determinism-critical packages (sim, model, alloc, exp, par, golden, mathx)",
+		"in determinism-critical packages (sim, engine, model, alloc, exp, par, golden, mathx)",
 	Run: run,
 }
 
@@ -37,6 +37,7 @@ var Analyzer = &framework.Analyzer{
 // feed the golden-determinism digests.
 var criticalPackages = map[string]bool{
 	"sim":    true,
+	"engine": true,
 	"model":  true,
 	"alloc":  true,
 	"exp":    true,

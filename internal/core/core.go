@@ -131,7 +131,9 @@ func (n *Network) Evaluate(a model.Allocation) (*Evaluation, error) {
 	return out, nil
 }
 
-// Simulate runs the packet-level simulator on an allocation.
+// Simulate runs the packet-level simulator on an allocation. cfg passes
+// through unchanged, so sim.Config.StreamWindowS selects the
+// memory-bounded streaming mode (bit-identical to batch) from here too.
 func (n *Network) Simulate(a model.Allocation, cfg sim.Config) (*sim.Result, error) {
 	return sim.Run(n.Net, n.Params, a, cfg)
 }

@@ -1,0 +1,90 @@
+package ingest
+
+import (
+	"testing"
+
+	"eflora/internal/engine"
+	"eflora/internal/lora"
+)
+
+// feRXPK builds a strong EU868 channel-0 SF7 frame.
+func feRXPK(freqMHz, rssiDBm float64, datr string) RXPK {
+	return RXPK{Freq: freqMHz, Datr: datr, Codr: "4/7", RSSI: rssiDBm, Size: 20, Stat: 1, Modu: "LORA"}
+}
+
+func TestFrontendCountsOverlapCollisions(t *testing.T) {
+	f := NewFrontend(FrontendConfig{Plan: lora.EU868(), CaptureDB: -1}) // both-die rule
+	rx := feRXPK(868.1, -60, "SF7BW125")
+	if v, ok := f.Observe(0, &rx, 0); !ok || v != engine.VerdictLocked {
+		t.Fatalf("first frame: verdict=%v ok=%v", v, ok)
+	}
+	// Same channel, same SF, overlapping in time (SF7/20B is ~tens of ms).
+	if v, ok := f.Observe(0, &rx, 0.01); !ok || v != engine.VerdictLocked {
+		t.Fatalf("second frame: verdict=%v ok=%v", v, ok)
+	}
+	f.Advance(10) // both frames long over
+	c := f.Counters()
+	if c.CollisionLosses != 2 {
+		t.Errorf("collision losses = %d, want 2 (both-die rule)", c.CollisionLosses)
+	}
+
+	// A different gateway is an independent receiver.
+	rx2 := feRXPK(868.3, -60, "SF7BW125")
+	f.Observe(1, &rx2, 20)
+	f.Advance(30)
+	if got := f.Counters().CollisionLosses; got != 2 {
+		t.Errorf("clean frame at another gateway changed collisions: %d", got)
+	}
+}
+
+func TestFrontendSensitivityAndCapacity(t *testing.T) {
+	f := NewFrontend(FrontendConfig{Plan: lora.EU868(), Capacity: 2})
+	weak := feRXPK(868.1, -150, "SF7BW125") // below SF7 sensitivity
+	if v, _ := f.Observe(0, &weak, 0); v != engine.VerdictNoSignal {
+		t.Fatalf("weak frame verdict = %v, want no-signal", v)
+	}
+	// Fill both demodulators on distinct channels, then overflow.
+	ch0 := feRXPK(868.1, -60, "SF12BW125") // long air time keeps them locked
+	ch1 := feRXPK(868.3, -60, "SF12BW125")
+	ch2 := feRXPK(868.5, -60, "SF12BW125")
+	f.Observe(0, &ch0, 1)
+	f.Observe(0, &ch1, 1.01)
+	if v, _ := f.Observe(0, &ch2, 1.02); v != engine.VerdictNoCapacity {
+		t.Fatalf("third concurrent frame verdict = %v, want no-capacity", v)
+	}
+	c := f.Counters()
+	if c.SensitivityMisses != 1 || c.CapacityDrops != 1 {
+		t.Errorf("counters = %+v, want 1 sensitivity miss and 1 capacity drop", c)
+	}
+}
+
+func TestFrontendUnknownChannelAndBadDatr(t *testing.T) {
+	f := NewFrontend(FrontendConfig{Plan: lora.EU868()})
+	off := feRXPK(915.0, -60, "SF7BW125") // not an EU868 uplink frequency
+	if _, ok := f.Observe(0, &off, 0); !ok {
+		t.Fatal("off-plan frequency should still be observed")
+	}
+	bad := feRXPK(868.1, -60, "garbage")
+	if _, ok := f.Observe(0, &bad, 1); ok {
+		t.Fatal("unparsable datr should be rejected")
+	}
+	c := f.Counters()
+	if c.UnknownChannel != 1 || c.BadDatr != 1 {
+		t.Errorf("counters = %+v, want 1 unknown channel and 1 bad datr", c)
+	}
+}
+
+func TestFrontendClampsClockRegressions(t *testing.T) {
+	f := NewFrontend(FrontendConfig{Plan: lora.EU868()})
+	rx := feRXPK(868.1, -60, "SF7BW125")
+	f.Observe(0, &rx, 5)
+	// A reordered frame with an earlier arrival time must not violate the
+	// engine's nondecreasing-time contract (it is clamped to 5).
+	if v, ok := f.Observe(0, &rx, 4); !ok || v != engine.VerdictLocked {
+		t.Fatalf("reordered frame: verdict=%v ok=%v", v, ok)
+	}
+	f.Advance(10)
+	if got := f.Counters().CollisionLosses; got != 2 {
+		t.Errorf("clamped overlap should collide: losses = %d, want 2", got)
+	}
+}

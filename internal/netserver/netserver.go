@@ -10,6 +10,11 @@
 // for the whole network; the live daemon in internal/ingest shards the
 // device population across a pool of Servers so independent devices
 // never contend on the same lock.
+//
+// This package models everything above the radio: the physics of what a
+// gateway could receive at all — sensitivity, collisions, demodulator
+// capacity — lives in internal/engine (driven live by ingest.Frontend and
+// in simulation by internal/sim), and only decoded frames reach a Server.
 package netserver
 
 import (

@@ -30,3 +30,51 @@ func TestRunAllocBudget(t *testing.T) {
 		}
 	}
 }
+
+// TestRunConfirmedAllocBudget extends the scratch-reuse budget to the
+// confirmed MAC loop: the event slab, the index heaps and the per-gateway
+// engines all live in the Scratch, so a warm RunConfirmed is down to the
+// same fixed per-call overhead as Run (the RNG and the withDefaults
+// pointer materializations).
+func TestRunConfirmedAllocBudget(t *testing.T) {
+	net, p, a := goldenNetwork(60, 2)
+	sc := new(Scratch)
+	cfg := ConfirmedConfig{
+		Config:         Config{PacketsPerDevice: 8, Seed: 11, Scratch: sc},
+		MaxAttempts:    4,
+		HalfDuplexAcks: true,
+	}
+	if _, err := RunConfirmed(net, p, a, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(10, func() {
+		if _, err := RunConfirmed(net, p, a, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 8
+	if got > budget {
+		t.Errorf("RunConfirmed with Scratch allocates %v per run, budget %d", got, budget)
+	}
+}
+
+// TestRunStreamingAllocBudget pins the streaming path's steady state the
+// same way; sequential so the per-window fan-out adds no goroutine
+// bookkeeping noise.
+func TestRunStreamingAllocBudget(t *testing.T) {
+	net, p, a := goldenNetwork(120, 4)
+	sc := new(Scratch)
+	cfg := Config{PacketsPerDevice: 12, Seed: 7, Parallelism: 1, Scratch: sc, StreamWindowS: 60}
+	if _, err := Run(net, p, a, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(10, func() {
+		if _, err := Run(net, p, a, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 8
+	if got > budget {
+		t.Errorf("streaming Run with Scratch allocates %v per run, budget %d", got, budget)
+	}
+}

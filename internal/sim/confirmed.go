@@ -1,9 +1,9 @@
 package sim
 
 import (
-	"container/heap"
 	"math"
 
+	"eflora/internal/engine"
 	"eflora/internal/lora"
 	"eflora/internal/model"
 	"eflora/internal/rng"
@@ -20,28 +20,53 @@ type ConfirmedConfig struct {
 	// MaxAttempts per packet including the first transmission
 	// (default 8, the LoRaWAN limit).
 	MaxAttempts int
-	// AckTimeoutS is the delay before a retransmission (default 2 s, the
+	// AckTimeoutS is the delay before a retransmission (nil means 2 s, the
 	// class-A RX-window span), to which a uniform random backoff of up to
-	// BackoffS is added (default 4 s).
-	AckTimeoutS, BackoffS float64
+	// BackoffS is added (nil means 4 s). They are pointers so an explicit
+	// zero — retransmit immediately, or no random backoff — is honoured
+	// rather than silently rewritten to the default.
+	AckTimeoutS, BackoffS *float64
 	// HalfDuplexAcks models the gateway's transmit cost: the gateway that
 	// acknowledges a packet cannot receive while its downlink is in the
 	// air (LoRa gateways are half-duplex), so uplinks arriving during the
 	// ACK are lost at that gateway. The ACK goes out in RX1 (1 s after
 	// the uplink) at the uplink's spreading factor.
 	HalfDuplexAcks bool
+
+	// hooks, when non-nil, replaces the initial schedule's jitter and
+	// fading draws — the in-package seam the differential batch-vs-confirmed
+	// test uses to replay sim.Run's exact randomness through this event
+	// loop. Retransmission draws always come from the run's own RNG.
+	hooks *confirmedHooks
 }
+
+// confirmedHooks supplies the initial-schedule randomness: jitter returns
+// the uniform [0,1) draw for device dev's m-th packet, fading the Rayleigh
+// power gain for that packet at gateway k.
+type confirmedHooks struct {
+	jitter func(dev, m int) float64
+	fading func(dev, m, k int) float64
+}
+
+// DefaultAckTimeoutS and DefaultBackoffS are the retransmission-timing
+// defaults used when the corresponding ConfirmedConfig pointer is nil.
+const (
+	DefaultAckTimeoutS = 2.0
+	DefaultBackoffS    = 4.0
+)
 
 func (c ConfirmedConfig) withDefaults() ConfirmedConfig {
 	c.Config = c.Config.withDefaults()
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = MaxTransmissions
 	}
-	if c.AckTimeoutS <= 0 {
-		c.AckTimeoutS = 2
+	if c.AckTimeoutS == nil {
+		v := DefaultAckTimeoutS
+		c.AckTimeoutS = &v
 	}
-	if c.BackoffS <= 0 {
-		c.BackoffS = 4
+	if c.BackoffS == nil {
+		v := DefaultBackoffS
+		c.BackoffS = &v
 	}
 	return c
 }
@@ -61,42 +86,208 @@ type ConfirmedResult struct {
 	AckBlocked int
 }
 
-// cTx is one transmission attempt in flight.
+// cTx is one transmission attempt, stored inline in the event loop's slab
+// (heaps hold slab indices, so nothing is boxed per event). Received
+// powers live in the flattened companion slab (attempt t, gateway k at
+// t*g+k); per-gateway lock and collision state lives inside the engines.
 type cTx struct {
-	dev      int
-	attempt  int // 1-based
-	start    float64
-	end      float64
-	sf       lora.SF
-	ch       int
-	tpMW     float64
-	rxMW     []float64 // per gateway
-	locked   []bool
-	collided []bool
+	dev     int
+	attempt int // 1-based
+	outGw   int // lowest delivering gateway, -1 otherwise
+	start   float64
+	end     float64
+	outcome Outcome
 }
 
-// txHeap orders transmissions by a timestamp selected by the less func.
-type txHeap struct {
-	items []*cTx
-	key   func(*cTx) float64
+// confirmedRun is RunConfirmed's event-loop state, resident in a Scratch
+// so repeated runs reuse the slabs, the heaps and the per-gateway engines.
+// The wiring fields are rebound every run.
+type confirmedRun struct {
+	// Arena (persists across runs at high-water capacity).
+	ctxs         []cTx
+	rxMW         []float64
+	starts, ends []int32
+	eng          []engine.Gateway
+	trace        []PacketRecord
+	res          ConfirmedResult
+
+	// Per-run wiring.
+	g           int
+	r           *rng.RNG
+	gains       [][]float64
+	sf          []lora.SF
+	ch          []int
+	toa, tpMW   []float64
+	ackToA      [6]float64
+	maxAttempts int
+	ackTimeoutS float64
+	backoffS    float64
+	halfDuplex  bool
+	traceOn     bool
+	hooks       *confirmedHooks
 }
 
-func (h *txHeap) Len() int           { return len(h.items) }
-func (h *txHeap) Less(i, j int) bool { return h.key(h.items[i]) < h.key(h.items[j]) }
-func (h *txHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *txHeap) Push(x interface{}) { h.items = append(h.items, x.(*cTx)) }
-func (h *txHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+// The two index heaps replicate container/heap's sift order exactly
+// (identical comparisons produce identical layouts and therefore an
+// identical pop order, which the confirmed golden digest pins) while
+// keeping attempts unboxed in the slab.
+
+// less orders heap entries by slab start (byEnd false) or end (byEnd true).
+func (c *confirmedRun) less(h []int32, byEnd bool, x, y int) bool {
+	a, b := h[x], h[y]
+	if byEnd {
+		return c.ctxs[a].end < c.ctxs[b].end
+	}
+	return c.ctxs[a].start < c.ctxs[b].start
+}
+
+//eflora:hotpath
+func (c *confirmedRun) heapPush(h []int32, byEnd bool, v int32) []int32 {
+	h = append(h, v)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !c.less(h, byEnd, j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	return h
+}
+
+//eflora:hotpath
+func (c *confirmedRun) heapPop(h []int32, byEnd bool) ([]int32, int32) {
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	c.heapDown(h[:n], byEnd)
+	return h[:n], h[n]
+}
+
+func (c *confirmedRun) heapDown(h []int32, byEnd bool) {
+	n := len(h)
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && c.less(h, byEnd, j2, j) {
+			j = j2
+		}
+		if !c.less(h, byEnd, j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// newTx appends one attempt to the slab, drawing (or replaying, for the
+// initial schedule under hooks) its per-gateway fading. m is the packet
+// index for hook lookups, -1 for retransmissions.
+//
+//eflora:hotpath
+func (c *confirmedRun) newTx(dev, attempt, m int, start float64) int32 {
+	idx := int32(len(c.ctxs))
+	c.ctxs = append(c.ctxs, cTx{
+		dev: dev, attempt: attempt, outGw: -1,
+		start: start, end: start + c.toa[dev],
+	})
+	tp := c.tpMW[dev]
+	for k := 0; k < c.g; k++ {
+		var f float64
+		if c.hooks != nil && m >= 0 {
+			f = c.hooks.fading(dev, m, k)
+		} else {
+			f = c.r.RayleighPowerGain()
+		}
+		c.rxMW = append(c.rxMW, tp*c.gains[dev][k]*f)
+	}
+	return idx
+}
+
+// handleStart presents the attempt to every gateway's receiver. Arrival
+// rejections that out-rank the running outcome (a full or ACK-deaf
+// gateway) are folded in here; lock verdicts arrive later via handleEnd.
+//
+//eflora:hotpath
+func (c *confirmedRun) handleStart(t int32) {
+	tx := &c.ctxs[t]
+	c.res.Attempts[tx.dev]++
+	sf, ch := c.sf[tx.dev], c.ch[tx.dev]
+	base := int(t) * c.g
+	for k := 0; k < c.g; k++ {
+		switch c.eng[k].Arrive(int(t), tx.dev, sf, ch, tx.start, tx.end, c.rxMW[base+k]) {
+		case engine.VerdictBlocked, engine.VerdictNoCapacity:
+			if OutcomeCapacity > tx.outcome {
+				tx.outcome = OutcomeCapacity
+			}
+		}
+	}
+}
+
+// handleEnd completes the attempt at every gateway, schedules the ACK
+// window or the retransmission, and settles the packet's accounting.
+//
+//eflora:hotpath
+func (c *confirmedRun) handleEnd(t int32) {
+	tx := &c.ctxs[t]
+	delivered := false
+	for k := 0; k < c.g; k++ {
+		d, ok := c.eng[k].Complete(int(t))
+		if !ok {
+			continue
+		}
+		if d.Outcome == OutcomeDelivered {
+			delivered = true
+		}
+		if d.Outcome > tx.outcome {
+			tx.outcome = d.Outcome
+			if d.Outcome == OutcomeDelivered {
+				tx.outGw = k
+			}
+		}
+	}
+	if delivered && c.halfDuplex {
+		// The network server answers through the best gateway in RX1, one
+		// second after the uplink, using the uplink's SF; that gateway is
+		// deaf for the ACK's air time (~13-byte frame).
+		ackStart := tx.end + 1
+		c.eng[tx.outGw].AddAckWindow(ackStart, ackStart+c.ackToA[c.sf[tx.dev]-lora.SF7])
+	}
+	// Copy before the retransmit branch: newTx appends to the slab and may
+	// move it, invalidating tx.
+	v := *tx
+	switch {
+	case delivered:
+		c.res.Delivered[v.dev]++
+	case v.attempt < c.maxAttempts:
+		c.res.Retransmissions++
+		backoff := c.ackTimeoutS + c.r.Float64()*c.backoffS
+		nt := c.newTx(v.dev, v.attempt+1, -1, v.end+backoff)
+		c.starts = c.heapPush(c.starts, false, nt)
+	default:
+		c.res.Abandoned++
+	}
+	if c.traceOn {
+		c.trace = append(c.trace, PacketRecord{
+			Device: v.dev, StartS: v.start, Outcome: v.outcome, Gateway: v.outGw,
+		})
+	}
 }
 
 // RunConfirmed simulates confirmed uplink traffic with retransmissions.
 // Unlike Run, the event loop is inherently sequential — every delivery
 // outcome feeds back into the future schedule through retransmission
-// timing — so Config.Parallelism is ignored here.
+// timing — so Config.Parallelism is ignored here. Reception physics lives
+// in the shared engine.Gateway (one per gateway, half-duplex mode); this
+// loop owns the schedule, the retransmission policy and the ACK windows.
+//
+// Config.Trace is honoured: one record per transmission attempt, appended
+// in completion order (sort by StartS to recover schedule order). With a
+// Config.Scratch the returned result aliases the scratch's buffers under
+// the same contract as Run.
 //
 //eflora:hotpath
 func RunConfirmed(net *model.Network, p model.Params, a model.Allocation, cfg ConfirmedConfig) (*ConfirmedResult, error) {
@@ -111,226 +302,116 @@ func RunConfirmed(net *model.Network, p model.Params, a model.Allocation, cfg Co
 	}
 	cfg = cfg.withDefaults()
 	n, g := net.N(), net.G()
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = new(Scratch)
+	}
+	c := &sc.crun
 	r := rng.New(cfg.Seed)
 	gains := model.Gains(net, p)
 	noiseMW := lora.DBmToMilliwatts(p.NoiseDBm)
 	captureLin := lora.DBToLinear(*cfg.CaptureThresholdDB)
+	simEnd, _ := deviceSchedule(sc, net, p, a, cfg.PacketsPerDevice)
 
-	toa := make([]float64, n)
-	tpMW := make([]float64, n)
-	interval := make([]float64, n)
-	packets := make([]int, n)
-	simEnd := 0.0
-	for i := 0; i < n; i++ {
-		toa[i] = p.TimeOnAir(a.SF[i])
-		tpMW[i] = lora.DBmToMilliwatts(a.TPdBm[i])
-		interval[i] = p.IntervalFor(net, i, a.SF[i])
-		if t := interval[i] * float64(cfg.PacketsPerDevice); t > simEnd {
-			simEnd = t
-		}
+	c.g = g
+	c.r = r
+	c.gains = gains
+	c.sf, c.ch = a.SF, a.Channel
+	c.toa, c.tpMW = sc.toa, sc.tpMW
+	for _, s := range lora.SFs() {
+		c.ackToA[s-lora.SF7] = lora.TimeOnAir(13, s, p.BandwidthHz, p.CodingRate)
 	}
-	for i := 0; i < n; i++ {
-		packets[i] = int(simEnd / interval[i])
-		if packets[i] < cfg.PacketsPerDevice {
-			packets[i] = cfg.PacketsPerDevice
-		}
-	}
+	c.maxAttempts = cfg.MaxAttempts
+	c.ackTimeoutS = *cfg.AckTimeoutS
+	c.backoffS = *cfg.BackoffS
+	c.halfDuplex = cfg.HalfDuplexAcks
+	c.traceOn = cfg.Trace
+	c.hooks = cfg.hooks
 
-	res := &ConfirmedResult{
-		Result: Result{
-			Attempts:      make([]int, n),
-			Delivered:     make([]int, n),
-			PRR:           make([]float64, n),
-			TxEnergyJ:     make([]float64, n),
-			TotalEnergyJ:  make([]float64, n),
-			EE:            make([]float64, n),
-			AvgPowerW:     make([]float64, n),
-			RetxAvgPowerW: make([]float64, n),
-			SimTimeS:      simEnd,
-		},
-		Generated: make([]int, n),
+	c.ctxs = c.ctxs[:0]
+	c.rxMW = c.rxMW[:0]
+	c.starts = c.starts[:0]
+	c.ends = c.ends[:0]
+	c.trace = c.trace[:0]
+	c.eng = grow(c.eng, g)
+	engCfg := engineConfig(p, captureLin, noiseMW, cfg.Capture, cfg.HalfDuplexAcks)
+	for k := range c.eng {
+		c.eng[k].Reset(engCfg)
 	}
 
-	newTx := func(dev int, attempt int, start float64) *cTx {
-		t := &cTx{
-			dev:      dev,
-			attempt:  attempt,
-			start:    start,
-			end:      start + toa[dev],
-			sf:       a.SF[dev],
-			ch:       a.Channel[dev],
-			tpMW:     tpMW[dev],
-			rxMW:     make([]float64, g),
-			locked:   make([]bool, g),
-			collided: make([]bool, g),
-		}
-		for k := 0; k < g; k++ {
-			t.rxMW[k] = t.tpMW * gains[dev][k] * r.RayleighPowerGain()
-		}
-		return t
-	}
-
-	starts := &txHeap{key: func(t *cTx) float64 { return t.start }}
-	ends := &txHeap{key: func(t *cTx) float64 { return t.end }}
-	heap.Init(starts)
-	heap.Init(ends)
+	res := &c.res
+	res.Attempts = growZero(res.Attempts, n)
+	res.Delivered = growZero(res.Delivered, n)
+	res.PRR = grow(res.PRR, n)
+	res.TxEnergyJ = grow(res.TxEnergyJ, n)
+	res.TotalEnergyJ = grow(res.TotalEnergyJ, n)
+	res.EE = growZero(res.EE, n)
+	res.AvgPowerW = grow(res.AvgPowerW, n)
+	res.RetxAvgPowerW = grow(res.RetxAvgPowerW, n)
+	res.SimTimeS = simEnd
+	res.CollisionLosses, res.CapacityDrops, res.SensitivityMisses = 0, 0, 0
+	res.Trace, res.MaxSNRdB = nil, nil
+	res.Generated = growZero(res.Generated, n)
+	res.Retransmissions, res.Abandoned, res.AckBlocked = 0, 0, 0
 
 	// Initial schedule: one packet per device per period, jittered so a
-	// device never overlaps itself.
+	// device never overlaps itself. RNG order (jitter, then per-gateway
+	// fading, device-major) is pinned by the confirmed golden digest.
 	for i := 0; i < n; i++ {
-		slack := interval[i] - toa[i]
+		slack := sc.interval[i] - sc.toa[i]
 		if slack < 0 {
 			slack = 0
 		}
-		for m := 0; m < packets[i]; m++ {
+		for m := 0; m < sc.packets[i]; m++ {
 			res.Generated[i]++
-			//eflora:alloc-ok container/heap boxes once per event; the confirmed path models retransmission feedback and is deliberately not zero-alloc (only Run has an alloc budget)
-			heap.Push(starts, newTx(i, 1, float64(m)*interval[i]+r.Float64()*slack))
+			var j float64
+			if c.hooks != nil {
+				j = c.hooks.jitter(i, m)
+			} else {
+				j = r.Float64()
+			}
+			t := c.newTx(i, 1, m, float64(m)*sc.interval[i]+j*slack)
+			c.starts = c.heapPush(c.starts, false, t)
 		}
 	}
 
-	// Per-gateway reception state. ackWins holds the half-duplex ACK
-	// windows during which a gateway's downlink is in the air and it
-	// cannot lock onto uplinks.
-	active := make([][]*cTx, g)
-	lockedCount := make([]int, g)
-	type ackWin struct{ from, to float64 }
-	ackWins := make([][]ackWin, g)
-
-	handleStart := func(t *cTx) {
-		res.Attempts[t.dev]++
-		for k := 0; k < g; k++ {
-			if t.rxMW[k] < lora.DBmToMilliwatts(lora.SensitivityDBm(t.sf)) {
-				res.SensitivityMisses++
-				continue
-			}
-			// RF energy corrupts overlapping locked same-SF same-channel
-			// receptions whether or not this transmission itself finds a
-			// free demodulator (or a gateway deaf from an ACK), so the
-			// collision scan runs before those checks — mirroring the
-			// unconfirmed simulator. Marks on t itself are ignored later
-			// unless t locks.
-			for _, o := range active[k] {
-				if o.dev == t.dev || o.sf != t.sf || o.ch != t.ch {
-					continue
-				}
-				if cfg.Capture {
-					switch {
-					case t.rxMW[k] >= captureLin*o.rxMW[k]:
-						o.collided[k] = true
-					case o.rxMW[k] >= captureLin*t.rxMW[k]:
-						t.collided[k] = true
-					default:
-						t.collided[k] = true
-						o.collided[k] = true
-					}
-				} else {
-					t.collided[k] = true
-					o.collided[k] = true
-				}
-			}
-			if cfg.HalfDuplexAcks {
-				// Prune finished ACK windows, then block the uplink if
-				// any remaining downlink overlaps it in time.
-				wins := ackWins[k][:0]
-				blocked := false
-				for _, w := range ackWins[k] {
-					if w.to <= t.start {
-						continue
-					}
-					wins = append(wins, w)
-					if w.from < t.end && t.start < w.to {
-						blocked = true
-					}
-				}
-				ackWins[k] = wins
-				if blocked {
-					res.AckBlocked++
-					continue
-				}
-			}
-			if lockedCount[k] >= p.GatewayCapacity {
-				res.CapacityDrops++
-				continue
-			}
-			t.locked[k] = true
-			lockedCount[k]++
-			active[k] = append(active[k], t)
-		}
-	}
-
-	handleEnd := func(t *cTx) {
-		delivered := false
-		ackGateway := -1
-		for k := 0; k < g; k++ {
-			if !t.locked[k] {
-				continue
-			}
-			lockedCount[k]--
-			// Remove from the gateway's active list.
-			lst := active[k]
-			for i, o := range lst {
-				if o == t {
-					lst[i] = lst[len(lst)-1]
-					active[k] = lst[:len(lst)-1]
-					break
-				}
-			}
-			snrOK := t.rxMW[k]/noiseMW >= lora.DBToLinear(lora.SNRThresholdDB(t.sf))
-			if t.collided[k] {
-				res.CollisionLosses++
-			} else if snrOK {
-				delivered = true
-				if ackGateway < 0 {
-					ackGateway = k
-				}
-			}
-		}
-		if delivered && cfg.HalfDuplexAcks && ackGateway >= 0 {
-			// The network server answers through the best gateway in
-			// RX1, one second after the uplink, using the uplink's SF;
-			// that gateway is deaf for the ACK's air time (~13-byte
-			// frame).
-			ackStart := t.end + 1
-			ackEnd := ackStart + lora.TimeOnAir(13, t.sf, p.BandwidthHz, p.CodingRate)
-			ackWins[ackGateway] = append(ackWins[ackGateway], ackWin{from: ackStart, to: ackEnd})
-		}
-		switch {
-		case delivered:
-			res.Delivered[t.dev]++
-		case t.attempt < cfg.MaxAttempts:
-			res.Retransmissions++
-			backoff := cfg.AckTimeoutS + r.Float64()*cfg.BackoffS
-			heap.Push(starts, newTx(t.dev, t.attempt+1, t.end+backoff))
-		default:
-			res.Abandoned++
-		}
-	}
-
-	for starts.Len() > 0 || ends.Len() > 0 {
-		if ends.Len() == 0 || (starts.Len() > 0 && starts.items[0].start < ends.items[0].end) {
-			//eflora:alloc-ok container/heap boxes once per event; the confirmed path models retransmission feedback and is deliberately not zero-alloc (only Run has an alloc budget)
-			t := heap.Pop(starts).(*cTx)
-			handleStart(t)
-			//eflora:alloc-ok container/heap boxes once per event; the confirmed path models retransmission feedback and is deliberately not zero-alloc (only Run has an alloc budget)
-			heap.Push(ends, t)
+	for len(c.starts) > 0 || len(c.ends) > 0 {
+		if len(c.ends) == 0 ||
+			(len(c.starts) > 0 && c.ctxs[c.starts[0]].start < c.ctxs[c.ends[0]].end) {
+			var t int32
+			c.starts, t = c.heapPop(c.starts, false)
+			c.handleStart(t)
+			c.ends = c.heapPush(c.ends, true, t)
 		} else {
-			//eflora:alloc-ok container/heap boxes once per event; the confirmed path models retransmission feedback and is deliberately not zero-alloc (only Run has an alloc budget)
-			handleEnd(heap.Pop(ends).(*cTx))
+			var t int32
+			c.ends, t = c.heapPop(c.ends, true)
+			c.handleEnd(t)
 		}
+	}
+
+	for k := 0; k < g; k++ {
+		cc := c.eng[k].Counters
+		res.CollisionLosses += cc.CollisionLosses
+		res.CapacityDrops += cc.CapacityDrops
+		res.SensitivityMisses += cc.SensitivityMisses
+		res.AckBlocked += cc.AckBlocked
+	}
+	if c.traceOn {
+		res.Trace = c.trace
 	}
 
 	lbits := p.AppPayloadBits()
 	for i := 0; i < n; i++ {
 		res.PRR[i] = float64(res.Delivered[i]) / float64(res.Generated[i])
-		eTx := p.Profile.TransmissionEnergy(a.TPdBm[i], toa[i]) * float64(res.Attempts[i])
+		eTx := p.Profile.TransmissionEnergy(a.TPdBm[i], sc.toa[i]) * float64(res.Attempts[i])
 		res.TxEnergyJ[i] = eTx
-		activeT := (p.Profile.OverheadDuration() + toa[i]) * float64(res.Attempts[i])
+		activeT := (p.Profile.OverheadDuration() + sc.toa[i]) * float64(res.Attempts[i])
 		sleep := simEnd - activeT
 		if sleep < 0 {
 			sleep = 0
 		}
 		res.TotalEnergyJ[i] = eTx + p.Profile.SleepPowerDraw()*sleep
+		res.EE[i] = 0
 		if eTx > 0 {
 			res.EE[i] = lbits * float64(res.Delivered[i]) / eTx
 		}

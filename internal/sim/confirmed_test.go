@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"eflora/internal/geo"
@@ -262,5 +263,151 @@ func TestHalfDuplexAcksCostReceptions(t *testing.T) {
 	}
 	if dHD >= dBase {
 		t.Errorf("half-duplex delivery %d should be below free-ACK delivery %d", dHD, dBase)
+	}
+}
+
+// TestConfirmedDefaultsHonorExplicitZeros pins the satellite bugfix: an
+// explicit zero ACK timeout or backoff span (retransmit immediately, no
+// random backoff) must survive withDefaults instead of being silently
+// rewritten to the 2 s / 4 s defaults, mirroring how CaptureThresholdDB
+// distinguishes "unset" from "zero" with a pointer.
+func TestConfirmedDefaultsHonorExplicitZeros(t *testing.T) {
+	zero := 0.0
+	cfg := ConfirmedConfig{AckTimeoutS: &zero, BackoffS: &zero}.withDefaults()
+	if *cfg.AckTimeoutS != 0 {
+		t.Errorf("explicit AckTimeoutS=0 rewritten to %v", *cfg.AckTimeoutS)
+	}
+	if *cfg.BackoffS != 0 {
+		t.Errorf("explicit BackoffS=0 rewritten to %v", *cfg.BackoffS)
+	}
+	def := ConfirmedConfig{}.withDefaults()
+	if *def.AckTimeoutS != DefaultAckTimeoutS || *def.BackoffS != DefaultBackoffS {
+		t.Errorf("nil timing defaults = %v/%v, want %v/%v",
+			*def.AckTimeoutS, *def.BackoffS, DefaultAckTimeoutS, DefaultBackoffS)
+	}
+
+	// Behavioral check: zero timing retransmits back-to-back, so the run
+	// still completes and counts retransmissions on a lossy cell.
+	net, p, a := goldenNetwork(40, 2)
+	res, err := RunConfirmed(net, p, a, ConfirmedConfig{
+		Config:      Config{PacketsPerDevice: 4, Seed: 5},
+		MaxAttempts: 3,
+		AckTimeoutS: &zero,
+		BackoffS:    &zero,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retransmissions == 0 {
+		t.Error("no retransmissions on a collision-limited cell")
+	}
+}
+
+// TestConfirmedSingleAttemptMatchesRun is the differential proof that the
+// confirmed event loop drives the shared receiver engine identically to
+// the batch simulator: with MaxAttempts=1 (no retransmissions, no ACK
+// feedback) and the batch run's exact randomness replayed through the
+// hooks seam, every counter, per-device statistic and trace record must
+// match transmission-for-transmission.
+func TestConfirmedSingleAttemptMatchesRun(t *testing.T) {
+	net, p, a := goldenNetwork(80, 3)
+	n := net.N()
+	base := Config{PacketsPerDevice: 10, Seed: 21, Trace: true}
+
+	for _, capture := range []bool{false, true} {
+		cfg := base
+		cfg.Capture = capture
+		batch, err := Run(net, p, a, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Replicate the batch randomness: jitters device-major, then
+		// fading per (sorted transmission, gateway) — the exact draw
+		// order Run uses.
+		sc := new(Scratch)
+		deviceSchedule(sc, net, p, a, cfg.PacketsPerDevice)
+		r := rng.New(cfg.Seed)
+		jit := make([][]float64, n)
+		starts := make([][]float64, n)
+		type txKey struct{ dev, m int }
+		var order []txKey
+		for i := 0; i < n; i++ {
+			jit[i] = make([]float64, sc.packets[i])
+			starts[i] = make([]float64, sc.packets[i])
+			slack := sc.interval[i] - sc.toa[i]
+			if slack < 0 {
+				slack = 0
+			}
+			for m := range jit[i] {
+				u := r.Float64()
+				jit[i][m] = u
+				starts[i][m] = float64(m)*sc.interval[i] + u*slack
+				order = append(order, txKey{i, m})
+			}
+		}
+		sort.Slice(order, func(x, y int) bool {
+			sx, sy := starts[order[x].dev][order[x].m], starts[order[y].dev][order[y].m]
+			if sx != sy {
+				return sx < sy
+			}
+			return order[x].dev < order[y].dev
+		})
+		fad := make([][][]float64, n)
+		for i := 0; i < n; i++ {
+			fad[i] = make([][]float64, sc.packets[i])
+		}
+		for _, k := range order {
+			row := make([]float64, net.G())
+			for g := range row {
+				row[g] = r.RayleighPowerGain()
+			}
+			fad[k.dev][k.m] = row
+		}
+
+		conf, err := RunConfirmed(net, p, a, ConfirmedConfig{
+			Config:      cfg,
+			MaxAttempts: 1,
+			hooks: &confirmedHooks{
+				jitter: func(dev, m int) float64 { return jit[dev][m] },
+				fading: func(dev, m, k int) float64 { return fad[dev][m][k] },
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if conf.CollisionLosses != batch.CollisionLosses ||
+			conf.CapacityDrops != batch.CapacityDrops ||
+			conf.SensitivityMisses != batch.SensitivityMisses {
+			t.Errorf("capture=%v counters: confirmed %d/%d/%d != batch %d/%d/%d", capture,
+				conf.CollisionLosses, conf.CapacityDrops, conf.SensitivityMisses,
+				batch.CollisionLosses, batch.CapacityDrops, batch.SensitivityMisses)
+		}
+		for i := 0; i < n; i++ {
+			if conf.Delivered[i] != batch.Delivered[i] || conf.Attempts[i] != batch.Attempts[i] {
+				t.Fatalf("capture=%v device %d: confirmed delivered/attempts %d/%d != batch %d/%d",
+					capture, i, conf.Delivered[i], conf.Attempts[i], batch.Delivered[i], batch.Attempts[i])
+			}
+		}
+
+		// The confirmed trace appends in completion order; sorting by the
+		// batch key (start, device) must reproduce the batch trace exactly.
+		ctr := append([]PacketRecord(nil), conf.Trace...)
+		sort.Slice(ctr, func(x, y int) bool {
+			if ctr[x].StartS != ctr[y].StartS {
+				return ctr[x].StartS < ctr[y].StartS
+			}
+			return ctr[x].Device < ctr[y].Device
+		})
+		if len(ctr) != len(batch.Trace) {
+			t.Fatalf("capture=%v trace length %d != batch %d", capture, len(ctr), len(batch.Trace))
+		}
+		for i := range ctr {
+			if ctr[i] != batch.Trace[i] {
+				t.Fatalf("capture=%v trace[%d]: confirmed %+v != batch %+v",
+					capture, i, ctr[i], batch.Trace[i])
+			}
+		}
 	}
 }

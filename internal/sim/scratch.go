@@ -1,18 +1,23 @@
 package sim
 
-// Scratch holds every buffer a Run invocation needs, so repeated runs —
-// the repeated packet-level trials behind each figure — reuse one arena
-// instead of re-allocating the schedule, the fading matrix, the
-// per-gateway replay buffers and the Result slices each time. A zero
-// Scratch is ready to use; buffers grow to the high-water mark of the
-// runs they serve and stay there.
+import (
+	"eflora/internal/engine"
+	"eflora/internal/rng"
+)
+
+// Scratch holds every buffer a Run or RunConfirmed invocation needs, so
+// repeated runs — the repeated packet-level trials behind each figure —
+// reuse one arena instead of re-allocating the schedule, the fading
+// matrix, the per-gateway replay buffers and the Result slices each
+// time. A zero Scratch is ready to use; buffers grow to the high-water
+// mark of the runs they serve and stay there.
 //
-// Ownership contract: the *Result returned by a Run with a Scratch
-// aliases the scratch's buffers. It is valid until the next Run with the
-// same scratch; callers that keep per-device slices across runs must
-// copy them first. A Scratch serves one Run at a time (gateway replay
-// inside that run still fans out across cores); concurrent trials need
-// one Scratch each, e.g. from a sync.Pool.
+// Ownership contract: the *Result (or *ConfirmedResult) returned by a
+// run with a Scratch aliases the scratch's buffers. It is valid until
+// the next run with the same scratch; callers that keep per-device
+// slices across runs must copy them first. A Scratch serves one run at a
+// time (gateway replay inside that run still fans out across cores);
+// concurrent trials need one Scratch each, e.g. from a sync.Pool.
 type Scratch struct {
 	// Per-device schedule-building buffers.
 	toa, tpMW, interval []float64
@@ -20,7 +25,8 @@ type Scratch struct {
 
 	// The shared transmission schedule and the flattened
 	// per-transmission×gateway fading matrix (row t, column k at
-	// fading[t*g+k]).
+	// fading[t*g+k]). The streaming path leaves both untouched — that is
+	// the whole point — and uses the window buffers below instead.
 	txs    []transmission
 	fading []float64
 
@@ -39,6 +45,21 @@ type Scratch struct {
 	maxSNR []float64
 
 	res Result
+
+	// Streaming-mode state: per-device generator streams (an RNG
+	// snapshot, the next emission and a merge heap) plus the current
+	// window's transmissions/fading and the pending-verdict ring. All
+	// O(devices + active window).
+	devRng    []rng.RNG
+	nextStart []float64
+	nextM     []int
+	devHeap   []int32
+	wtxs      []engine.Transmission
+	wfading   []float64
+	pend      []pendTx
+
+	// Confirmed-path event-loop state (RunConfirmed).
+	crun confirmedRun
 }
 
 // grow returns buf resized to n, reallocating only when capacity is

@@ -18,6 +18,14 @@
 // randomness (phases and fading) is drawn up front, each gateway writes
 // into its own buffers, and the buffers are merged in gateway order. Run
 // therefore produces bit-identical results at any Parallelism setting.
+//
+// The reception physics itself — lock, overlap/capture, capacity,
+// half-duplex blocking, the SNR decision — lives in the shared
+// engine.Gateway state machine; this package drives it with schedules
+// (batch or streaming) and owns the cross-gateway merge. Setting
+// Config.StreamWindowS switches Run to time-windowed streaming
+// generation with O(devices + active window) resident schedule memory
+// and bit-identical output.
 package sim
 
 import (
@@ -25,6 +33,7 @@ import (
 	"math"
 	"sort"
 
+	"eflora/internal/engine"
 	"eflora/internal/lora"
 	"eflora/internal/model"
 	"eflora/internal/par"
@@ -58,6 +67,14 @@ type Config struct {
 	// Results are bit-identical at any value; it only trades wall-clock
 	// time for cores.
 	Parallelism int
+	// StreamWindowS, when positive, switches Run to time-windowed
+	// streaming generation: devices emit transmissions window by window
+	// and in-flight receptions carry over across boundaries, so resident
+	// schedule memory is O(devices + active window) instead of O(total
+	// transmissions). Results are bit-identical to batch mode at any
+	// window size. 0 keeps the batch (whole-schedule) path. A Trace is
+	// still O(total transmissions) — it is the output, not the schedule.
+	StreamWindowS float64
 	// Scratch, when non-nil, supplies the reusable buffer arena for this
 	// run, making repeated runs (the trials behind every figure)
 	// allocation-free. See Scratch for the aliasing contract. nil keeps
@@ -133,21 +150,105 @@ type transmission struct {
 	tpMW       float64
 }
 
-// sfTables caches one run's per-SF receiver thresholds in linear units,
-// indexed by sf - lora.SF7, so the per-reception hot loop does no dB
-// conversions.
-type sfTables struct {
-	ssMW  [6]float64 // sensitivity in mW
-	thLin [6]float64 // linear SNR threshold
+// engineConfig assembles the shared receiver state machine's parameters
+// from this package's knobs. halfDuplex is on only for confirmed traffic.
+func engineConfig(p model.Params, captureLin, noiseMW float64, capture, halfDuplex bool) engine.Config {
+	return engine.Config{
+		Capture:    capture,
+		CaptureLin: captureLin,
+		Capacity:   p.GatewayCapacity,
+		HalfDuplex: halfDuplex,
+		NoiseMW:    noiseMW,
+		Thresholds: engine.NewThresholds(),
+	}
 }
 
-func newSFTables() sfTables {
-	var t sfTables
-	for _, s := range lora.SFs() {
-		t.ssMW[s-lora.SF7] = lora.DBmToMilliwatts(lora.SensitivityDBm(s))
-		t.thLin[s-lora.SF7] = lora.DBToLinear(lora.SNRThresholdDB(s))
+// deviceSchedule fills the per-device schedule-building buffers (toa,
+// tpMW, interval, packets) and returns the simulated horizon and total
+// transmission count. The horizon is PacketsPerDevice periods of the
+// slowest device, so every device gets at least PacketsPerDevice packets
+// and devices with shorter reporting intervals (duty-cycle traffic)
+// correctly send proportionally more.
+func deviceSchedule(sc *Scratch, net *model.Network, p model.Params, a model.Allocation, packetsPerDevice int) (simEnd float64, total int) {
+	n := net.N()
+	toa := grow(sc.toa, n)
+	tpMW := grow(sc.tpMW, n)
+	interval := grow(sc.interval, n)
+	packets := grow(sc.packets, n)
+	sc.toa, sc.tpMW, sc.interval, sc.packets = toa, tpMW, interval, packets
+	for i := 0; i < n; i++ {
+		toa[i] = p.TimeOnAir(a.SF[i])
+		tpMW[i] = lora.DBmToMilliwatts(a.TPdBm[i])
+		interval[i] = p.IntervalFor(net, i, a.SF[i])
+		if t := interval[i] * float64(packetsPerDevice); t > simEnd {
+			simEnd = t
+		}
 	}
-	return t
+	for i := 0; i < n; i++ {
+		packets[i] = int(simEnd / interval[i])
+		if packets[i] < packetsPerDevice {
+			packets[i] = packetsPerDevice
+		}
+		total += packets[i]
+	}
+	return simEnd, total
+}
+
+// initResult readies the scratch-backed Result for a run over the given
+// schedule: per-device slices sized and cleared, counters zeroed,
+// optional fields nil'd out (Run and runStreaming re-point them when
+// their option is on).
+func initResult(sc *Scratch, n int, simEnd float64, measureSNR bool) *Result {
+	res := &sc.res
+	res.Attempts = grow(res.Attempts, n)
+	res.Delivered = growZero(res.Delivered, n)
+	res.PRR = grow(res.PRR, n)
+	res.TxEnergyJ = grow(res.TxEnergyJ, n)
+	res.TotalEnergyJ = grow(res.TotalEnergyJ, n)
+	res.EE = growZero(res.EE, n)
+	res.AvgPowerW = grow(res.AvgPowerW, n)
+	res.RetxAvgPowerW = grow(res.RetxAvgPowerW, n)
+	res.SimTimeS = simEnd
+	res.CollisionLosses, res.CapacityDrops, res.SensitivityMisses = 0, 0, 0
+	res.Trace = nil
+	res.MaxSNRdB = nil
+	for i := 0; i < n; i++ {
+		res.Attempts[i] = sc.packets[i]
+	}
+	if measureSNR {
+		sc.maxSNR = grow(sc.maxSNR, n)
+		res.MaxSNRdB = sc.maxSNR
+		for i := range res.MaxSNRdB {
+			res.MaxSNRdB[i] = math.Inf(-1)
+		}
+	}
+	return res
+}
+
+// finishResult derives the per-device energy and rate statistics from the
+// delivery counts — identical for the batch and streaming paths.
+func finishResult(res *Result, p model.Params, a model.Allocation, toa []float64, simEnd float64) {
+	lbits := p.AppPayloadBits()
+	for i := range res.Attempts {
+		res.PRR[i] = float64(res.Delivered[i]) / float64(res.Attempts[i])
+		eTx := p.Profile.TransmissionEnergy(a.TPdBm[i], toa[i]) * float64(res.Attempts[i])
+		res.TxEnergyJ[i] = eTx
+		active := (p.Profile.OverheadDuration() + toa[i]) * float64(res.Attempts[i])
+		sleep := simEnd - active
+		if sleep < 0 {
+			sleep = 0
+		}
+		res.TotalEnergyJ[i] = eTx + p.Profile.SleepPowerDraw()*sleep
+		if eTx > 0 {
+			res.EE[i] = lbits * float64(res.Delivered[i]) / eTx
+		}
+		res.AvgPowerW[i] = res.TotalEnergyJ[i] / simEnd
+		etx := float64(MaxTransmissions)
+		if res.PRR[i] > 1/float64(MaxTransmissions) {
+			etx = 1 / res.PRR[i]
+		}
+		res.RetxAvgPowerW[i] = (eTx*etx + p.Profile.SleepPowerDraw()*sleep) / simEnd
+	}
 }
 
 // Run simulates the network under the given allocation and returns
@@ -165,6 +266,9 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	if cfg.StreamWindowS > 0 {
+		return runStreaming(net, p, a, cfg)
+	}
 	n, g := net.N(), net.G()
 	r := rng.New(cfg.Seed)
 	sc := cfg.Scratch
@@ -175,35 +279,11 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 	gains := model.Gains(net, p)
 	noiseMW := lora.DBmToMilliwatts(p.NoiseDBm)
 	captureLin := lora.DBToLinear(*cfg.CaptureThresholdDB)
-	sfTab := newSFTables()
+	engCfg := engineConfig(p, captureLin, noiseMW, cfg.Capture, false)
 
-	// Build the transmission schedule: periodic with random phase. The
-	// simulated horizon is PacketsPerDevice periods of the slowest
-	// device, so every device gets at least PacketsPerDevice packets and
-	// devices with shorter reporting intervals (duty-cycle traffic)
-	// correctly send proportionally more.
-	toa := grow(sc.toa, n)
-	tpMW := grow(sc.tpMW, n)
-	interval := grow(sc.interval, n)
-	packets := grow(sc.packets, n)
-	sc.toa, sc.tpMW, sc.interval, sc.packets = toa, tpMW, interval, packets
-	simEnd := 0.0
-	for i := 0; i < n; i++ {
-		toa[i] = p.TimeOnAir(a.SF[i])
-		tpMW[i] = lora.DBmToMilliwatts(a.TPdBm[i])
-		interval[i] = p.IntervalFor(net, i, a.SF[i])
-		if t := interval[i] * float64(cfg.PacketsPerDevice); t > simEnd {
-			simEnd = t
-		}
-	}
-	total := 0
-	for i := 0; i < n; i++ {
-		packets[i] = int(simEnd / interval[i])
-		if packets[i] < cfg.PacketsPerDevice {
-			packets[i] = cfg.PacketsPerDevice
-		}
-		total += packets[i]
-	}
+	// Build the transmission schedule: periodic with random phase.
+	simEnd, total := deviceSchedule(sc, net, p, a, cfg.PacketsPerDevice)
+	toa, tpMW, interval, packets := sc.toa, sc.tpMW, sc.interval, sc.packets
 	// Each device sends one packet per reporting period at a uniformly
 	// random instant within the period (the paper's unslotted ALOHA with
 	// per-cycle Poisson send times) — a fixed per-device phase would lock
@@ -248,29 +328,7 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 		fading[f] = r.RayleighPowerGain()
 	}
 
-	res := &sc.res
-	res.Attempts = grow(res.Attempts, n)
-	res.Delivered = growZero(res.Delivered, n)
-	res.PRR = grow(res.PRR, n)
-	res.TxEnergyJ = grow(res.TxEnergyJ, n)
-	res.TotalEnergyJ = grow(res.TotalEnergyJ, n)
-	res.EE = growZero(res.EE, n)
-	res.AvgPowerW = grow(res.AvgPowerW, n)
-	res.RetxAvgPowerW = grow(res.RetxAvgPowerW, n)
-	res.SimTimeS = simEnd
-	res.CollisionLosses, res.CapacityDrops, res.SensitivityMisses = 0, 0, 0
-	res.Trace = nil
-	res.MaxSNRdB = nil
-	for i := 0; i < n; i++ {
-		res.Attempts[i] = packets[i]
-	}
-	if cfg.MeasureSNR {
-		sc.maxSNR = grow(sc.maxSNR, n)
-		res.MaxSNRdB = sc.maxSNR
-		for i := range res.MaxSNRdB {
-			res.MaxSNRdB[i] = math.Inf(-1)
-		}
-	}
+	res := initResult(sc, n, simEnd, cfg.MeasureSNR)
 
 	// Replay every gateway against the shared schedule. Each gateway owns
 	// its buffers, so the replays are independent and run concurrently;
@@ -279,7 +337,7 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 	replays := grow(sc.replays, g)
 	sc.replays = replays
 	par.For(cfg.Parallelism, g, func(k int) {
-		simulateGateway(k, txs, fading, g, gains, p, noiseMW, captureLin, &sfTab, cfg, &replays[k])
+		simulateGateway(k, txs, fading, g, gains, engCfg, cfg, &replays[k])
 	})
 
 	delivered := growZero(sc.delivered, len(txs))
@@ -337,40 +395,24 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 		}
 	}
 
-	lbits := p.AppPayloadBits()
 	for t, ok := range delivered {
 		if ok {
 			res.Delivered[txs[t].dev]++
 		}
 	}
-	for i := 0; i < n; i++ {
-		res.PRR[i] = float64(res.Delivered[i]) / float64(res.Attempts[i])
-		eTx := p.Profile.TransmissionEnergy(a.TPdBm[i], toa[i]) * float64(res.Attempts[i])
-		res.TxEnergyJ[i] = eTx
-		active := (p.Profile.OverheadDuration() + toa[i]) * float64(res.Attempts[i])
-		sleep := simEnd - active
-		if sleep < 0 {
-			sleep = 0
-		}
-		res.TotalEnergyJ[i] = eTx + p.Profile.SleepPowerDraw()*sleep
-		if eTx > 0 {
-			res.EE[i] = lbits * float64(res.Delivered[i]) / eTx
-		}
-		res.AvgPowerW[i] = res.TotalEnergyJ[i] / simEnd
-		etx := float64(MaxTransmissions)
-		if res.PRR[i] > 1/float64(MaxTransmissions) {
-			etx = 1 / res.PRR[i]
-		}
-		res.RetxAvgPowerW[i] = (eTx*etx + p.Profile.SleepPowerDraw()*sleep) / simEnd
-	}
+	finishResult(res, p, a, toa, simEnd)
 	return res, nil
 }
 
 // gwReplay is the outcome of replaying the transmission schedule at one
-// gateway: private buffers that Run merges in gateway order, reused
-// across runs when a Scratch is supplied. outcome is populated only
-// under Config.Trace and snrDB only under Config.MeasureSNR.
+// gateway: the gateway's receiver state machine plus private buffers
+// that Run merges in gateway order, reused across runs when a Scratch is
+// supplied. outcome is populated only under Config.Trace and snrDB only
+// under Config.MeasureSNR. The streaming path reuses eng and done (its
+// per-window event list) and leaves the schedule-length arrays nil.
 type gwReplay struct {
+	eng       engine.Gateway
+	done      []engine.Done
 	delivered []bool
 	// outcome and snrDB are nil when their option is off; outcomeBuf and
 	// snrBuf retain the backing arrays across runs either way.
@@ -378,32 +420,39 @@ type gwReplay struct {
 	snrDB                                             []float64
 	outcomeBuf                                        []Outcome
 	snrBuf                                            []float64
-	active                                            []activeRx
 	collisionLosses, capacityDrops, sensitivityMisses int
 }
 
-// activeRx is one locked reception in progress at a gateway. Entries
-// live inline in the gateway's active list — no per-reception heap
-// state — and later arrivals mark overlapping entries collided in
-// place.
-type activeRx struct {
-	idx      int // into txs
-	rxMW     float64
-	collided bool
+// apply folds a batch of completion verdicts into the replay's
+// per-transmission buffers.
+//
+//eflora:hotpath
+func (rp *gwReplay) apply(done []engine.Done) {
+	for _, d := range done {
+		if d.Outcome == OutcomeDelivered {
+			rp.delivered[d.Tok] = true
+			if rp.snrDB != nil {
+				rp.snrDB[d.Tok] = rp.eng.SNRdB(d.RxMW)
+			}
+		}
+		if rp.outcome != nil {
+			rp.outcome[d.Tok] = d.Outcome
+		}
+	}
 }
 
 // simulateGateway replays the transmission schedule at gateway k into
 // rp, reusing rp's buffers from previous runs. It reads only shared
 // immutable state (schedule, flattened fading, gains), so concurrent
-// calls for different gateways are safe.
+// calls for different gateways are safe. The reception physics lives in
+// rp.eng (engine.Gateway); this driver feeds it arrivals in schedule
+// order and records the verdicts.
 //
 //eflora:hotpath
 func simulateGateway(
 	k int, txs []transmission, fading []float64, g int, gains [][]float64,
-	p model.Params, noiseMW, captureLin float64, sfTab *sfTables, cfg Config,
-	rp *gwReplay,
+	engCfg engine.Config, cfg Config, rp *gwReplay,
 ) {
-	rp.collisionLosses, rp.capacityDrops, rp.sensitivityMisses = 0, 0, 0
 	rp.delivered = growZero(rp.delivered, len(txs))
 	rp.outcome, rp.snrDB = nil, nil
 	if cfg.Trace {
@@ -414,95 +463,30 @@ func simulateGateway(
 		rp.snrBuf = grow(rp.snrBuf, len(txs))
 		rp.snrDB = rp.snrBuf
 	}
-	// record stores this gateway's outcome for a traced packet (one
-	// outcome per transmission per gateway; Run keeps the max).
-	record := func(t int, o Outcome) {
-		if rp.outcome != nil {
-			rp.outcome[t] = o
-		}
-	}
-
-	active := rp.active[:0]
-	defer func() { rp.active = active[:0] }()
-	lockedCount := 0
-
-	finish := func(cut float64) {
-		// Complete all receptions ending at or before cut.
-		keep := active[:0]
-		for _, ar := range active {
-			if txs[ar.idx].end > cut {
-				keep = append(keep, ar)
-				continue
-			}
-			lockedCount--
-			snrOK := ar.rxMW/noiseMW >= sfTab.thLin[txs[ar.idx].sf-lora.SF7]
-			switch {
-			case ar.collided:
-				rp.collisionLosses++
-				record(ar.idx, OutcomeCollided)
-			case snrOK:
-				rp.delivered[ar.idx] = true
-				record(ar.idx, OutcomeDelivered)
-				if rp.snrDB != nil {
-					rp.snrDB[ar.idx] = 10 * math.Log10(ar.rxMW/noiseMW)
-				}
-			default:
-				record(ar.idx, OutcomeFaded)
-			}
-		}
-		active = keep
-	}
-
+	rp.eng.Reset(engCfg)
+	done := rp.done[:0]
 	for t := range txs {
 		tx := &txs[t]
-		finish(tx.start)
+		done = rp.eng.FinishUpTo(tx.start, done[:0])
+		rp.apply(done)
 		rxMW := tx.tpMW * gains[tx.dev][k] * fading[t*g+k]
-		if rxMW < sfTab.ssMW[tx.sf-lora.SF7] {
-			// Below sensitivity: invisible to this gateway; it occupies
-			// no demodulator and collides with nobody.
-			rp.sensitivityMisses++
-			record(t, OutcomeNoSignal)
-			continue
-		}
-		// Same-SF same-channel overlap: the paper's rule destroys both
-		// packets; with capture, a sufficiently stronger one survives.
-		// This scan runs before the demodulator-capacity check: a
-		// transmission that finds no free demodulator is still RF energy
-		// on the air and corrupts locked receptions all the same (on an
-		// SX1301 the lock only selects what gets decoded, not what
-		// interferes). Marks on the arriving transmission itself are
-		// kept in a local and only take effect if it locks below.
-		collided := false
-		for j := range active {
-			other := &active[j]
-			if txs[other.idx].dev == tx.dev ||
-				txs[other.idx].sf != tx.sf || txs[other.idx].ch != tx.ch {
-				continue
+		switch rp.eng.Arrive(t, tx.dev, tx.sf, tx.ch, tx.start, tx.end, rxMW) {
+		case engine.VerdictNoSignal:
+			if rp.outcome != nil {
+				rp.outcome[t] = OutcomeNoSignal
 			}
-			if cfg.Capture {
-				switch {
-				case rxMW >= captureLin*other.rxMW:
-					other.collided = true
-				case other.rxMW >= captureLin*rxMW:
-					collided = true
-				default:
-					collided = true
-					other.collided = true
-				}
-			} else {
-				collided = true
-				other.collided = true
+		case engine.VerdictNoCapacity:
+			if rp.outcome != nil {
+				rp.outcome[t] = OutcomeCapacity
 			}
 		}
-		if lockedCount >= p.GatewayCapacity {
-			rp.capacityDrops++
-			record(t, OutcomeCapacity)
-			continue
-		}
-		lockedCount++
-		active = append(active, activeRx{idx: t, rxMW: rxMW, collided: collided})
 	}
-	finish(math.Inf(1))
+	done = rp.eng.FinishUpTo(math.Inf(1), done[:0])
+	rp.apply(done)
+	rp.done = done[:0]
+	rp.collisionLosses = rp.eng.Counters.CollisionLosses
+	rp.capacityDrops = rp.eng.Counters.CapacityDrops
+	rp.sensitivityMisses = rp.eng.Counters.SensitivityMisses
 }
 
 // Summary renders headline statistics for logs.

@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"math"
+
+	"eflora/internal/engine"
+	"eflora/internal/lora"
+	"eflora/internal/model"
+	"eflora/internal/par"
+	"eflora/internal/rng"
+)
+
+// The streaming path replays exactly the batch schedule without ever
+// materializing it. Two observations make that possible:
+//
+//  1. A device's transmission starts strictly increase (the jitter stays
+//     below one reporting interval), so the batch schedule — all
+//     transmissions sorted by (start, device) — is the n-way merge of n
+//     sorted per-device streams. One RNG snapshot per device replays that
+//     device's jitter draws lazily, and a merge heap yields transmissions
+//     one at a time in the batch order; the master RNG skips the jitter
+//     block up front and then draws each transmission's fading at the
+//     moment the merge emits it, which is the batch fading order.
+//  2. Completing a reception at a window boundary W instead of at the
+//     next arrival cannot change its verdict: any later arrival starts at
+//     or after W, hence at or after the reception's end, and therefore
+//     never overlaps it. So in-flight receptions carry over inside the
+//     per-gateway engine state and everything ending at or before W is
+//     flushed, letting the window's transmission buffer be recycled.
+//
+// Verdicts are merged in ascending gateway order into a pending ring
+// ordered by token (= batch schedule order) and resolved from the head,
+// so counters, per-device deliveries, traces and SNR measurements come
+// out bit-identical to the batch path at any window size.
+
+// pendTx is one transmission whose cross-gateway verdict is still being
+// assembled: the streaming counterpart of the batch path's
+// delivered/outcome/outGw merge arrays, bounded by the active window
+// instead of the schedule length.
+type pendTx struct {
+	dev       int
+	outGw     int
+	start     float64
+	end       float64
+	outcome   Outcome
+	delivered bool
+}
+
+// scheduleSource streams the batch transmission schedule in ascending
+// (start, device) order with O(devices) state, implementing
+// engine.Source. Tokens are consecutive from 0.
+type scheduleSource struct {
+	sc   *Scratch
+	sf   []lora.SF
+	ch   []int
+	next int
+}
+
+// newScheduleSource positions the per-device jitter streams and the
+// master RNG. After it returns, r sits exactly where the batch path
+// starts drawing fading.
+func newScheduleSource(sc *Scratch, a model.Allocation, r *rng.RNG, n int) *scheduleSource {
+	devRng := grow(sc.devRng, n)
+	nextStart := grow(sc.nextStart, n)
+	nextM := growZero(sc.nextM, n)
+	sc.devRng, sc.nextStart, sc.nextM = devRng, nextStart, nextM
+	for i := 0; i < n; i++ {
+		devRng[i] = *r
+		for m := 0; m < sc.packets[i]; m++ {
+			r.Float64()
+		}
+	}
+	s := &scheduleSource{sc: sc, sf: a.SF, ch: a.Channel}
+	h := sc.devHeap[:0]
+	for i := 0; i < n; i++ {
+		nextStart[i] = devRng[i].Float64() * s.slack(i)
+		h = append(h, int32(i))
+		s.up(h, len(h)-1)
+	}
+	sc.devHeap = h
+	return s
+}
+
+// slack is the jitter span: a device never overlaps its own next packet.
+func (s *scheduleSource) slack(i int) float64 {
+	sl := s.sc.interval[i] - s.sc.toa[i]
+	if sl < 0 {
+		sl = 0
+	}
+	return sl
+}
+
+// less orders the merge heap by (next start, device) — the batch sort key.
+func (s *scheduleSource) less(a, b int32) bool {
+	sa, sb := s.sc.nextStart[a], s.sc.nextStart[b]
+	if sa != sb {
+		return sa < sb
+	}
+	return a < b
+}
+
+func (s *scheduleSource) up(h []int32, j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !s.less(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (s *scheduleSource) down(h []int32, i, n int) {
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j+1 < n && s.less(h[j+1], h[j]) {
+			j++
+		}
+		if !s.less(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// NextWindow implements engine.Source.
+//
+//eflora:hotpath
+func (s *scheduleSource) NextWindow(untilS float64, dst []engine.Transmission) ([]engine.Transmission, bool) {
+	sc := s.sc
+	h := sc.devHeap
+	for len(h) > 0 && sc.nextStart[h[0]] < untilS {
+		i := h[0]
+		start := sc.nextStart[i]
+		dst = append(dst, engine.Transmission{
+			Tok:    s.next,
+			Dev:    int(i),
+			Ch:     s.ch[i],
+			SF:     s.sf[i],
+			StartS: start,
+			EndS:   start + sc.toa[i],
+			TpMW:   sc.tpMW[i],
+		})
+		s.next++
+		sc.nextM[i]++
+		if m := sc.nextM[i]; m < sc.packets[i] {
+			// Per-device starts strictly increase, so a sift-down
+			// restores the heap after the key grows.
+			sc.nextStart[i] = float64(m)*sc.interval[i] + sc.devRng[i].Float64()*s.slack(int(i))
+			s.down(h, 0, len(h))
+		} else {
+			n := len(h) - 1
+			h[0] = h[n]
+			h = h[:n]
+			s.down(h, 0, n)
+		}
+	}
+	sc.devHeap = h
+	return dst, len(h) > 0
+}
+
+// runStreaming is Run's time-windowed mode: same validation, same
+// results, O(devices + active window) resident schedule memory.
+//
+//eflora:hotpath
+func runStreaming(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*Result, error) {
+	n, g := net.N(), net.G()
+	r := rng.New(cfg.Seed)
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = new(Scratch)
+	}
+
+	gains := model.Gains(net, p)
+	noiseMW := lora.DBmToMilliwatts(p.NoiseDBm)
+	captureLin := lora.DBToLinear(*cfg.CaptureThresholdDB)
+	engCfg := engineConfig(p, captureLin, noiseMW, cfg.Capture, false)
+
+	simEnd, _ := deviceSchedule(sc, net, p, a, cfg.PacketsPerDevice)
+	res := initResult(sc, n, simEnd, cfg.MeasureSNR)
+	if cfg.Trace {
+		sc.trace = sc.trace[:0]
+	}
+
+	replays := grow(sc.replays, g)
+	sc.replays = replays
+	for k := range replays {
+		replays[k].eng.Reset(engCfg)
+		replays[k].done = replays[k].done[:0]
+		replays[k].delivered, replays[k].outcome, replays[k].snrDB = nil, nil, nil
+	}
+
+	var src engine.Source = newScheduleSource(sc, a, r, n)
+	pend := sc.pend[:0]
+	pendBase := 0
+	wtxs := sc.wtxs[:0]
+	wfading := sc.wfading[:0]
+	var cut float64
+	// Each gateway consumes the current window against its persistent
+	// engine state (the cross-window carry-over) and reports verdicts into
+	// its private event list; the fan-out barrier makes the merge below
+	// identical to a sequential k = 0..g-1 loop. Hoisted out of the window
+	// loop (capturing the per-window state by reference) so the closure
+	// allocates once per run, not once per window.
+	gwWindow := func(k int) {
+		rp := &replays[k]
+		ev := rp.done[:0]
+		for t := range wtxs {
+			tx := &wtxs[t]
+			ev = rp.eng.FinishUpTo(tx.StartS, ev)
+			rxMW := tx.TpMW * gains[tx.Dev][k] * wfading[t*g+k]
+			if rp.eng.Arrive(tx.Tok, tx.Dev, tx.SF, tx.Ch, tx.StartS, tx.EndS, rxMW) == engine.VerdictNoCapacity {
+				// The only arrival verdict that can win the outcome
+				// merge: NoSignal is the zero value and Blocked
+				// cannot happen without half-duplex ACKs.
+				ev = append(ev, engine.Done{Tok: tx.Tok, Outcome: OutcomeCapacity})
+			}
+		}
+		ev = rp.eng.FinishUpTo(cut, ev)
+		rp.done = ev
+	}
+	more := true
+	for w1 := cfg.StreamWindowS; ; w1 += cfg.StreamWindowS {
+		cut = w1
+		if !more {
+			// The source is drained; one final +Inf window flushes the
+			// carried-over receptions.
+			cut = math.Inf(1)
+		}
+		wtxs, more = src.NextWindow(cut, wtxs[:0])
+		// Fading draws happen at emission, in merge order — the batch
+		// fading order — flattened like the batch matrix (t*g+k).
+		wfading = wfading[:0]
+		for range wtxs {
+			for k := 0; k < g; k++ {
+				wfading = append(wfading, r.RayleighPowerGain())
+			}
+		}
+		for t := range wtxs {
+			pend = append(pend, pendTx{
+				dev: wtxs[t].Dev, outGw: -1,
+				start: wtxs[t].StartS, end: wtxs[t].EndS,
+			})
+		}
+		par.For(cfg.Parallelism, g, gwWindow)
+		// Merge the gateways' verdicts in ascending gateway order — the
+		// same precedence walk as the batch merge.
+		for k := 0; k < g; k++ {
+			rp := &replays[k]
+			for _, d := range rp.done {
+				pt := &pend[d.Tok-pendBase]
+				if d.Outcome == OutcomeDelivered {
+					pt.delivered = true
+					if res.MaxSNRdB != nil {
+						if snr := rp.eng.SNRdB(d.RxMW); snr > res.MaxSNRdB[pt.dev] {
+							res.MaxSNRdB[pt.dev] = snr
+						}
+					}
+				}
+				if d.Outcome > pt.outcome {
+					pt.outcome = d.Outcome
+					if d.Outcome == OutcomeDelivered {
+						pt.outGw = k
+					}
+				}
+			}
+			rp.done = rp.done[:0]
+		}
+		// Resolve fully-decided transmissions from the ring head in token
+		// order (= batch schedule order): everything ending at or before
+		// the cut has its final verdict at every gateway.
+		h := 0
+		for h < len(pend) && pend[h].end <= cut {
+			pt := &pend[h]
+			if pt.delivered {
+				res.Delivered[pt.dev]++
+			}
+			if cfg.Trace {
+				sc.trace = append(sc.trace, PacketRecord{
+					Device: pt.dev, StartS: pt.start,
+					Outcome: pt.outcome, Gateway: pt.outGw,
+				})
+			}
+			h++
+		}
+		pend = pend[:copy(pend, pend[h:])]
+		pendBase += h
+		if !more && len(pend) == 0 {
+			break
+		}
+	}
+	sc.pend = pend[:0]
+	sc.wtxs = wtxs[:0]
+	sc.wfading = wfading[:0]
+
+	for k := 0; k < g; k++ {
+		c := replays[k].eng.Counters
+		res.CollisionLosses += c.CollisionLosses
+		res.CapacityDrops += c.CapacityDrops
+		res.SensitivityMisses += c.SensitivityMisses
+	}
+	if cfg.Trace {
+		res.Trace = sc.trace
+	}
+	finishResult(res, p, a, sc.toa, simEnd)
+	return res, nil
+}

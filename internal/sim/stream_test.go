@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"testing"
+
+	"eflora/internal/model"
+)
+
+// streamMaxToA is the longest time-on-air in the allocation — the window
+// sizes below bracket it so the equality tests cover windows smaller than
+// a single transmission (every packet straddles a boundary) as well as
+// windows holding many.
+func streamMaxToA(p model.Params, a model.Allocation) float64 {
+	max := 0.0
+	for i := range a.SF {
+		if toa := p.TimeOnAir(a.SF[i]); toa > max {
+			max = toa
+		}
+	}
+	return max
+}
+
+// TestStreamingMatchesBatch proves the tentpole bit-identity claim: the
+// time-windowed streaming path reproduces the batch path's full digest —
+// every per-device statistic, counter, trace record and SNR measurement —
+// at every window size, for both collision rules, at any parallelism.
+func TestStreamingMatchesBatch(t *testing.T) {
+	net, p, a := goldenNetwork(120, 4)
+	maxToA := streamMaxToA(p, a)
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"base", Config{PacketsPerDevice: 12, Seed: 7, Trace: true, MeasureSNR: true}},
+		{"capture", Config{PacketsPerDevice: 12, Seed: 7, Capture: true, Trace: true, MeasureSNR: true}},
+	}
+	for _, v := range variants {
+		batchCfg := v.cfg
+		batchCfg.Parallelism = 1
+		batch, err := Run(net, p, a, batchCfg)
+		if err != nil {
+			t.Fatalf("%s batch: %v", v.name, err)
+		}
+		want := resultDigest(batch)
+		for _, win := range []float64{0.5 * maxToA, 3 * maxToA, 60} {
+			for _, par := range []int{1, 0} {
+				cfg := v.cfg
+				cfg.Parallelism = par
+				cfg.StreamWindowS = win
+				res, err := Run(net, p, a, cfg)
+				if err != nil {
+					t.Fatalf("%s window=%g parallelism=%d: %v", v.name, win, par, err)
+				}
+				if got := resultDigest(res); got != want {
+					t.Errorf("%s window=%g parallelism=%d: digest %s != batch %s",
+						v.name, win, par, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingWindowMemory pins the memory claim: a streaming run never
+// touches the whole-schedule buffers (txs, fading) and its window buffers
+// stay far below the total transmission count.
+func TestStreamingWindowMemory(t *testing.T) {
+	net, p, a := goldenNetwork(120, 4)
+	sc := &Scratch{}
+	cfg := Config{PacketsPerDevice: 12, Seed: 7, Parallelism: 1, Scratch: sc}
+	cfg.StreamWindowS = 0.5 * streamMaxToA(p, a)
+	if _, err := Run(net, p, a, cfg); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, m := range sc.packets {
+		total += m
+	}
+	if cap(sc.txs) != 0 || cap(sc.fading) != 0 {
+		t.Errorf("streaming run materialized the batch schedule: cap(txs)=%d cap(fading)=%d",
+			cap(sc.txs), cap(sc.fading))
+	}
+	if lim := total / 10; cap(sc.wtxs) > lim || cap(sc.pend) > lim {
+		t.Errorf("window buffers not O(window): cap(wtxs)=%d cap(pend)=%d, total=%d",
+			cap(sc.wtxs), cap(sc.pend), total)
+	}
+}
+
+// TestStreamingRejectsNothingNewOnScratchReuse re-runs streaming on a warm
+// scratch and checks the digest is stable — buffer reuse must not leak
+// state across runs.
+func TestStreamingScratchReuseIsStable(t *testing.T) {
+	net, p, a := goldenNetwork(60, 2)
+	sc := &Scratch{}
+	cfg := Config{PacketsPerDevice: 8, Seed: 3, Trace: true, MeasureSNR: true,
+		Parallelism: 1, Scratch: sc, StreamWindowS: 45}
+	first, err := Run(net, p, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultDigest(first)
+	for i := 0; i < 3; i++ {
+		res, err := Run(net, p, a, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resultDigest(res); got != want {
+			t.Fatalf("run %d on warm scratch: digest %s != %s", i+2, got, want)
+		}
+	}
+}
+
+// BenchmarkRunStreaming measures the streaming path on a warm scratch and
+// asserts — every benchmark iteration — that the resident schedule
+// buffers stay O(window), so a regression that silently re-materializes
+// the schedule fails the benchmark rather than just slowing it down.
+func BenchmarkRunStreaming(b *testing.B) {
+	net, p, a := goldenNetwork(120, 4)
+	sc := &Scratch{}
+	cfg := Config{PacketsPerDevice: 12, Seed: 7, Parallelism: 1, Scratch: sc,
+		StreamWindowS: 3 * streamMaxToA(p, a)}
+	if _, err := Run(net, p, a, cfg); err != nil {
+		b.Fatal(err)
+	}
+	total := 0
+	for _, m := range sc.packets {
+		total += m
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(net, p, a, cfg); err != nil {
+			b.Fatal(err)
+		}
+		if cap(sc.txs) != 0 || cap(sc.wtxs) > total/4 {
+			b.Fatalf("streaming memory not O(window): cap(txs)=%d cap(wtxs)=%d total=%d",
+				cap(sc.txs), cap(sc.wtxs), total)
+		}
+	}
+}

@@ -1,49 +1,35 @@
 package sim
 
 import (
-	"fmt"
 	"io"
 	"strconv"
+
+	"eflora/internal/engine"
 )
 
 // Outcome classifies what happened to one transmitted packet, with the
 // most informative cause across gateways: a packet heard by two gateways
 // and collided at one while below sensitivity at the other records
-// OutcomeCollided.
-type Outcome uint8
+// OutcomeCollided. The type (and its pinned numeric values) now lives in
+// the shared receiver engine; the alias keeps this package's API and the
+// golden digests unchanged.
+type Outcome = engine.Outcome
 
 // Packet outcomes, ordered by reporting precedence (higher wins when a
 // packet meets different fates at different gateways).
 const (
 	// OutcomeNoSignal: below sensitivity at every gateway.
-	OutcomeNoSignal Outcome = iota
+	OutcomeNoSignal = engine.OutcomeNoSignal
 	// OutcomeCapacity: some gateway heard it but had no free demodulator.
-	OutcomeCapacity
+	OutcomeCapacity = engine.OutcomeCapacity
 	// OutcomeFaded: locked at a gateway but the fading draw left the SNR
 	// below the decoding threshold.
-	OutcomeFaded
+	OutcomeFaded = engine.OutcomeFaded
 	// OutcomeCollided: destroyed by a same-SF same-channel overlap.
-	OutcomeCollided
+	OutcomeCollided = engine.OutcomeCollided
 	// OutcomeDelivered: decoded by at least one gateway.
-	OutcomeDelivered
+	OutcomeDelivered = engine.OutcomeDelivered
 )
-
-// String implements fmt.Stringer.
-func (o Outcome) String() string {
-	switch o {
-	case OutcomeDelivered:
-		return "delivered"
-	case OutcomeCollided:
-		return "collided"
-	case OutcomeFaded:
-		return "faded"
-	case OutcomeCapacity:
-		return "capacity"
-	case OutcomeNoSignal:
-		return "no-signal"
-	}
-	return fmt.Sprintf("outcome(%d)", uint8(o))
-}
 
 // PacketRecord traces one transmission.
 type PacketRecord struct {
