@@ -32,7 +32,11 @@ import (
 
 	"eflora/internal/alloc"
 	"eflora/internal/core"
+	"eflora/internal/downlink"
+	"eflora/internal/engine"
 	"eflora/internal/ingest"
+	"eflora/internal/lora"
+	"eflora/internal/lorawan"
 	"eflora/internal/model"
 	"eflora/internal/netserver"
 	"eflora/internal/scenario"
@@ -61,12 +65,20 @@ type config struct {
 	deltasPath   string
 	duration     time.Duration
 
-	replay      bool
-	packets     int
-	seed        uint64
-	verify      bool
-	allocator   string
-	parallelism int
+	rx1DelayS  float64
+	rx2FreqMHz float64
+	rx2Datr    string
+	routeTTLS  float64
+	dutyCycle  float64
+
+	replay       bool
+	packets      int
+	seed         uint64
+	verify       bool
+	allocator    string
+	parallelism  int
+	driftDevices int
+	driftSNRdB   float64
 }
 
 func run(args []string, out io.Writer) error {
@@ -86,12 +98,19 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&cfg.minFrames, "min-frames", 8, "deliveries required before trusting a device's statistics")
 	fs.StringVar(&cfg.deltasPath, "deltas", "", "append re-allocation deltas to this JSONL file")
 	fs.DurationVar(&cfg.duration, "duration", 0, "stop the live daemon after this long (0 = run until signal)")
+	fs.Float64Var(&cfg.rx1DelayS, "rx1-delay", downlink.DefaultRX1DelayS, "Class-A RX1 window delay after the uplink in seconds (RX2 opens one second later)")
+	fs.Float64Var(&cfg.rx2FreqMHz, "rx2-freq", downlink.DefaultRX2FreqMHz, "RX2 window frequency in MHz")
+	fs.StringVar(&cfg.rx2Datr, "rx2-datr", downlink.DefaultRX2Datr, "RX2 window data rate identifier")
+	fs.Float64Var(&cfg.routeTTLS, "route-ttl", downlink.DefaultRouteTTLS, "seconds of PULL_DATA silence before a gateway's downlink route is evicted")
+	fs.Float64Var(&cfg.dutyCycle, "duty-cycle", downlink.DefaultDutyCycle, "downlink duty-cycle budget per frequency (ETSI off-period rule)")
 	fs.BoolVar(&cfg.replay, "replay", false, "load-generator mode: synthesize gateway traffic from the scenario + simulator and measure ingest throughput")
 	fs.IntVar(&cfg.packets, "packets", 20, "with -replay: simulated reporting periods per device")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "with -replay: simulation / traffic seed")
 	fs.BoolVar(&cfg.verify, "verify", true, "with -replay: re-ingest sequentially on one shard and require bit-exact counters")
 	fs.StringVar(&cfg.allocator, "allocator", "eflora", "allocator used when the scenario file carries no allocation")
 	fs.IntVar(&cfg.parallelism, "parallel", 0, "simulator worker goroutines in -replay (0 = all CPUs)")
+	fs.IntVar(&cfg.driftDevices, "drift-devices", 0, "with -replay: degrade the reported SNR of this many devices so the re-allocator moves them")
+	fs.Float64Var(&cfg.driftSNRdB, "drift-snr", 10, "with -replay: dB of SNR degradation injected per drifting device")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -161,6 +180,20 @@ type daemon struct {
 	realloc  *ingest.Reallocator
 	frontend *ingest.Frontend
 
+	// routes maps gateway EUIs to their PULL_DATA downlink addresses;
+	// sched turns reassignments into Class-A PULL_RESP frames.
+	routes  *downlink.Routes
+	sched   *downlink.Scheduler
+	devices []netserver.Device
+	plan    lora.Plan
+
+	// fcntDown is the per-device downlink frame counter.
+	fcntMu   sync.Mutex
+	fcntDown map[uint32]uint32
+	// dlEncodeErr counts reassignments that could not be encoded as a
+	// LinkADRReq (e.g. power level outside the MAC command's range).
+	dlEncodeErr atomic.Int64
+
 	udp      *net.UDPConn
 	httpLis  net.Listener
 	httpSrv  *http.Server
@@ -173,7 +206,22 @@ type daemon struct {
 }
 
 func newDaemon(cfg config, netw *core.Network, a model.Allocation) (*daemon, error) {
-	d := &daemon{cfg: cfg, start: time.Now(), tracker: ingest.NewTracker(0)}
+	d := &daemon{
+		cfg:      cfg,
+		start:    time.Now(),
+		tracker:  ingest.NewTracker(0),
+		routes:   downlink.NewRoutes(cfg.routeTTLS),
+		devices:  ingest.ProvisionDevices(netw.Net.N()),
+		plan:     netw.Params.Plan,
+		fcntDown: make(map[uint32]uint32),
+	}
+	d.sched = downlink.NewScheduler(downlink.Config{
+		RX1DelayS:  cfg.rx1DelayS,
+		RX2FreqMHz: cfg.rx2FreqMHz,
+		RX2Datr:    cfg.rx2Datr,
+		CodingRate: netw.Params.CodingRate,
+		DutyCycle:  cfg.dutyCycle,
+	})
 	// The receiver frontend runs the same engine.Gateway physics as the
 	// simulators over the live RXPK stream, exposing RF-contention
 	// counters the dedup/delivery pipeline cannot see.
@@ -183,7 +231,7 @@ func newDaemon(cfg config, netw *core.Network, a model.Allocation) (*daemon, err
 		Capacity:   netw.Params.GatewayCapacity,
 		CodingRate: netw.Params.CodingRate,
 	})
-	d.pool = ingest.NewPool(ingest.ProvisionDevices(netw.Net.N()), ingest.PoolConfig{
+	d.pool = ingest.NewPool(d.devices, ingest.PoolConfig{
 		Shards:       cfg.shards,
 		QueueDepth:   cfg.queueDepth,
 		DedupWindowS: cfg.dedupWindowS,
@@ -270,6 +318,8 @@ func (d *daemon) Serve(ctx context.Context) error {
 			now := d.nowS()
 			d.pool.FlushExpired(now)
 			d.frontend.Advance(now)
+			d.routes.Evict(now)
+			d.sched.Expire(now)
 		case <-reallocC:
 			if err := d.reallocStep(); err != nil {
 				d.shutdown()
@@ -298,12 +348,15 @@ func (d *daemon) shutdown() {
 	}
 }
 
-// reallocStep runs one control-loop pass and appends any delta.
+// reallocStep runs one control-loop pass, appends any delta, and queues
+// the matching LinkADRReq downlinks so the moved devices actually hear
+// about their new assignment.
 func (d *daemon) reallocStep() error {
 	delta, err := d.realloc.Step(d.nowS())
 	if err != nil || delta == nil {
 		return err
 	}
+	d.queueDownlinks(delta)
 	if d.deltaFile == nil {
 		return nil
 	}
@@ -340,7 +393,20 @@ func (d *daemon) udpLoop() {
 		if ack, ok := pkt.Ack(); ok {
 			_, _ = d.udp.WriteToUDP(ack, addr)
 		}
-		if pkt.Kind != ingest.PushData {
+		switch pkt.Kind {
+		case ingest.PullData:
+			// The PULL_DATA source address is the only path a PULL_RESP
+			// can take back through the forwarder's NAT binding.
+			d.gatewayIndex(pkt.EUI)
+			d.routes.Update(pkt.EUI, addr, d.nowS())
+			continue
+		case ingest.TxAck:
+			if retry := d.sched.OnTxAck(pkt.EUI, pkt.Token, pkt.TxAckErr, d.nowS()); retry != nil {
+				d.sendDownlink(retry)
+			}
+			continue
+		case ingest.PushData:
+		default:
 			continue
 		}
 		gw := d.gatewayIndex(pkt.EUI)
@@ -362,6 +428,23 @@ func (d *daemon) udpLoop() {
 				d.parseErr.Add(1)
 				continue
 			}
+			// The uplink opens the device's Class-A RX windows: record it
+			// as the downlink scheduling context, and ride it immediately
+			// if a command is waiting.
+			if len(phy) >= lorawan.FrameOverheadBytes {
+				devAddr := uint32(phy[1]) | uint32(phy[2])<<8 | uint32(phy[3])<<16 | uint32(phy[4])<<24
+				if f := d.sched.ObserveUplink(downlink.Uplink{
+					DevAddr: devAddr,
+					Gateway: gw,
+					EUI:     pkt.EUI,
+					Tmst:    rx.Tmst,
+					FreqMHz: rx.Freq,
+					Datr:    rx.Datr,
+					AtS:     now,
+				}, now); f != nil {
+					d.sendDownlink(f)
+				}
+			}
 			d.pool.Dispatch(netserver.Uplink{
 				Gateway:     gw,
 				ReceivedAtS: now,
@@ -373,10 +456,75 @@ func (d *daemon) udpLoop() {
 	}
 }
 
+// sendDownlink routes one scheduled PULL_RESP to its gateway.
+func (d *daemon) sendDownlink(f *downlink.Frame) {
+	addr, ok := d.routes.Lookup(f.EUI)
+	if !ok {
+		d.sched.Unroutable(f.Token)
+		return
+	}
+	_, _ = d.udp.WriteToUDP(f.Datagram, addr)
+}
+
+// nextFCntDown issues the device's next downlink frame counter.
+func (d *daemon) nextFCntDown(devAddr uint32) uint32 {
+	d.fcntMu.Lock()
+	defer d.fcntMu.Unlock()
+	fcnt := d.fcntDown[devAddr]
+	d.fcntDown[devAddr] = fcnt + 1
+	return fcnt
+}
+
+// buildLinkADRPhy encodes one reassignment as a LinkADRReq downlink
+// frame (FPort 0, encrypted under NwkSKey).
+func buildLinkADRPhy(plan lora.Plan, keys lorawan.Keys, devAddr, fcnt uint32, c scenario.DeltaChange) ([]byte, error) {
+	dr, err := lorawan.DataRateForSF(lora.SF(c.SF))
+	if err != nil {
+		return nil, err
+	}
+	tpIdx, ok := plan.TxPowerIndex(c.TPdBm)
+	if !ok {
+		return nil, fmt.Errorf("TX power %g dBm is not a level of plan %s", c.TPdBm, plan.Name)
+	}
+	cmd, err := lorawan.LinkADRReq{DataRate: dr, TXPower: uint8(tpIdx), Channel: c.Channel}.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return lorawan.EncodeDownlink(lorawan.Frame{
+		MType:   lorawan.UnconfirmedDataDown,
+		DevAddr: devAddr,
+		ADR:     true,
+		FCnt:    fcnt,
+		FPort:   0,
+		Payload: cmd,
+	}, keys)
+}
+
+// queueDownlinks turns a re-allocation delta into per-device LinkADRReq
+// downlinks, sending immediately when a device's RX window is still
+// reachable.
+func (d *daemon) queueDownlinks(delta *scenario.Delta) {
+	for _, c := range delta.Changes {
+		if c.Device < 0 || c.Device >= len(d.devices) {
+			continue
+		}
+		dev := d.devices[c.Device]
+		phy, err := buildLinkADRPhy(d.plan, dev.Keys, dev.DevAddr, d.nextFCntDown(dev.DevAddr), c)
+		if err != nil {
+			d.dlEncodeErr.Add(1)
+			continue
+		}
+		if f := d.sched.Enqueue(dev.DevAddr, phy, d.nowS()); f != nil {
+			d.sendDownlink(f)
+		}
+	}
+}
+
 // handleMetrics renders the Prometheus-style text counters.
 func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	rf := d.frontend.Counters()
+	dl := d.sched.Counters()
 	writeMetrics(w, d.pool, metricsExtra{
 		uptimeS:     d.nowS(),
 		gateways:    int(d.gwCount.Load()),
@@ -384,6 +532,10 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		tracked:     d.tracker.Len(),
 		reallocated: d.reallocated(),
 		rf:          &rf,
+		dl:          &dl,
+		routes:      d.routes.Len(),
+		dlEncodeErr: d.dlEncodeErr.Load(),
+		ackErrs:     d.sched.AckErrors(),
 	})
 }
 
@@ -403,6 +555,12 @@ type metricsExtra struct {
 	// rf is the receiver frontend's RF-contention accounting (live mode
 	// only; replay traffic has no RXPK stream to observe).
 	rf *ingest.FrontendCounters
+	// dl is the downlink scheduler's accounting; routes the live gateway
+	// route count; ackErrs the per-gateway TX_ACK outcome tallies.
+	dl          *downlink.Counters
+	routes      int
+	dlEncodeErr int64
+	ackErrs     []downlink.AckErrorCount
 }
 
 // writeMetrics is shared between the live /metrics endpoint and the
@@ -431,12 +589,161 @@ func writeMetrics(w io.Writer, pool *ingest.Pool, x metricsExtra) {
 		fmt.Fprintf(w, "eflora_nsd_rf_unknown_channel_total %d\n", x.rf.UnknownChannel)
 		fmt.Fprintf(w, "eflora_nsd_rf_bad_datr_total %d\n", x.rf.BadDatr)
 	}
+	if x.dl != nil {
+		fmt.Fprintf(w, "eflora_nsd_downlink_queued_total %d\n", x.dl.Queued)
+		fmt.Fprintf(w, "eflora_nsd_downlink_sent_total %d\n", x.dl.Sent)
+		fmt.Fprintf(w, "eflora_nsd_downlink_acked_total %d\n", x.dl.Acked)
+		fmt.Fprintf(w, "eflora_nsd_downlink_failed_total %d\n", x.dl.Failed)
+		fmt.Fprintf(w, "eflora_nsd_downlink_retried_total %d\n", x.dl.Retried)
+		fmt.Fprintf(w, "eflora_nsd_downlink_expired_total %d\n", x.dl.Expired)
+		fmt.Fprintf(w, "eflora_nsd_downlink_noroute_total %d\n", x.dl.NoRoute)
+		fmt.Fprintf(w, "eflora_nsd_downlink_dutyblocked_total %d\n", x.dl.DutyBlocked)
+		fmt.Fprintf(w, "eflora_nsd_downlink_encode_errors_total %d\n", x.dlEncodeErr)
+		fmt.Fprintf(w, "eflora_nsd_gateway_routes %d\n", x.routes)
+		for _, e := range x.ackErrs {
+			fmt.Fprintf(w, "eflora_nsd_txack_total{gateway=\"%x\",error=%q} %d\n", e.EUI, e.Error, e.Count)
+		}
+	}
 	for k, depth := range pool.ShardDepths() {
 		fmt.Fprintf(w, "eflora_nsd_shard_depth{shard=\"%d\"} %d\n", k, depth)
 	}
 	for k, pending := range pool.PendingCounts() {
 		fmt.Fprintf(w, "eflora_nsd_shard_pending{shard=\"%d\"} %d\n", k, pending)
 	}
+}
+
+// replayGatewayEUI synthesizes a stable forwarder identity per gateway
+// index for the load generator's downlink exchange.
+func replayGatewayEUI(gw int) [8]byte {
+	return [8]byte{0xEF, 0x10, 0x5A, 0, 0, 0, byte(gw >> 8), byte(gw)}
+}
+
+// runDownlinkExchange closes the replay loop: every reassigned device
+// sends one more heartbeat on its OLD settings, the scheduler answers
+// with a LinkADRReq PULL_RESP into the device's RX1/RX2 window, the
+// simulated gateway judges and transmits it (blocking its own receiver
+// for the airtime), and the simulated device applies the command only if
+// the downlink actually lands.
+func runDownlinkExchange(cfg config, netw *core.Network, a model.Allocation, rt *ingest.Replay, delta *scenario.Delta, out io.Writer) error {
+	plan := netw.Params.Plan
+	sched := downlink.NewScheduler(downlink.Config{
+		RX1DelayS:  cfg.rx1DelayS,
+		RX2FreqMHz: cfg.rx2FreqMHz,
+		RX2Datr:    cfg.rx2Datr,
+		CodingRate: netw.Params.CodingRate,
+		DutyCycle:  cfg.dutyCycle,
+	})
+	scfg := sched.Config()
+
+	validFreqs := make([]float64, 0, plan.NumChannels()+1)
+	for _, ch := range plan.Uplink {
+		validFreqs = append(validFreqs, ch.CenterHz/1e6)
+	}
+	validFreqs = append(validFreqs, scfg.RX2FreqMHz)
+	engines := make([]engine.Gateway, netw.Net.G())
+	sims := make([]downlink.GatewaySim, netw.Net.G())
+	for k := range engines {
+		engines[k].Reset(engine.Config{
+			Capacity:   netw.Params.GatewayCapacity,
+			HalfDuplex: true,
+			NoiseMW:    lora.DBmToMilliwatts(netw.Params.NoiseDBm),
+			Thresholds: engine.NewThresholds(),
+		})
+		sims[k] = downlink.GatewaySim{Eng: &engines[k], ValidFreqMHz: validFreqs}
+	}
+
+	var applied, unheard, unsent, probes, blocked int
+	windows := [3]int{}
+	firstApplied := ""
+	probeTok := 0
+	for k, c := range delta.Changes {
+		i := c.Device
+		last := rt.LastUp[i]
+		if last.Gateway < 0 {
+			unheard++
+			continue
+		}
+		// One more deterministic heartbeat per device on its OLD radio
+		// settings — the uplink whose Class-A windows carry the command.
+		hbS := rt.SimTimeS + 0.25 + 0.5*float64(k)
+		ch := plan.Uplink[a.Channel[i]]
+		upFreqMHz := ch.CenterHz / 1e6
+		upDatr := ingest.Datr(a.SF[i], ch.BandwidthHz)
+		dev := rt.Devices[i]
+		sched.ObserveUplink(downlink.Uplink{
+			DevAddr: dev.DevAddr,
+			Gateway: last.Gateway,
+			EUI:     replayGatewayEUI(last.Gateway),
+			Tmst:    uint64(hbS * 1e6),
+			FreqMHz: upFreqMHz,
+			Datr:    upDatr,
+			AtS:     hbS,
+		}, hbS)
+
+		phy, err := buildLinkADRPhy(plan, dev.Keys, dev.DevAddr, 0, c)
+		if err != nil {
+			return fmt.Errorf("downlink: encode device %d: %w", i, err)
+		}
+		frame := sched.Enqueue(dev.DevAddr, phy, hbS+0.05)
+		if frame == nil {
+			unsent++ // both windows duty-blocked; stays queued
+			continue
+		}
+		sim := downlink.DeviceSim{
+			DevAddr:        dev.DevAddr,
+			Keys:           dev.Keys,
+			Plan:           plan,
+			RX1DelayS:      scfg.RX1DelayS,
+			RX2DelayS:      scfg.RX2DelayS,
+			RX2FreqMHz:     scfg.RX2FreqMHz,
+			RX2Datr:        scfg.RX2Datr,
+			LastUplinkEndS: hbS,
+			UplinkFreqMHz:  upFreqMHz,
+			UplinkDatr:     upDatr,
+			SF:             a.SF[i],
+			TPdBm:          a.TPdBm[i],
+			Channel:        a.Channel[i],
+		}
+		// At most two attempts by construction: the RX2 retry of a failed
+		// RX1 is the scheduler's only second chance.
+		for attempt := 0; frame != nil && attempt < 2; attempt++ {
+			startS, endS, errStr := sims[frame.Gateway].Transmit(&frame.TXPK, hbS+0.05)
+			retry := sched.OnTxAck(frame.EUI, frame.Token, errStr, hbS+0.1)
+			if errStr == ingest.TxErrNone {
+				// The gateway is deaf while its downlink is in the air:
+				// probe the half-duplex window with a strong uplink.
+				probes++
+				probeTok++
+				mid := (startS + endS) / 2
+				if v := engines[frame.Gateway].Arrive(probeTok, i, a.SF[i], a.Channel[i],
+					mid, endS+0.01, lora.DBmToMilliwatts(-60)); v == engine.VerdictBlocked {
+					blocked++
+				}
+				w, err := sim.Receive(&frame.TXPK, startS)
+				if err != nil {
+					return fmt.Errorf("downlink: device %d: %w", i, err)
+				}
+				if w > 0 && sim.AppliedCount > 0 {
+					applied++
+					windows[w]++
+					if firstApplied == "" {
+						firstApplied = fmt.Sprintf(
+							"downlink: device %d applied SF%d->SF%d TP %gdBm ch %d via RX%d at %.2fs — only after the PULL_RESP landed\n",
+							i, a.SF[i], sim.SF, sim.TPdBm, sim.Channel, w, sim.AppliedAtS)
+					}
+				}
+			}
+			frame = retry
+		}
+	}
+	dl := sched.Counters()
+	fmt.Fprintf(out, "downlink: %d command(s): %d sent, %d acked, %d applied (RX1 %d, RX2 %d), %d retried, %d duty-blocked, %d still queued, %d unheard\n",
+		len(delta.Changes), dl.Sent, dl.Acked, applied, windows[1], windows[2], dl.Retried, dl.DutyBlocked, unsent, unheard)
+	if firstApplied != "" {
+		fmt.Fprint(out, firstApplied)
+	}
+	fmt.Fprintf(out, "downlink: half-duplex gateways blocked %d/%d probe uplink(s) during their own TX\n", blocked, probes)
+	return nil
 }
 
 func ratio(num, den int) string {
@@ -450,6 +757,9 @@ func (d *daemon) writeSummary(out io.Writer) {
 	c := d.pool.Counters()
 	fmt.Fprintf(out, "served %d uplinks (%d delivered, %d duplicates, %d rejected, %d parse errors), %d gateways, %d devices reassigned\n",
 		c.Uplinks, c.Delivered, c.Duplicates, c.Rejected, d.parseErr.Load(), d.gwCount.Load(), d.reallocated())
+	dl := d.sched.Counters()
+	fmt.Fprintf(out, "downlink: %d queued, %d sent, %d acked, %d failed (%d retried, %d expired, %d unroutable, %d duty-blocked), %d routes\n",
+		dl.Queued, dl.Sent, dl.Acked, dl.Failed, dl.Retried, dl.Expired, dl.NoRoute, dl.DutyBlocked, d.routes.Len())
 }
 
 // runReplay is the load-generator mode: synthesize gateway traffic from
@@ -464,6 +774,8 @@ func runReplay(cfg config, netw *core.Network, a model.Allocation, out io.Writer
 		Seed:         cfg.seed,
 		DedupWindowS: cfg.dedupWindowS,
 		Parallelism:  cfg.parallelism,
+		DriftDevices: cfg.driftDevices,
+		DriftSNRdB:   cfg.driftSNRdB,
 	})
 	if err != nil {
 		return err
@@ -529,6 +841,7 @@ func runReplay(cfg config, netw *core.Network, a model.Allocation, out io.Writer
 	}
 
 	// One control-loop pass over the observed statistics.
+	var delta *scenario.Delta
 	if cfg.reallocEvery > 0 {
 		inc, err := alloc.NewIncremental(netw.Net, netw.Params, a, alloc.Options{})
 		if err != nil {
@@ -539,8 +852,7 @@ func runReplay(cfg config, netw *core.Network, a model.Allocation, out io.Writer
 			MinPRR:      cfg.minPRR,
 			MinFrames:   cfg.minFrames,
 		})
-		delta, err := r.Step(rt.SimTimeS)
-		if err != nil {
+		if delta, err = r.Step(rt.SimTimeS); err != nil {
 			return err
 		}
 		moved := 0
@@ -559,6 +871,14 @@ func runReplay(cfg config, netw *core.Network, a model.Allocation, out io.Writer
 			}
 		}
 		fmt.Fprintf(out, "replay: re-allocation pass moved %d device(s)\n", moved)
+	}
+
+	// Close the loop: deliver the reassignments as Class-A downlinks to
+	// the simulated devices and report what actually landed.
+	if delta != nil && len(delta.Changes) > 0 {
+		if err := runDownlinkExchange(cfg, netw, a, rt, delta, out); err != nil {
+			return err
+		}
 	}
 
 	pool.Close()

@@ -20,6 +20,7 @@ import (
 	"eflora/internal/lora"
 	"eflora/internal/lorawan"
 	"eflora/internal/model"
+	"eflora/internal/netserver"
 	"eflora/internal/scenario"
 )
 
@@ -125,6 +126,63 @@ func TestRunReplayAllocatesWhenScenarioHasNone(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "VERIFY OK") {
 		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+// TestRunReplayDownlinkExchange drives the closed loop end to end in
+// replay mode: drift injection degrades one device's reported SNR, the
+// re-allocation pass moves it, and the downlink exchange must show the
+// simulated device applying the new assignment only after a PULL_RESP
+// landed in one of its Class-A windows.
+func TestRunReplayDownlinkExchange(t *testing.T) {
+	// Sabotage the drifting device's SF so the model-side greedy has a
+	// better assignment once the degraded statistics flag it.
+	src := writeTestScenario(t, 24)
+	f, err := os.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Allocation.SF[0] = int(lora.SF12)
+	path := filepath.Join(t.TempDir(), "drifting.json")
+	w, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Write(w); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-replay", "-scenario", path,
+		"-packets", "20", "-seed", "7", "-shards", "4", "-http", "",
+		"-drift-devices", "1", "-drift-snr", "50",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "VERIFY OK") {
+		t.Errorf("drift injection broke bit-exact accounting:\n%s", s)
+	}
+	if strings.Contains(s, "moved 0 device(s)") {
+		t.Fatalf("drift never triggered a reassignment:\n%s", s)
+	}
+	if !strings.Contains(s, "device 0 applied SF12->") ||
+		!strings.Contains(s, "only after the PULL_RESP landed") {
+		t.Errorf("no device demonstrably applied its reassignment:\n%s", s)
+	}
+	if !strings.Contains(s, "applied (RX1") {
+		t.Errorf("downlink summary missing:\n%s", s)
+	}
+	if !strings.Contains(s, "half-duplex gateways blocked") {
+		t.Errorf("half-duplex probe report missing:\n%s", s)
 	}
 }
 
@@ -430,6 +488,251 @@ func TestDaemonRealloc(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("device 3 not in any delta: %+v", ds)
+	}
+}
+
+// readDatagram reads one UDP datagram with a buffer large enough for a
+// PULL_RESP, returning nil on deadline.
+func readDatagram(t *testing.T, conn net.Conn, timeout time.Duration) []byte {
+	t.Helper()
+	buf := make([]byte, 2048)
+	_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil
+	}
+	return append([]byte(nil), buf[:n]...)
+}
+
+// sendUplinkCollect writes a PUSH_DATA and reads until its PUSH_ACK,
+// collecting any PULL_RESP the daemon interleaves (the control loop runs
+// on its own timer, so a downlink can race the ack).
+func sendUplinkCollect(t *testing.T, conn net.Conn, pkt []byte) [][]byte {
+	t.Helper()
+	if _, err := conn.Write(pkt); err != nil {
+		t.Fatal(err)
+	}
+	var resps [][]byte
+	for {
+		d := readDatagram(t, conn, 2*time.Second)
+		if d == nil {
+			t.Fatal("no PUSH_ACK")
+		}
+		if len(d) >= 4 && d[3] == ingest.PullResp {
+			resps = append(resps, d)
+			continue
+		}
+		if len(d) == 4 && d[3] == ingest.PushAck {
+			return resps
+		}
+		t.Fatalf("unexpected datagram % x", d)
+	}
+}
+
+// decodePullResp asserts a datagram is a PULL_RESP carrying a LinkADRReq
+// for the device and returns the packet plus the parsed command.
+func decodePullResp(t *testing.T, raw []byte, dev netserver.Device) (*ingest.Packet, lorawan.LinkADRReq) {
+	t.Helper()
+	pkt, err := ingest.DecodeDownstream(raw)
+	if err != nil {
+		t.Fatalf("PULL_RESP decode: %v", err)
+	}
+	if pkt.Kind != ingest.PullResp || pkt.TXPK == nil {
+		t.Fatalf("not a PULL_RESP: %+v", pkt)
+	}
+	phy, err := pkt.TXPK.Payload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := lorawan.DecodeDownlink(phy, dev.Keys, 0)
+	if err != nil {
+		t.Fatalf("downlink frame: %v", err)
+	}
+	if fr.DevAddr != dev.DevAddr {
+		t.Fatalf("DevAddr = %08x, want %08x", fr.DevAddr, dev.DevAddr)
+	}
+	if fr.FPort != 0 {
+		t.Fatalf("FPort = %d, want 0 (MAC command)", fr.FPort)
+	}
+	cmd, err := lorawan.ParseLinkADRReq(fr.Payload)
+	if err != nil {
+		t.Fatalf("LinkADRReq: %v", err)
+	}
+	return pkt, cmd
+}
+
+// TestDaemonDownlinkDelivery closes the loop over real sockets: a
+// PULL_DATA establishes the downlink route, lossy low-SNR uplinks make
+// the control loop reassign the device, and the daemon must answer with
+// a PULL_RESP in RX1, retry exactly once in RX2 after a TX_ACK error,
+// and expose the outcome on /metrics.
+func TestDaemonDownlinkDelivery(t *testing.T) {
+	cfg := config{
+		scenarioPath: writeTestScenario(t, 8),
+		listenAddr:   "127.0.0.1:0",
+		httpAddr:     "127.0.0.1:0",
+		shards:       2,
+		queueDepth:   64,
+		dedupWindowS: 0.02,
+		flushEvery:   5 * time.Millisecond,
+		reallocEvery: 50 * time.Millisecond,
+		snrMarginDB:  1,
+		minPRR:       0.9,
+		minFrames:    4,
+	}
+	netw, a, err := loadScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SF[3] = lora.SF12
+	d, err := newDaemon(cfg, netw, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Serve(ctx) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	conn, err := net.Dial("udp", d.UDPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// The PULL_DATA keepalive registers this socket as the gateway's
+	// downlink route.
+	eui := [8]byte{0xDD, 1}
+	ack := udpExchange(t, conn, ingest.EncodePullData(0x0101, eui), true)
+	if len(ack) != 4 || ack[3] != ingest.PullAck {
+		t.Fatalf("PULL_ACK = % x", ack)
+	}
+
+	dev := ingest.DeviceForAddr(ingest.AddrForIndex(3))
+	var resps [][]byte
+	for fcnt := uint32(1); fcnt <= 60 && len(resps) == 0; fcnt++ {
+		if fcnt%3 == 0 {
+			continue // lossy link: every third counter never arrives
+		}
+		phy, err := lorawan.Encode(lorawan.Frame{
+			MType: lorawan.UnconfirmedDataUp, DevAddr: dev.DevAddr, FCnt: fcnt, FPort: 1, Payload: []byte{byte(fcnt)},
+		}, dev.Keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx := rxpkFor(phy)
+		rx.LSNR = lora.SNRThresholdDB(lora.SF12) - 5
+		pkt, err := ingest.EncodePushData(uint16(fcnt), eui, []ingest.RXPK{rx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resps = append(resps, sendUplinkCollect(t, conn, pkt)...)
+		if len(resps) == 0 {
+			if r := readDatagram(t, conn, 10*time.Millisecond); r != nil {
+				resps = append(resps, r)
+			}
+		}
+	}
+	if len(resps) == 0 {
+		t.Fatal("control loop never sent a PULL_RESP")
+	}
+
+	// RX1: the downlink mirrors the uplink's channel parameters and is
+	// scheduled RX1Delay (1 s) after the uplink's gateway timestamp.
+	pkt1, cmd := decodePullResp(t, resps[0], dev)
+	rx := rxpkFor(nil)
+	if got := pkt1.TXPK.Tmst; got != uint64(rx.Tmst)+1_000_000 {
+		t.Errorf("RX1 tmst = %d, want %d", got, rx.Tmst+1_000_000)
+	}
+	if pkt1.TXPK.Freq != rx.Freq || pkt1.TXPK.Datr != rx.Datr {
+		t.Errorf("RX1 channel = %g %s, want %g %s", pkt1.TXPK.Freq, pkt1.TXPK.Datr, rx.Freq, rx.Datr)
+	}
+	if !pkt1.TXPK.IPol {
+		t.Error("downlink not polarity-inverted")
+	}
+	if sf, err := lorawan.SFForDataRate(cmd.DataRate); err != nil || sf == lora.SF12 {
+		t.Errorf("LinkADRReq kept the sabotaged SF: DR %d (err %v)", cmd.DataRate, err)
+	}
+
+	// A TX_ACK error must trigger exactly one RX2 retry.
+	nack, err := ingest.EncodeTxAck(pkt1.Token, eui, ingest.TxErrTooLate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(nack); err != nil {
+		t.Fatal(err)
+	}
+	raw2 := readDatagram(t, conn, 2*time.Second)
+	if raw2 == nil {
+		t.Fatal("no RX2 retry after TX_ACK error")
+	}
+	pkt2, _ := decodePullResp(t, raw2, dev)
+	if pkt2.Token == pkt1.Token {
+		t.Error("retry reused the in-flight token")
+	}
+	if got := pkt2.TXPK.Tmst; got != uint64(rx.Tmst)+2_000_000 {
+		t.Errorf("RX2 tmst = %d, want %d", got, rx.Tmst+2_000_000)
+	}
+	if pkt2.TXPK.Freq != 869.525 || pkt2.TXPK.Datr != "SF12BW125" {
+		t.Errorf("RX2 channel = %g %s, want 869.525 SF12BW125", pkt2.TXPK.Freq, pkt2.TXPK.Datr)
+	}
+	okAck, err := ingest.EncodeTxAck(pkt2.Token, eui, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(okAck); err != nil {
+		t.Fatal(err)
+	}
+	// The RX2 retry was the only second chance: a second error on it is
+	// terminal and nothing else may be transmitted.
+	if extra := readDatagram(t, conn, 150*time.Millisecond); extra != nil {
+		t.Fatalf("unexpected third transmission % x", extra)
+	}
+
+	base := "http://" + d.HTTPAddr()
+	deadline := time.Now().Add(5 * time.Second)
+	var body string
+	for {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		body = string(b)
+		if acked, _ := metricValue(body, "eflora_nsd_downlink_acked_total"); acked >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("downlink metrics never settled:\n%s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	checks := map[string]float64{
+		"eflora_nsd_downlink_queued_total":  1,
+		"eflora_nsd_downlink_sent_total":    2,
+		"eflora_nsd_downlink_acked_total":   1,
+		"eflora_nsd_downlink_retried_total": 1,
+		"eflora_nsd_downlink_failed_total":  0,
+		"eflora_nsd_gateway_routes":         1,
+	}
+	for name, want := range checks {
+		if got, ok := metricValue(body, name); !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", name, got, ok, want)
+		}
+	}
+	for _, name := range []string{
+		`eflora_nsd_txack_total{gateway="dd01000000000000",error="TOO_LATE"} 1`,
+		`eflora_nsd_txack_total{gateway="dd01000000000000",error="NONE"} 1`,
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("metrics missing %s:\n%s", name, body)
+		}
 	}
 }
 

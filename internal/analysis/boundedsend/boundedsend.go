@@ -5,8 +5,9 @@
 // indefinitely on an unbounded queue: every channel send on the packet
 // path must either be a select with a default (shed or count, never
 // stall) or be an explicitly acknowledged bounded-backpressure point.
-// boundedsend enforces this in the ingest and netserver packages (and the
-// eflora-nsd daemon): a send statement outside a select-with-default is
+// boundedsend enforces this in the ingest, netserver, downlink and
+// lorawan packages (and the eflora-nsd daemon): a send statement
+// outside a select-with-default is
 // flagged, with a suggested fix rewriting it to the canonical
 // non-blocking form. Deliberate blocking sends — documented backpressure
 // — are annotated //eflora:blocking-ok <reason>.
@@ -24,8 +25,8 @@ import (
 // Analyzer is the boundedsend analysis.
 var Analyzer = &framework.Analyzer{
 	Name: "boundedsend",
-	Doc: "require channel sends on the packet path (ingest, netserver, eflora-nsd) to be " +
-		"select-with-default or annotated bounded backpressure",
+	Doc: "require channel sends on the packet path (ingest, netserver, downlink, lorawan, eflora-nsd) " +
+		"to be select-with-default or annotated bounded backpressure",
 	Run: run,
 }
 
@@ -35,6 +36,8 @@ var packetPathPackages = map[string]bool{
 	"ingest":     true,
 	"netserver":  true,
 	"eflora-nsd": true,
+	"downlink":   true,
+	"lorawan":    true,
 }
 
 const suppression = "blocking-ok"

@@ -1,0 +1,84 @@
+// Package downlink implements the server→gateway→device command path
+// that closes EF-LoRa's re-allocation loop: a route table mapping gateway
+// EUIs to their last-seen PULL_DATA source addresses, a Class-A RX1/RX2
+// window scheduler that turns reassignments into PULL_RESP datagrams, and
+// the simulated gateway/device endpoints the replay load generator uses
+// to prove a command actually landed.
+package downlink
+
+import (
+	"net"
+	"sync"
+)
+
+// DefaultRouteTTLS is how long a PULL_DATA keeps a gateway's downlink
+// route alive. The reference packet forwarder sends a keepalive every
+// 5–10 s, so a minute of silence means the path is dead.
+const DefaultRouteTTLS = 60
+
+type route struct {
+	addr      *net.UDPAddr
+	lastSeenS float64
+}
+
+// Routes maps gateway EUIs to the UDP source address of their most
+// recent PULL_DATA — the only address a PULL_RESP can be sent to (the
+// forwarder's downlink socket sits behind the same NAT binding). Safe for
+// concurrent use.
+type Routes struct {
+	mu   sync.Mutex
+	ttlS float64
+	m    map[[8]byte]route
+}
+
+// NewRoutes creates a route table. ttlS <= 0 selects DefaultRouteTTLS.
+func NewRoutes(ttlS float64) *Routes {
+	if ttlS <= 0 {
+		ttlS = DefaultRouteTTLS
+	}
+	return &Routes{ttlS: ttlS, m: make(map[[8]byte]route)}
+}
+
+// Update records the gateway's downlink address from a PULL_DATA.
+func (r *Routes) Update(eui [8]byte, addr *net.UDPAddr, nowS float64) {
+	if addr == nil {
+		return
+	}
+	r.mu.Lock()
+	r.m[eui] = route{addr: addr, lastSeenS: nowS}
+	r.mu.Unlock()
+}
+
+// Lookup returns the gateway's downlink address, if a live route exists.
+func (r *Routes) Lookup(eui [8]byte) (*net.UDPAddr, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rt, ok := r.m[eui]
+	if !ok {
+		return nil, false
+	}
+	return rt.addr, true
+}
+
+// Evict drops routes whose last PULL_DATA is older than the TTL and
+// returns how many were dropped — run from the daemon's periodic tick so
+// downlinks never target a dead address.
+func (r *Routes) Evict(nowS float64) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for eui, rt := range r.m {
+		if nowS-rt.lastSeenS > r.ttlS {
+			delete(r.m, eui)
+			n++
+		}
+	}
+	return n
+}
+
+// Len reports the number of live routes.
+func (r *Routes) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.m)
+}

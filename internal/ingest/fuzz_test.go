@@ -74,6 +74,62 @@ func FuzzSemtechPushData(f *testing.F) {
 	})
 }
 
+// FuzzTXPK feeds arbitrary downstream datagrams to the PULL_RESP/TXPK
+// codec. Any input may be rejected, but none may panic; a PULL_RESP that
+// decodes must carry a TXPK and survive an encode/decode round trip
+// losslessly, token included.
+func FuzzTXPK(f *testing.F) {
+	valid, err := EncodePullResp(0xBEEF, &TXPK{
+		Tmst: 5_000_000, Freq: 869.525, RFCh: 0, Powe: 14,
+		Modu: "LORA", Datr: "SF12BW125", Codr: "4/7", IPol: true,
+		Size: 4, Data: "3q2+7w==",
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{ProtocolVersion, 0x34, 0x12, PushAck})
+	f.Add([]byte{ProtocolVersion, 0x34, 0x12, PullAck})
+	f.Add([]byte{ProtocolVersion, 0, 0, PullResp})                                   // missing body
+	f.Add(append([]byte{ProtocolVersion, 9, 9, PullResp}, []byte(`{"txpk":{`)...))   // bad JSON
+	f.Add(append([]byte{ProtocolVersion, 9, 9, PullResp}, []byte(`{"tXpk":{}}`)...)) // ambiguous key
+	f.Add(append([]byte{ProtocolVersion, 0, 1, PullResp}, []byte(`{"txpk":{"imme":true,"freq":868.1,"rfch":0,"modu":"LORA","datr":"SF7BW125","codr":"4/5","size":0,"data":""}}`)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeDownstream(data)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("non-nil packet alongside error %v", err)
+			}
+			return
+		}
+		if p.Version != ProtocolVersion {
+			t.Fatalf("decoded version %d", p.Version)
+		}
+		switch p.Kind {
+		case PushAck, PullAck:
+			return
+		case PullResp:
+		default:
+			t.Fatalf("decoded unexpected kind %#02x", p.Kind)
+		}
+		if p.TXPK == nil {
+			t.Fatal("PULL_RESP without TXPK")
+		}
+		re, err := EncodePullResp(p.Token, p.TXPK)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		p2, err := DecodeDownstream(re)
+		if err != nil {
+			t.Fatalf("decode of re-encoded PULL_RESP: %v", err)
+		}
+		if p2.Token != p.Token || p2.TXPK == nil || *p2.TXPK != *p.TXPK {
+			t.Fatalf("round trip changed packet:\n was %+v\n now %+v", p, p2)
+		}
+	})
+}
+
 // FuzzParseDatr checks the datarate identifier parser never panics and
 // that accepted identifiers round-trip through Datr for the canonical
 // spelling.

@@ -36,6 +36,12 @@ type ReplayConfig struct {
 	StaleReplayProb float64
 	// Parallelism is passed through to the simulator.
 	Parallelism int
+	// DriftDevices injects link drift: the first DriftDevices devices
+	// report SNRs DriftSNRdB below their true link budget, so the online
+	// re-allocator sees them as drifting. Only the reported metadata is
+	// degraded — delivery accounting stays analytically exact.
+	DriftDevices int
+	DriftSNRdB   float64
 }
 
 func (c ReplayConfig) withDefaults() ReplayConfig {
@@ -76,6 +82,18 @@ type Replay struct {
 	// SimTimeS is the simulated horizon; DedupWindowS echoes the config.
 	SimTimeS     float64
 	DedupWindowS float64
+	// LastUp records each device's final delivered uplink (Gateway -1 for
+	// devices the network never heard) — the reception context a Class-A
+	// downlink exchange schedules against.
+	LastUp []ReplayLastUplink
+}
+
+// ReplayLastUplink is one device's most recent delivered transmission.
+type ReplayLastUplink struct {
+	// EndS is when the transmission left the air; Gateway the decoding
+	// gateway (-1 when the device was never delivered).
+	EndS    float64
+	Gateway int
 }
 
 // DeviceForAddr derives a device with deterministic session keys from its
@@ -188,6 +206,14 @@ func BuildReplay(net *model.Network, p model.Params, a model.Allocation, cfg Rep
 		Devices:      devices,
 		SimTimeS:     res.SimTimeS,
 		DedupWindowS: cfg.DedupWindowS,
+		LastUp:       make([]ReplayLastUplink, n),
+	}
+	for i := range rp.LastUp {
+		rp.LastUp[i] = ReplayLastUplink{EndS: -1, Gateway: -1}
+		if frames := delivered[i]; len(frames) > 0 {
+			last := frames[len(frames)-1]
+			rp.LastUp[i] = ReplayLastUplink{EndS: last.endS, Gateway: last.gw}
+		}
 	}
 	var stream []replayUplink
 	add := func(arrivalS float64, up netserver.Uplink) {
@@ -215,7 +241,11 @@ func BuildReplay(net *model.Network, p model.Params, a model.Allocation, cfg Rep
 			}
 			phys[j] = phy
 
-			snr := func(gw int) float64 { return meanSNR[i][gw] + r.NormFloat64()*2 }
+			drift := 0.0
+			if i < cfg.DriftDevices {
+				drift = cfg.DriftSNRdB
+			}
+			snr := func(gw int) float64 { return meanSNR[i][gw] + r.NormFloat64()*2 - drift }
 			mkUplink := func(gw int, ts float64) netserver.Uplink {
 				s := snr(gw)
 				return netserver.Uplink{

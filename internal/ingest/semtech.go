@@ -7,9 +7,11 @@
 package ingest
 
 import (
+	"bytes"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 
@@ -74,6 +76,65 @@ func (r *RXPK) Payload() ([]byte, error) {
 	return b, nil
 }
 
+// TXPK is one downlink transmission request in a PULL_RESP JSON payload,
+// mirroring the packet forwarder's field names.
+type TXPK struct {
+	// Imme requests immediate transmission, ignoring Tmst.
+	Imme bool `json:"imme,omitempty"`
+	// Tmst is the gateway's internal microsecond counter value at which
+	// the transmission must start (Class-A window timing).
+	Tmst uint64 `json:"tmst,omitempty"`
+	// Freq is the TX center frequency in MHz.
+	Freq float64 `json:"freq"`
+	// RFCh is the concentrator RF chain used for TX.
+	RFCh int `json:"rfch"`
+	// Powe is the TX output power in dBm.
+	Powe float64 `json:"powe,omitempty"`
+	// Modu is "LORA" (FSK downlinks are not issued by this server).
+	Modu string `json:"modu"`
+	// Datr is the LoRa datarate identifier, e.g. "SF12BW125".
+	Datr string `json:"datr"`
+	// Codr is the coding rate, e.g. "4/7".
+	Codr string `json:"codr"`
+	// IPol requests inverted polarity (standard for LoRaWAN downlinks so
+	// gateways do not lock onto each other's transmissions).
+	IPol bool `json:"ipol,omitempty"`
+	// Size is the payload length in bytes; Data its base64 encoding.
+	Size int    `json:"size"`
+	Data string `json:"data"`
+}
+
+// Payload decodes the base64 PHY payload.
+func (t *TXPK) Payload() ([]byte, error) {
+	b, err := base64.StdEncoding.DecodeString(t.Data)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: txpk data: %w", err)
+	}
+	if t.Size != 0 && t.Size != len(b) {
+		return nil, fmt.Errorf("ingest: txpk size %d != payload %d", t.Size, len(b))
+	}
+	return b, nil
+}
+
+// SetPayload stores the PHY payload (base64 + size).
+func (t *TXPK) SetPayload(b []byte) {
+	t.Size = len(b)
+	t.Data = base64.StdEncoding.EncodeToString(b)
+}
+
+// TX_ACK error values (packet-forwarder PROTOCOL.TXT): the downlink's
+// fate as judged by the gateway's just-in-time TX queue.
+const (
+	TxErrNone            = "NONE"
+	TxErrTooLate         = "TOO_LATE"
+	TxErrTooEarly        = "TOO_EARLY"
+	TxErrCollisionPacket = "COLLISION_PACKET"
+	TxErrCollisionBeacon = "COLLISION_BEACON"
+	TxErrTxFreq          = "TX_FREQ"
+	TxErrTxPower         = "TX_POWER"
+	TxErrGPSUnlocked     = "GPS_UNLOCKED"
+)
+
 // ParseDatr splits a "SF7BW125"-style datarate identifier into spreading
 // factor and bandwidth (Hz).
 func ParseDatr(datr string) (lora.SF, float64, error) {
@@ -108,6 +169,101 @@ type pushPayload struct {
 	Stat json.RawMessage `json:"stat,omitempty"`
 }
 
+// pullRespPayload is the JSON body of a PULL_RESP packet.
+type pullRespPayload struct {
+	TXPK TXPK `json:"txpk"`
+}
+
+// txAckPayload is the JSON body of a TX_ACK packet.
+type txAckPayload struct {
+	Ack struct {
+		Error string `json:"error"`
+	} `json:"txpk_ack"`
+}
+
+// canonicalKeys maps the lower-cased spelling of every JSON field the
+// packet path decodes to its exact protocol spelling. strictKeys rejects
+// bodies that spell one of these any other way, because encoding/json
+// matches object keys case-insensitively and would silently accept them.
+var canonicalKeys = map[string]string{
+	"rxpk": "rxpk", "txpk": "txpk", "stat": "stat", "txpk_ack": "txpk_ack",
+	"error": "error", "tmst": "tmst", "time": "time", "freq": "freq",
+	"chan": "chan", "rfch": "rfch", "modu": "modu", "datr": "datr",
+	"codr": "codr", "rssi": "rssi", "lsnr": "lsnr", "size": "size",
+	"data": "data", "imme": "imme", "powe": "powe", "ipol": "ipol",
+}
+
+// strictKeys walks a JSON body and rejects the key ambiguities Go's
+// case-insensitive field matching would otherwise resolve silently: two
+// keys in one object that differ only by ASCII case (or repeat exactly),
+// and any case-variant spelling of a field the packet path decodes. The
+// kept FuzzSemtechPushData crasher ({"rXpk":[]}) is exactly such an
+// input. Keys unknown to the codec still pass — gateways send fields this
+// server does not model.
+func strictKeys(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	type frame struct {
+		obj       bool
+		expectKey bool
+		keys      map[string]string // folded -> as written
+	}
+	var stack []frame
+	// endValue marks a completed object value, so the next string token at
+	// this nesting level is a key again.
+	endValue := func() {
+		if n := len(stack); n > 0 && stack[n-1].obj {
+			stack[n-1].expectKey = true
+		}
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case json.Delim:
+			switch t {
+			case '{':
+				stack = append(stack, frame{obj: true, expectKey: true, keys: make(map[string]string)})
+			case '[':
+				stack = append(stack, frame{})
+			default: // '}' or ']'
+				stack = stack[:len(stack)-1]
+				endValue()
+			}
+		case string:
+			if n := len(stack); n > 0 && stack[n-1].obj && stack[n-1].expectKey {
+				f := &stack[n-1]
+				folded := strings.ToLower(t)
+				if prev, dup := f.keys[folded]; dup {
+					return fmt.Errorf("ingest: ambiguous JSON keys %q and %q in one object", prev, t)
+				}
+				f.keys[folded] = t
+				if canon, known := canonicalKeys[folded]; known && t != canon {
+					return fmt.Errorf("ingest: JSON key %q mismatches protocol field %q", t, canon)
+				}
+				f.expectKey = false
+				continue
+			}
+			endValue()
+		default: // number, bool, null
+			endValue()
+		}
+	}
+}
+
+// strictUnmarshal applies the packet path's hardened JSON decoding: the
+// strictKeys scan first, then the ordinary unmarshal.
+func strictUnmarshal(data []byte, v any) error {
+	if err := strictKeys(data); err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
 // Packet is a decoded packet-forwarder datagram.
 type Packet struct {
 	Version byte
@@ -117,7 +273,16 @@ type Packet struct {
 	EUI [8]byte
 	// RXPK holds the uplinks of a PUSH_DATA packet.
 	RXPK []RXPK
+	// TXPK holds the downlink of a PULL_RESP packet (DecodeDownstream).
+	TXPK *TXPK
+	// TxAckErr is the TX_ACK error value; "" when the datagram carried no
+	// JSON body (old forwarders acknowledge success with an empty body).
+	TxAckErr string
 }
+
+// TxAckOK reports whether a TX_ACK signals a successfully queued
+// downlink (no body, or an explicit NONE).
+func (p *Packet) TxAckOK() bool { return p.TxAckErr == "" || p.TxAckErr == TxErrNone }
 
 // DecodePacket parses an upstream datagram (PUSH_DATA, PULL_DATA or
 // TX_ACK — the kinds a gateway sends).
@@ -142,12 +307,52 @@ func DecodePacket(buf []byte) (*Packet, error) {
 		return nil, fmt.Errorf("ingest: %#02x datagram missing gateway EUI", p.Kind)
 	}
 	copy(p.EUI[:], buf[headerLen:headerLen+8])
-	if p.Kind == PushData {
+	switch p.Kind {
+	case PushData:
 		var body pushPayload
-		if err := json.Unmarshal(buf[headerLen+8:], &body); err != nil {
+		if err := strictUnmarshal(buf[headerLen+8:], &body); err != nil {
 			return nil, fmt.Errorf("ingest: PUSH_DATA payload: %w", err)
 		}
 		p.RXPK = body.RXPK
+	case TxAck:
+		// The body is optional: success may be an empty datagram.
+		if rest := buf[headerLen+8:]; len(bytes.TrimSpace(rest)) > 0 {
+			var body txAckPayload
+			if err := strictUnmarshal(rest, &body); err != nil {
+				return nil, fmt.Errorf("ingest: TX_ACK payload: %w", err)
+			}
+			p.TxAckErr = body.Ack.Error
+		}
+	}
+	return p, nil
+}
+
+// DecodeDownstream parses a server→gateway datagram (PUSH_ACK, PULL_ACK
+// or PULL_RESP — the kinds a gateway receives), for the replay load
+// generator's simulated gateways and for tests.
+func DecodeDownstream(buf []byte) (*Packet, error) {
+	if len(buf) < headerLen {
+		return nil, fmt.Errorf("ingest: datagram too short (%d bytes)", len(buf))
+	}
+	p := &Packet{
+		Version: buf[0],
+		Token:   uint16(buf[1]) | uint16(buf[2])<<8,
+		Kind:    buf[3],
+	}
+	if p.Version != ProtocolVersion {
+		return nil, fmt.Errorf("ingest: protocol version %d (want %d)", p.Version, ProtocolVersion)
+	}
+	switch p.Kind {
+	case PushAck, PullAck:
+		// Header only.
+	case PullResp:
+		var body pullRespPayload
+		if err := strictUnmarshal(buf[headerLen:], &body); err != nil {
+			return nil, fmt.Errorf("ingest: PULL_RESP payload: %w", err)
+		}
+		p.TXPK = &body.TXPK
+	default:
+		return nil, fmt.Errorf("ingest: unexpected downstream packet kind %#02x", p.Kind)
 	}
 	return p, nil
 }
@@ -185,4 +390,37 @@ func EncodePullData(token uint16, eui [8]byte) []byte {
 	out := make([]byte, 0, headerLen+8)
 	out = append(out, ProtocolVersion, byte(token), byte(token>>8), PullData)
 	return append(out, eui[:]...)
+}
+
+// EncodePullResp builds a PULL_RESP datagram carrying one downlink — what
+// the server sends to the gateway's PULL_DATA source address. PULL_RESP
+// carries no gateway EUI: the UDP destination selects the gateway.
+func EncodePullResp(token uint16, txpk *TXPK) ([]byte, error) {
+	body, err := json.Marshal(pullRespPayload{TXPK: *txpk})
+	if err != nil {
+		return nil, fmt.Errorf("ingest: encode txpk: %w", err)
+	}
+	out := make([]byte, 0, headerLen+len(body))
+	out = append(out, ProtocolVersion, byte(token), byte(token>>8), PullResp)
+	return append(out, body...), nil
+}
+
+// EncodeTxAck builds a TX_ACK datagram reporting a downlink's fate — what
+// a gateway (or a simulated one) sends after a PULL_RESP. The token must
+// echo the PULL_RESP's. An empty errStr omits the JSON body (the legacy
+// success spelling); TxErrNone reports success explicitly.
+func EncodeTxAck(token uint16, eui [8]byte, errStr string) ([]byte, error) {
+	out := make([]byte, 0, headerLen+8+48)
+	out = append(out, ProtocolVersion, byte(token), byte(token>>8), TxAck)
+	out = append(out, eui[:]...)
+	if errStr == "" {
+		return out, nil
+	}
+	var body txAckPayload
+	body.Ack.Error = errStr
+	b, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: encode txpk_ack: %w", err)
+	}
+	return append(out, b...), nil
 }

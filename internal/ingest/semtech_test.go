@@ -97,6 +97,152 @@ func TestParseDatr(t *testing.T) {
 	}
 }
 
+func TestPullRespRoundTrip(t *testing.T) {
+	phy := []byte{0x60, 1, 0, 0, 0, 0, 1, 0, 0, 3, 0x52, 0x04, 0x00, 9, 9, 9, 9}
+	tx := TXPK{
+		Tmst: 5_000_000, Freq: 868.3, RFCh: 0, Powe: 14,
+		Modu: "LORA", Datr: "SF9BW125", Codr: "4/7", IPol: true,
+	}
+	tx.SetPayload(phy)
+	buf, err := EncodePullResp(0xCAFE, &tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DecodeDownstream(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != PullResp || p.Token != 0xCAFE || p.TXPK == nil {
+		t.Fatalf("decoded = %+v", p)
+	}
+	if *p.TXPK != tx {
+		t.Errorf("txpk round trip:\n was %+v\n now %+v", tx, *p.TXPK)
+	}
+	got, err := p.TXPK.Payload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, phy) {
+		t.Errorf("payload = %x, want %x", got, phy)
+	}
+	// PULL_RESP is not acknowledged with an ACK packet (TX_ACK is separate).
+	if _, ok := p.Ack(); ok {
+		t.Error("PULL_RESP produced an ack")
+	}
+}
+
+func TestDecodeDownstreamAcks(t *testing.T) {
+	for _, kind := range []byte{PushAck, PullAck} {
+		p, err := DecodeDownstream([]byte{2, 0x21, 0x43, kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Kind != kind || p.Token != 0x4321 {
+			t.Errorf("decoded = %+v", p)
+		}
+	}
+	cases := [][]byte{
+		{},
+		{2, 0, 0},                     // too short
+		{1, 0, 0, PullResp, '{', '}'}, // wrong version
+		{2, 0, 0, PushData},           // upstream kind
+		append([]byte{2, 0, 0, PullResp}, []byte("{oops")...),
+	}
+	for i, buf := range cases {
+		if _, err := DecodeDownstream(buf); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTxAckRoundTrip(t *testing.T) {
+	eui := [8]byte{0xAA, 0x55, 1, 2, 3, 4, 5, 6}
+
+	// Explicit error body.
+	buf, err := EncodeTxAck(0x0102, eui, TxErrTooLate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DecodePacket(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != TxAck || p.Token != 0x0102 || p.EUI != eui {
+		t.Fatalf("decoded = %+v", p)
+	}
+	if p.TxAckErr != TxErrTooLate || p.TxAckOK() {
+		t.Errorf("error = %q, ok = %v", p.TxAckErr, p.TxAckOK())
+	}
+	// TX_ACK is never acknowledged.
+	if _, ok := p.Ack(); ok {
+		t.Error("TX_ACK produced an ack")
+	}
+
+	// Explicit NONE and the legacy empty body both mean success.
+	for _, errStr := range []string{TxErrNone, ""} {
+		buf, err := EncodeTxAck(9, eui, errStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := DecodePacket(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.TxAckOK() {
+			t.Errorf("errStr %q decoded not-ok: %+v", errStr, p)
+		}
+	}
+}
+
+func TestStrictKeysRejectsAmbiguity(t *testing.T) {
+	eui := [8]byte{1, 2, 3, 4, 5, 6, 7, 8}
+	hdr := []byte{2, 0, 0, PushData}
+	mk := func(body string) []byte {
+		return append(append(append([]byte{}, hdr...), eui[:]...), body...)
+	}
+	rejected := []string{
+		`{"rXpk":[]}`,                    // the kept fuzz crasher: case-variant of a decoded field
+		`{"rxpk":[{"DATR":"SF7BW125"}]}`, // nested case variant
+		`{"rxpk":[],"RXPK":[]}`,          // case-folded duplicate
+		`{"rxpk":[{"tmst":1,"tmst":2}]}`, // exact duplicate
+		`{"brd":1,"BRD":2}`,              // duplicate of an unmodeled key
+	}
+	for _, body := range rejected {
+		if _, err := DecodePacket(mk(body)); err == nil {
+			t.Errorf("ambiguous body %s accepted", body)
+		}
+	}
+	accepted := []string{
+		`{"rxpk":[]}`,
+		`{"rxpk":[{"tmst":1}],"stat":{"time":"x"}}`,
+		`{"jver":1,"rxpk":[]}`, // unknown keys pass
+	}
+	for _, body := range accepted {
+		if _, err := DecodePacket(mk(body)); err != nil {
+			t.Errorf("legal body %s rejected: %v", body, err)
+		}
+	}
+	// The same hardening guards the TX_ACK and PULL_RESP paths.
+	ackBody := append(append([]byte{2, 0, 0, TxAck}, eui[:]...), []byte(`{"txpk_ack":{"Error":"NONE"}}`)...)
+	if _, err := DecodePacket(ackBody); err == nil {
+		t.Error("TX_ACK with case-variant key accepted")
+	}
+	if _, err := DecodeDownstream(append([]byte{2, 0, 0, PullResp}, []byte(`{"tXpk":{}}`)...)); err == nil {
+		t.Error("PULL_RESP with case-variant key accepted")
+	}
+}
+
+func TestTXPKPayloadSizeMismatch(t *testing.T) {
+	tx := TXPK{Size: 3, Data: base64.StdEncoding.EncodeToString([]byte{1, 2})}
+	if _, err := tx.Payload(); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	tx = TXPK{Data: "%%%"}
+	if _, err := tx.Payload(); err == nil {
+		t.Error("bad base64 accepted")
+	}
+}
+
 func TestRXPKPayloadSizeMismatch(t *testing.T) {
 	rx := RXPK{Size: 3, Data: base64.StdEncoding.EncodeToString([]byte{1, 2})}
 	if _, err := rx.Payload(); err == nil {

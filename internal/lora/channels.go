@@ -82,6 +82,41 @@ func (p Plan) TxPowerLevels() []float64 {
 	return levels
 }
 
+// TxPowerIndex maps a transmission power in dBm onto the regional MAC
+// power index carried by LinkADRReq: index 0 is MaxTxPowerDBm, and each
+// index steps down by TxPowerStepDBm. The second return is false when
+// tpDBm is not a level of the plan.
+func (p Plan) TxPowerIndex(tpDBm float64) (int, bool) {
+	if p.TxPowerStepDBm <= 0 {
+		if tpDBm == p.MaxTxPowerDBm {
+			return 0, true
+		}
+		return 0, false
+	}
+	if tpDBm > p.MaxTxPowerDBm+1e-9 || tpDBm < p.MinTxPowerDBm-1e-9 {
+		return 0, false
+	}
+	steps := (p.MaxTxPowerDBm - tpDBm) / p.TxPowerStepDBm
+	idx := int(steps + 0.5)
+	if diff := steps - float64(idx); diff > 1e-6 || diff < -1e-6 {
+		return 0, false
+	}
+	return idx, true
+}
+
+// TxPowerForIndex inverts TxPowerIndex. The second return is false when
+// the index falls below the plan's minimum power.
+func (p Plan) TxPowerForIndex(idx int) (float64, bool) {
+	if idx < 0 {
+		return 0, false
+	}
+	tp := p.MaxTxPowerDBm - float64(idx)*p.TxPowerStepDBm
+	if tp < p.MinTxPowerDBm-1e-9 {
+		return 0, false
+	}
+	return tp, true
+}
+
 // Validate checks structural invariants of the plan.
 func (p Plan) Validate() error {
 	if len(p.Uplink) == 0 {

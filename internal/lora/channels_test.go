@@ -88,3 +88,35 @@ func TestPlanValidateFailures(t *testing.T) {
 		}
 	}
 }
+
+func TestTxPowerIndexRoundTrip(t *testing.T) {
+	p := EU868()
+	for idx, tp := 0, p.MaxTxPowerDBm; tp >= p.MinTxPowerDBm; idx, tp = idx+1, tp-p.TxPowerStepDBm {
+		got, ok := p.TxPowerIndex(tp)
+		if !ok || got != idx {
+			t.Errorf("TxPowerIndex(%v) = %d,%v, want %d", tp, got, ok, idx)
+		}
+		back, ok := p.TxPowerForIndex(idx)
+		if !ok || back != tp {
+			t.Errorf("TxPowerForIndex(%d) = %v,%v, want %v", idx, back, ok, tp)
+		}
+	}
+	// EU868: index 0 = 14 dBm, index 6 = 2 dBm.
+	if idx, ok := p.TxPowerIndex(14); !ok || idx != 0 {
+		t.Errorf("TxPowerIndex(14) = %d,%v", idx, ok)
+	}
+	if idx, ok := p.TxPowerIndex(2); !ok || idx != 6 {
+		t.Errorf("TxPowerIndex(2) = %d,%v", idx, ok)
+	}
+	for _, bad := range []float64{15, 1, 13} {
+		if _, ok := p.TxPowerIndex(bad); ok {
+			t.Errorf("TxPowerIndex(%v) accepted", bad)
+		}
+	}
+	if _, ok := p.TxPowerForIndex(7); ok {
+		t.Error("TxPowerForIndex(7) accepted below min power")
+	}
+	if _, ok := p.TxPowerForIndex(-1); ok {
+		t.Error("TxPowerForIndex(-1) accepted")
+	}
+}

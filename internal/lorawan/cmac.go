@@ -72,13 +72,21 @@ func xorInto(dst *[16]byte, src [16]byte) {
 	}
 }
 
-// computeMIC derives the 4-byte LoRaWAN uplink MIC: CMAC over the B0
+// Frame directions for the B0 block and payload cipher counter.
+const (
+	dirUp   byte = 0
+	dirDown byte = 1
+)
+
+// computeMIC derives the 4-byte LoRaWAN data-frame MIC: CMAC over the B0
 // block followed by the MHDR..FRMPayload bytes, truncated to 4 bytes.
-func computeMIC(nwkSKey [16]byte, devAddr uint32, fCnt uint32, msg []byte) ([4]byte, error) {
+// dir is 0 for uplink, 1 for downlink.
+func computeMIC(nwkSKey [16]byte, devAddr uint32, fCnt uint32, dir byte, msg []byte) ([4]byte, error) {
 	var mic [4]byte
 	b0 := make([]byte, 16+len(msg))
 	b0[0] = 0x49
-	// bytes 1..4 zero, byte 5 = direction (0 uplink)
+	// bytes 1..4 zero
+	b0[5] = dir
 	putUint32LE(b0[6:10], devAddr)
 	putUint32LE(b0[10:14], fCnt)
 	b0[15] = byte(len(msg))
@@ -98,8 +106,8 @@ func micEqual(a, b [4]byte) bool {
 
 // encryptFRMPayload applies the LoRaWAN payload cipher (AES-128 in the
 // spec's counter construction). Encryption and decryption are the same
-// operation.
-func encryptFRMPayload(key [16]byte, devAddr uint32, fCnt uint32, payload []byte) ([]byte, error) {
+// operation. dir is 0 for uplink, 1 for downlink.
+func encryptFRMPayload(key [16]byte, devAddr uint32, fCnt uint32, dir byte, payload []byte) ([]byte, error) {
 	block, err := aes.NewCipher(key[:])
 	if err != nil {
 		return nil, err
@@ -109,7 +117,7 @@ func encryptFRMPayload(key [16]byte, devAddr uint32, fCnt uint32, payload []byte
 	for i := 0; i < len(payload); i += 16 {
 		a = [16]byte{}
 		a[0] = 0x01
-		// byte 5 = direction (0 uplink)
+		a[5] = dir
 		putUint32LE(a[6:10], devAddr)
 		putUint32LE(a[10:14], fCnt)
 		a[15] = byte(i/16 + 1)

@@ -1,0 +1,181 @@
+package lorawan
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"eflora/internal/lora"
+)
+
+func TestDownlinkRoundTrip(t *testing.T) {
+	keys := testKeys()
+	f := Frame{
+		MType:   UnconfirmedDataDown,
+		DevAddr: 0x01ABCDEF,
+		ADR:     true,
+		FCnt:    7,
+		FPort:   10,
+		Payload: []byte{1, 2, 3, 4},
+	}
+	phy, err := EncodeDownlink(f, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDownlink(phy, keys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MType != f.MType || got.DevAddr != f.DevAddr || !got.ADR ||
+		got.FCnt != f.FCnt || got.FPort != f.FPort || !bytes.Equal(got.Payload, f.Payload) {
+		t.Errorf("round trip changed frame:\n was %+v\n now %+v", f, got)
+	}
+}
+
+func TestDownlinkMACPort(t *testing.T) {
+	keys := testKeys()
+	cmd, err := LinkADRReq{DataRate: 3, TXPower: 2, Channel: 5}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Frame{MType: UnconfirmedDataDown, DevAddr: 42, FCnt: 1, FPort: 0, Payload: cmd}
+	phy, err := EncodeDownlink(f, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FPort-0 payloads travel under NwkSKey: the on-air bytes must differ
+	// from both the plaintext and the AppSKey ciphertext.
+	onAir := phy[9 : len(phy)-4]
+	if bytes.Equal(onAir, cmd) {
+		t.Error("MAC payload not encrypted on air")
+	}
+	appEnc, err := encryptFRMPayload(keys.AppSKey, 42, 1, dirDown, cmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(onAir, appEnc) {
+		t.Error("MAC payload encrypted under AppSKey, want NwkSKey")
+	}
+	got, err := DecodeDownlink(phy, keys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseLinkADRReq(got.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.DataRate != 3 || parsed.TXPower != 2 || parsed.Channel != 5 {
+		t.Errorf("parsed = %+v", parsed)
+	}
+}
+
+func TestDirectionSeparation(t *testing.T) {
+	keys := testKeys()
+	up := Frame{MType: UnconfirmedDataUp, DevAddr: 9, FCnt: 3, FPort: 1, Payload: []byte{9}}
+	phyUp, err := Encode(up, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeDownlink(phyUp, keys, 0); !errors.Is(err, ErrBadMType) {
+		t.Errorf("downlink decode of uplink frame: %v, want ErrBadMType", err)
+	}
+	down := up
+	down.MType = UnconfirmedDataDown
+	phyDown, err := EncodeDownlink(down, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(phyDown, keys, 0); !errors.Is(err, ErrBadMType) {
+		t.Errorf("uplink decode of downlink frame: %v, want ErrBadMType", err)
+	}
+	// The direction byte enters the MIC: a downlink body re-signed as an
+	// uplink must not verify even if the MType bits are patched.
+	forged := append([]byte(nil), phyDown...)
+	forged[0] = byte(UnconfirmedDataUp) << 5
+	if _, err := Decode(forged, keys, 0); !errors.Is(err, ErrBadMIC) {
+		t.Errorf("forged direction: %v, want ErrBadMIC", err)
+	}
+}
+
+func TestDownlinkRejectsBadInput(t *testing.T) {
+	keys := testKeys()
+	if _, err := EncodeDownlink(Frame{MType: UnconfirmedDataUp, FPort: 1}, keys); !errors.Is(err, ErrBadMType) {
+		t.Errorf("uplink MType accepted: %v", err)
+	}
+	if _, err := EncodeDownlink(Frame{MType: UnconfirmedDataDown, FPort: 224}, keys); !errors.Is(err, ErrBadFPort) {
+		t.Errorf("FPort 224 accepted: %v", err)
+	}
+	// FPort 0 stays invalid on the uplink codec.
+	if _, err := Encode(Frame{MType: UnconfirmedDataUp, FPort: 0}, keys); !errors.Is(err, ErrBadFPort) {
+		t.Errorf("uplink FPort 0 accepted: %v", err)
+	}
+}
+
+func TestLinkADRReqCodec(t *testing.T) {
+	for ch := 0; ch < 16; ch++ {
+		for dr := uint8(0); dr <= 5; dr++ {
+			c := LinkADRReq{DataRate: dr, TXPower: 6, Channel: ch}
+			buf, err := c.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(buf) != linkADRReqBytes {
+				t.Fatalf("encoded %d bytes", len(buf))
+			}
+			got, err := ParseLinkADRReq(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c {
+				t.Errorf("round trip: %+v -> %+v", c, got)
+			}
+		}
+	}
+	bad := []struct {
+		name string
+		cmd  []byte
+	}{
+		{"short", []byte{CIDLinkADRReq, 0, 1}},
+		{"wrong CID", []byte{0x04, 0, 1, 0, 0}},
+		{"DR6", []byte{CIDLinkADRReq, 6 << 4, 1, 0, 0}},
+		{"empty mask", []byte{CIDLinkADRReq, 0, 0, 0, 0}},
+		{"two channels", []byte{CIDLinkADRReq, 0, 3, 0, 0}},
+		{"ChMaskCntl", []byte{CIDLinkADRReq, 0, 1, 0, 1 << 4}},
+	}
+	for _, tt := range bad {
+		if _, err := ParseLinkADRReq(tt.cmd); err == nil {
+			t.Errorf("%s accepted", tt.name)
+		}
+	}
+	if _, err := (LinkADRReq{DataRate: 6}).Encode(); err == nil {
+		t.Error("encode DR6 accepted")
+	}
+	if _, err := (LinkADRReq{Channel: 16}).Encode(); err == nil {
+		t.Error("encode channel 16 accepted")
+	}
+}
+
+func TestDataRateSFMapping(t *testing.T) {
+	for sf := lora.SF7; sf <= lora.SF12; sf++ {
+		dr, err := DataRateForSF(sf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := SFForDataRate(dr)
+		if err != nil || back != sf {
+			t.Errorf("SF%d -> DR%d -> SF%d (%v)", sf, dr, back, err)
+		}
+	}
+	if dr, err := DataRateForSF(lora.SF12); err != nil || dr != 0 {
+		t.Errorf("SF12 -> DR%d (%v), want DR0", dr, err)
+	}
+	if dr, err := DataRateForSF(lora.SF7); err != nil || dr != 5 {
+		t.Errorf("SF7 -> DR%d (%v), want DR5", dr, err)
+	}
+	if _, err := DataRateForSF(lora.SF(6)); err == nil {
+		t.Error("SF6 accepted")
+	}
+	if _, err := SFForDataRate(6); err == nil {
+		t.Error("DR6 accepted")
+	}
+}

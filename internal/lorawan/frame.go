@@ -48,19 +48,22 @@ type Keys struct {
 	NwkSKey, AppSKey [16]byte
 }
 
-// Frame is an uplink data frame.
+// Frame is a data frame in either direction.
 type Frame struct {
-	// MType must be UnconfirmedDataUp or ConfirmedDataUp.
+	// MType must be a data type matching the codec direction:
+	// *DataUp for Encode/Decode, *DataDown for the Downlink variants.
 	MType MType
 	// DevAddr is the device's network address.
 	DevAddr uint32
 	// ADR mirrors the FCtrl ADR bit (device follows server ADR commands).
 	ADR bool
-	// FCnt is the uplink frame counter (16 LSBs are sent on air).
+	// FCnt is the frame counter for this direction (16 LSBs on air).
 	FCnt uint32
-	// FPort is the application port (1..223 for application data).
+	// FPort is the application port (1..223 for application data; 0 is
+	// reserved for MAC commands and only valid on the downlink codec).
 	FPort uint8
-	// Payload is the plaintext application payload.
+	// Payload is the plaintext application payload (or, on FPort 0, the
+	// MAC-command bytes, which travel encrypted under NwkSKey).
 	Payload []byte
 }
 
@@ -73,15 +76,52 @@ var (
 	ErrFOptsUsed = errors.New("lorawan: FOpts not supported by this codec")
 )
 
-// Encode serializes, encrypts and signs the frame into a PHY payload.
-func Encode(f Frame, keys Keys) ([]byte, error) {
-	if f.MType != UnconfirmedDataUp && f.MType != ConfirmedDataUp {
-		return nil, fmt.Errorf("%w: %v", ErrBadMType, f.MType)
+// dirFor maps a data MType onto its direction, rejecting everything
+// that is not data traffic for dir (0 up, 1 down).
+func dirFor(m MType, dir byte) error {
+	switch {
+	case dir == dirUp && (m == UnconfirmedDataUp || m == ConfirmedDataUp):
+		return nil
+	case dir == dirDown && (m == UnconfirmedDataDown || m == ConfirmedDataDown):
+		return nil
 	}
-	if f.FPort == 0 || f.FPort > 223 {
-		return nil, fmt.Errorf("%w: %d", ErrBadFPort, f.FPort)
+	return fmt.Errorf("%w: %v", ErrBadMType, m)
+}
+
+// payloadKey selects the session key the FRMPayload travels under:
+// AppSKey for application ports, NwkSKey for the FPort-0 MAC channel.
+func payloadKey(keys Keys, fport uint8) [16]byte {
+	if fport == 0 {
+		return keys.NwkSKey
 	}
-	enc, err := encryptFRMPayload(keys.AppSKey, f.DevAddr, f.FCnt, f.Payload)
+	return keys.AppSKey
+}
+
+// checkFPort enforces the port range for a direction. FPort 0 (MAC
+// commands in the FRMPayload) is only implemented on the downlink side.
+func checkFPort(fport uint8, dir byte) error {
+	if fport > 223 || (fport == 0 && dir == dirUp) {
+		return fmt.Errorf("%w: %d", ErrBadFPort, fport)
+	}
+	return nil
+}
+
+// Encode serializes, encrypts and signs an uplink frame into a PHY
+// payload.
+func Encode(f Frame, keys Keys) ([]byte, error) { return encode(f, keys, dirUp) }
+
+// EncodeDownlink serializes, encrypts and signs a downlink frame. FPort 0
+// carries MAC commands (e.g. a LinkADRReq) encrypted under NwkSKey.
+func EncodeDownlink(f Frame, keys Keys) ([]byte, error) { return encode(f, keys, dirDown) }
+
+func encode(f Frame, keys Keys, dir byte) ([]byte, error) {
+	if err := dirFor(f.MType, dir); err != nil {
+		return nil, err
+	}
+	if err := checkFPort(f.FPort, dir); err != nil {
+		return nil, err
+	}
+	enc, err := encryptFRMPayload(payloadKey(keys, f.FPort), f.DevAddr, f.FCnt, dir, f.Payload)
 	if err != nil {
 		return nil, err
 	}
@@ -98,24 +138,34 @@ func Encode(f Frame, keys Keys) ([]byte, error) {
 	msg = append(msg, byte(f.FCnt), byte(f.FCnt>>8))
 	msg = append(msg, f.FPort)
 	msg = append(msg, enc...)
-	mic, err := computeMIC(keys.NwkSKey, f.DevAddr, f.FCnt, msg)
+	mic, err := computeMIC(keys.NwkSKey, f.DevAddr, f.FCnt, dir, msg)
 	if err != nil {
 		return nil, err
 	}
 	return append(msg, mic[:]...), nil
 }
 
-// Decode parses, verifies and decrypts a PHY payload. fCntHigh supplies
-// the upper 16 bits of the frame counter (0 for young sessions); the
-// 16 on-air bits are combined with it before MIC verification.
+// Decode parses, verifies and decrypts an uplink PHY payload. fCntHigh
+// supplies the upper 16 bits of the frame counter (0 for young sessions);
+// the 16 on-air bits are combined with it before MIC verification.
 func Decode(phy []byte, keys Keys, fCntHigh uint32) (Frame, error) {
+	return decode(phy, keys, fCntHigh, dirUp)
+}
+
+// DecodeDownlink parses, verifies and decrypts a downlink PHY payload —
+// the device side of the Class-A RX window.
+func DecodeDownlink(phy []byte, keys Keys, fCntHigh uint32) (Frame, error) {
+	return decode(phy, keys, fCntHigh, dirDown)
+}
+
+func decode(phy []byte, keys Keys, fCntHigh uint32, dir byte) (Frame, error) {
 	var f Frame
 	if len(phy) < FrameOverheadBytes {
 		return f, fmt.Errorf("%w: %d bytes", ErrTooShort, len(phy))
 	}
 	f.MType = MType(phy[0] >> 5)
-	if f.MType != UnconfirmedDataUp && f.MType != ConfirmedDataUp {
-		return f, fmt.Errorf("%w: %v", ErrBadMType, f.MType)
+	if err := dirFor(f.MType, dir); err != nil {
+		return f, err
 	}
 	f.DevAddr = uint32(phy[1]) | uint32(phy[2])<<8 | uint32(phy[3])<<16 | uint32(phy[4])<<24
 	fctrl := phy[5]
@@ -125,20 +175,20 @@ func Decode(phy []byte, keys Keys, fCntHigh uint32) (Frame, error) {
 	}
 	f.FCnt = fCntHigh<<16 | uint32(phy[6]) | uint32(phy[7])<<8
 	f.FPort = phy[8]
-	if f.FPort == 0 || f.FPort > 223 {
-		return f, fmt.Errorf("%w: %d", ErrBadFPort, f.FPort)
+	if err := checkFPort(f.FPort, dir); err != nil {
+		return f, err
 	}
 	body := phy[:len(phy)-4]
 	var gotMIC [4]byte
 	copy(gotMIC[:], phy[len(phy)-4:])
-	wantMIC, err := computeMIC(keys.NwkSKey, f.DevAddr, f.FCnt, body)
+	wantMIC, err := computeMIC(keys.NwkSKey, f.DevAddr, f.FCnt, dir, body)
 	if err != nil {
 		return f, err
 	}
 	if !micEqual(gotMIC, wantMIC) {
 		return f, ErrBadMIC
 	}
-	dec, err := encryptFRMPayload(keys.AppSKey, f.DevAddr, f.FCnt, phy[9:len(phy)-4])
+	dec, err := encryptFRMPayload(payloadKey(keys, f.FPort), f.DevAddr, f.FCnt, dir, phy[9:len(phy)-4])
 	if err != nil {
 		return f, err
 	}

@@ -1,0 +1,104 @@
+package lorawan
+
+import (
+	"errors"
+	"fmt"
+
+	"eflora/internal/lora"
+)
+
+// CIDLinkADRReq is the LinkADRReq MAC command identifier (server →
+// device). Its payload reassigns the device's data rate, transmit power
+// and channel — exactly the (SF, TP, channel) triple EF-LoRa's
+// re-allocator moves.
+const CIDLinkADRReq = 0x03
+
+// linkADRReqBytes is CID (1) + DataRate_TXPower (1) + ChMask (2) +
+// Redundancy (1).
+const linkADRReqBytes = 5
+
+// LinkADRReq is the decoded form of a LinkADRReq command. The EU868
+// mapping DR0=SF12 .. DR5=SF7 (125 kHz) applies; TXPower is the regional
+// power index (0 = max, each step down per the channel plan); Channel is
+// the single channel selected by the ChMask.
+type LinkADRReq struct {
+	DataRate uint8
+	TXPower  uint8
+	Channel  int
+}
+
+// Errors returned by the MAC-command codec.
+var (
+	ErrBadMACCmd = errors.New("lorawan: malformed MAC command")
+	ErrBadChMask = errors.New("lorawan: ChMask must select exactly one channel")
+	ErrBadDR     = errors.New("lorawan: data rate outside DR0..DR5")
+)
+
+// DataRateForSF maps a 125 kHz spreading factor to its EU868 data-rate
+// index (SF12→DR0 .. SF7→DR5).
+func DataRateForSF(sf lora.SF) (uint8, error) {
+	if sf < lora.SF7 || sf > lora.SF12 {
+		return 0, fmt.Errorf("%w: SF%d", ErrBadDR, sf)
+	}
+	return uint8(lora.SF12 - sf), nil
+}
+
+// SFForDataRate maps an EU868 data-rate index back to its 125 kHz
+// spreading factor (DR0→SF12 .. DR5→SF7).
+func SFForDataRate(dr uint8) (lora.SF, error) {
+	if dr > 5 {
+		return 0, fmt.Errorf("%w: DR%d", ErrBadDR, dr)
+	}
+	return lora.SF12 - lora.SF(dr), nil
+}
+
+// Encode serializes the command into its 5-byte wire form.
+func (c LinkADRReq) Encode() ([]byte, error) {
+	if c.DataRate > 5 {
+		return nil, fmt.Errorf("%w: DR%d", ErrBadDR, c.DataRate)
+	}
+	if c.TXPower > 0x0f {
+		return nil, fmt.Errorf("%w: TXPower index %d", ErrBadMACCmd, c.TXPower)
+	}
+	if c.Channel < 0 || c.Channel > 15 {
+		return nil, fmt.Errorf("%w: channel %d", ErrBadChMask, c.Channel)
+	}
+	mask := uint16(1) << uint(c.Channel)
+	return []byte{
+		CIDLinkADRReq,
+		c.DataRate<<4 | c.TXPower,
+		byte(mask), byte(mask >> 8),
+		0, // Redundancy: ChMaskCntl 0, NbTrans default
+	}, nil
+}
+
+// ParseLinkADRReq decodes one LinkADRReq from the start of a MAC-command
+// payload. The ChMask must select exactly one channel — this server only
+// ever assigns a single channel per device, so an ambiguous mask is a
+// protocol error, not a choice.
+func ParseLinkADRReq(cmd []byte) (LinkADRReq, error) {
+	var c LinkADRReq
+	if len(cmd) != linkADRReqBytes {
+		return c, fmt.Errorf("%w: %d bytes", ErrBadMACCmd, len(cmd))
+	}
+	if cmd[0] != CIDLinkADRReq {
+		return c, fmt.Errorf("%w: CID %#02x", ErrBadMACCmd, cmd[0])
+	}
+	c.DataRate = cmd[1] >> 4
+	if c.DataRate > 5 {
+		return c, fmt.Errorf("%w: DR%d", ErrBadDR, c.DataRate)
+	}
+	c.TXPower = cmd[1] & 0x0f
+	mask := uint16(cmd[2]) | uint16(cmd[3])<<8
+	if mask == 0 || mask&(mask-1) != 0 {
+		return c, fmt.Errorf("%w: mask %#04x", ErrBadChMask, mask)
+	}
+	for mask != 1 {
+		mask >>= 1
+		c.Channel++
+	}
+	if cmd[4]&0xf0 != 0 {
+		return c, fmt.Errorf("%w: ChMaskCntl %d", ErrBadMACCmd, cmd[4]>>4)
+	}
+	return c, nil
+}
