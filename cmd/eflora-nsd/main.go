@@ -40,6 +40,7 @@ import (
 	"eflora/internal/model"
 	"eflora/internal/netserver"
 	"eflora/internal/scenario"
+	"eflora/internal/statestore"
 )
 
 func main() {
@@ -65,6 +66,13 @@ type config struct {
 	deltasPath   string
 	duration     time.Duration
 
+	// stateDir enables the durable-state subsystem; snapshotInterval
+	// follows the pointer-zero convention (nil = default cadence, explicit
+	// 0 = WAL-only, no periodic snapshots).
+	stateDir         string
+	snapshotInterval *time.Duration
+	walSegmentBytes  int64
+
 	rx1DelayS  float64
 	rx2FreqMHz float64
 	rx2Datr    string
@@ -79,48 +87,26 @@ type config struct {
 	parallelism  int
 	driftDevices int
 	driftSNRdB   float64
+	// crashAt runs the crash/restart drill in -replay mode: ingest up to
+	// this fraction of the trace, snapshot + WAL through -state-dir,
+	// abandon the serving state mid-flight, recover into a fresh pool, and
+	// require the finished run to be bit-exact against a no-crash oracle.
+	crashAt float64
+}
+
+// storeOptions maps the daemon flags onto the statestore configuration.
+func storeOptions(cfg config) statestore.Options {
+	return statestore.Options{
+		SnapshotInterval: cfg.snapshotInterval,
+		SegmentBytes:     cfg.walSegmentBytes,
+	}
 }
 
 func run(args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("eflora-nsd", flag.ContinueOnError)
-	var cfg config
-	fs.StringVar(&cfg.scenarioPath, "scenario", "", "scenario file with the deployment (and ideally an allocation)")
-	fs.StringVar(&cfg.listenAddr, "listen", ":1700", "UDP address for the Semtech packet-forwarder protocol")
-	fs.StringVar(&cfg.httpAddr, "http", ":8080", "HTTP address for /metrics and /healthz (empty = disabled)")
-	fs.IntVar(&cfg.shards, "shards", 8, "DevAddr shards (independent network-server locks)")
-	fs.IntVar(&cfg.queueDepth, "queue", 1024, "per-shard inbox depth; a full inbox backpressures the reader")
-	fs.Float64Var(&cfg.dedupWindowS, "dedup-window", 0.2, "dedup window in seconds")
-	fs.IntVar(&cfg.retainCap, "retain", 4096, "per-shard delivery backlog cap (ring); 0 = unbounded")
-	fs.DurationVar(&cfg.flushEvery, "flush-every", 100*time.Millisecond, "clock-driven dedup flush interval")
-	fs.DurationVar(&cfg.reallocEvery, "realloc-every", 30*time.Second, "online re-allocation interval (0 = disabled)")
-	fs.Float64Var(&cfg.snrMarginDB, "snr-margin", 1, "SNR headroom above the SF demodulation floor before a device counts as drifting")
-	fs.Float64Var(&cfg.minPRR, "min-prr", 0.7, "packet-reception-ratio floor before a device counts as drifting")
-	fs.IntVar(&cfg.minFrames, "min-frames", 8, "deliveries required before trusting a device's statistics")
-	fs.StringVar(&cfg.deltasPath, "deltas", "", "append re-allocation deltas to this JSONL file")
-	fs.DurationVar(&cfg.duration, "duration", 0, "stop the live daemon after this long (0 = run until signal)")
-	fs.Float64Var(&cfg.rx1DelayS, "rx1-delay", downlink.DefaultRX1DelayS, "Class-A RX1 window delay after the uplink in seconds (RX2 opens one second later)")
-	fs.Float64Var(&cfg.rx2FreqMHz, "rx2-freq", downlink.DefaultRX2FreqMHz, "RX2 window frequency in MHz")
-	fs.StringVar(&cfg.rx2Datr, "rx2-datr", downlink.DefaultRX2Datr, "RX2 window data rate identifier")
-	fs.Float64Var(&cfg.routeTTLS, "route-ttl", downlink.DefaultRouteTTLS, "seconds of PULL_DATA silence before a gateway's downlink route is evicted")
-	fs.Float64Var(&cfg.dutyCycle, "duty-cycle", downlink.DefaultDutyCycle, "downlink duty-cycle budget per frequency (ETSI off-period rule)")
-	fs.BoolVar(&cfg.replay, "replay", false, "load-generator mode: synthesize gateway traffic from the scenario + simulator and measure ingest throughput")
-	fs.IntVar(&cfg.packets, "packets", 20, "with -replay: simulated reporting periods per device")
-	fs.Uint64Var(&cfg.seed, "seed", 1, "with -replay: simulation / traffic seed")
-	fs.BoolVar(&cfg.verify, "verify", true, "with -replay: re-ingest sequentially on one shard and require bit-exact counters")
-	fs.StringVar(&cfg.allocator, "allocator", "eflora", "allocator used when the scenario file carries no allocation")
-	fs.IntVar(&cfg.parallelism, "parallel", 0, "simulator worker goroutines in -replay (0 = all CPUs)")
-	fs.IntVar(&cfg.driftDevices, "drift-devices", 0, "with -replay: degrade the reported SNR of this many devices so the re-allocator moves them")
-	fs.Float64Var(&cfg.driftSNRdB, "drift-snr", 10, "with -replay: dB of SNR degradation injected per drifting device")
-	if err := fs.Parse(args); err != nil {
+	cfg, err := parseArgs(args)
+	if err != nil {
 		return err
 	}
-	if cfg.scenarioPath == "" {
-		return fmt.Errorf("-scenario is required")
-	}
-	if cfg.shards <= 0 {
-		return fmt.Errorf("-shards must be positive")
-	}
-
 	netw, a, err := loadScenario(cfg)
 	if err != nil {
 		return err
@@ -149,6 +135,74 @@ func run(args []string, out io.Writer) error {
 	return err
 }
 
+// parseArgs resolves the flag set into a validated config.
+func parseArgs(args []string) (config, error) {
+	fs := flag.NewFlagSet("eflora-nsd", flag.ContinueOnError)
+	var cfg config
+	fs.StringVar(&cfg.scenarioPath, "scenario", "", "scenario file with the deployment (and ideally an allocation)")
+	fs.StringVar(&cfg.listenAddr, "listen", ":1700", "UDP address for the Semtech packet-forwarder protocol")
+	fs.StringVar(&cfg.httpAddr, "http", ":8080", "HTTP address for /metrics and /healthz (empty = disabled)")
+	fs.IntVar(&cfg.shards, "shards", 8, "DevAddr shards (independent network-server locks)")
+	fs.IntVar(&cfg.queueDepth, "queue", 1024, "per-shard inbox depth; a full inbox backpressures the reader")
+	fs.Float64Var(&cfg.dedupWindowS, "dedup-window", 0.2, "dedup window in seconds")
+	fs.IntVar(&cfg.retainCap, "retain", 4096, "per-shard delivery backlog cap (ring); 0 = unbounded")
+	fs.DurationVar(&cfg.flushEvery, "flush-every", 100*time.Millisecond, "clock-driven dedup flush interval")
+	fs.DurationVar(&cfg.reallocEvery, "realloc-every", 30*time.Second, "online re-allocation interval (0 = disabled)")
+	fs.Float64Var(&cfg.snrMarginDB, "snr-margin", 1, "SNR headroom above the SF demodulation floor before a device counts as drifting")
+	fs.Float64Var(&cfg.minPRR, "min-prr", 0.7, "packet-reception-ratio floor before a device counts as drifting")
+	fs.IntVar(&cfg.minFrames, "min-frames", 8, "deliveries required before trusting a device's statistics")
+	fs.StringVar(&cfg.deltasPath, "deltas", "", "append re-allocation deltas to this JSONL file")
+	fs.DurationVar(&cfg.duration, "duration", 0, "stop the live daemon after this long (0 = run until signal)")
+	fs.StringVar(&cfg.stateDir, "state-dir", "", "durable-state directory: snapshots + delta WAL; recovered on startup (empty = stateless)")
+	snapInterval := fs.Duration("snapshot-interval", statestore.DefaultSnapshotInterval, "periodic snapshot cadence; an EXPLICIT 0 disables periodic snapshots (WAL-only), unset means the default")
+	fs.Int64Var(&cfg.walSegmentBytes, "wal-segment-bytes", statestore.DefaultSegmentBytes, "WAL segment size-rotation threshold in bytes")
+	fs.Float64Var(&cfg.rx1DelayS, "rx1-delay", downlink.DefaultRX1DelayS, "Class-A RX1 window delay after the uplink in seconds (RX2 opens one second later)")
+	fs.Float64Var(&cfg.rx2FreqMHz, "rx2-freq", downlink.DefaultRX2FreqMHz, "RX2 window frequency in MHz")
+	fs.StringVar(&cfg.rx2Datr, "rx2-datr", downlink.DefaultRX2Datr, "RX2 window data rate identifier")
+	fs.Float64Var(&cfg.routeTTLS, "route-ttl", downlink.DefaultRouteTTLS, "seconds of PULL_DATA silence before a gateway's downlink route is evicted")
+	fs.Float64Var(&cfg.dutyCycle, "duty-cycle", downlink.DefaultDutyCycle, "downlink duty-cycle budget per frequency (ETSI off-period rule)")
+	fs.BoolVar(&cfg.replay, "replay", false, "load-generator mode: synthesize gateway traffic from the scenario + simulator and measure ingest throughput")
+	fs.IntVar(&cfg.packets, "packets", 20, "with -replay: simulated reporting periods per device")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "with -replay: simulation / traffic seed")
+	fs.BoolVar(&cfg.verify, "verify", true, "with -replay: re-ingest sequentially on one shard and require bit-exact counters")
+	fs.StringVar(&cfg.allocator, "allocator", "eflora", "allocator used when the scenario file carries no allocation")
+	fs.IntVar(&cfg.parallelism, "parallel", 0, "simulator worker goroutines in -replay (0 = all CPUs)")
+	fs.IntVar(&cfg.driftDevices, "drift-devices", 0, "with -replay: degrade the reported SNR of this many devices so the re-allocator moves them")
+	fs.Float64Var(&cfg.driftSNRdB, "drift-snr", 10, "with -replay: dB of SNR degradation injected per drifting device")
+	fs.Float64Var(&cfg.crashAt, "crash-at", 0, "with -replay and -state-dir: crash/restart drill — snapshot and abandon the run at this fraction of the trace, recover, and verify bit-exactness against a no-crash oracle (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	// Pointer-zero resolution for -snapshot-interval: only a flag the user
+	// actually passed becomes a pointer, so `-snapshot-interval 0` reads
+	// as "disabled" while an absent flag reads as "default". (The same
+	// pitfall as ConfirmedConfig's AckTimeoutS: a plain zero value cannot
+	// distinguish "off" from "unset".)
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "snapshot-interval" {
+			cfg.snapshotInterval = snapInterval
+		}
+	})
+	if cfg.scenarioPath == "" {
+		return cfg, fmt.Errorf("-scenario is required")
+	}
+	if cfg.shards <= 0 {
+		return cfg, fmt.Errorf("-shards must be positive")
+	}
+	if cfg.crashAt != 0 {
+		if !cfg.replay {
+			return cfg, fmt.Errorf("-crash-at requires -replay")
+		}
+		if cfg.stateDir == "" {
+			return cfg, fmt.Errorf("-crash-at requires -state-dir")
+		}
+		if cfg.crashAt <= 0 || cfg.crashAt >= 1 {
+			return cfg, fmt.Errorf("-crash-at must be in (0,1), got %g", cfg.crashAt)
+		}
+	}
+	return cfg, nil
+}
+
 // loadScenario reads the deployment and its allocation, computing one
 // with the configured allocator when the file has none.
 func loadScenario(cfg config) (*core.Network, model.Allocation, error) {
@@ -171,6 +225,31 @@ func loadScenario(cfg config) (*core.Network, model.Allocation, error) {
 	return netw, a, nil
 }
 
+// applyWALTail folds recovered WAL records into an allocation and a
+// tracker: each record is one control-loop step, so its Changes move the
+// allocation (and clear the moved devices' rolling statistics, exactly as
+// Step did live) and its Resets clear the kept-but-drifting devices.
+// Returns the number of device moves replayed.
+func applyWALTail(tail []statestore.WALRecord, a *model.Allocation, tracker *ingest.Tracker) uint64 {
+	var moves uint64
+	for _, r := range tail {
+		for _, c := range r.Delta.Changes {
+			if c.Device < 0 || c.Device >= len(a.SF) {
+				continue
+			}
+			a.SF[c.Device] = lora.SF(c.SF)
+			a.TPdBm[c.Device] = c.TPdBm
+			a.Channel[c.Device] = c.Channel
+			tracker.Reset(ingest.AddrForIndex(c.Device))
+			moves++
+		}
+		for _, i := range r.Delta.Resets {
+			tracker.Reset(ingest.AddrForIndex(i))
+		}
+	}
+	return moves
+}
+
 // daemon is the live serving path.
 type daemon struct {
 	cfg      config
@@ -190,6 +269,12 @@ type daemon struct {
 	// fcntDown is the per-device downlink frame counter.
 	fcntMu   sync.Mutex
 	fcntDown map[uint32]uint32
+
+	// store is the durable-state subsystem (nil when -state-dir is
+	// unset); initAlloc is the allocation the daemon booted with, the
+	// fallback snapshot source when online re-allocation is disabled.
+	store     *statestore.Store
+	initAlloc model.Allocation
 	// dlEncodeErr counts reassignments that could not be encoded as a
 	// LinkADRReq (e.g. power level outside the MAC command's range).
 	dlEncodeErr atomic.Int64
@@ -215,6 +300,38 @@ func newDaemon(cfg config, netw *core.Network, a model.Allocation) (*daemon, err
 		plan:     netw.Params.Plan,
 		fcntDown: make(map[uint32]uint32),
 	}
+	// Durable state: open the directory and recover before anything is
+	// built, so the recovered allocation seeds the re-allocator and the
+	// recovered dedup/tracker state seeds the pool.
+	var recovered *statestore.Recovered
+	if cfg.stateDir != "" {
+		store, err := statestore.Open(cfg.stateDir, storeOptions(cfg))
+		if err != nil {
+			return nil, err
+		}
+		d.store = store
+		if recovered, err = store.Recover(); err != nil {
+			return nil, err
+		}
+	}
+	var recoveredMoves uint64
+	if recovered != nil && recovered.Snapshot != nil {
+		snap := recovered.Snapshot
+		if len(snap.Alloc.SF) != netw.Net.N() {
+			return nil, fmt.Errorf("state-dir snapshot covers %d devices, scenario has %d", len(snap.Alloc.SF), netw.Net.N())
+		}
+		// The WAL tail carries every control-loop step after the snapshot:
+		// replaying it makes the allocation exact; per-device rolling
+		// statistics are as-of-last-snapshot plus the recorded resets (the
+		// documented recovery invariant).
+		a = snap.Alloc.Clone()
+		d.tracker.ImportState(snap.Tracker)
+		recoveredMoves = snap.Reassigned + applyWALTail(recovered.Tail, &a, d.tracker)
+		for _, f := range snap.FCntDown {
+			d.fcntDown[f.DevAddr] = f.FCnt
+		}
+	}
+	d.initAlloc = a.Clone()
 	d.sched = downlink.NewScheduler(downlink.Config{
 		RX1DelayS:  cfg.rx1DelayS,
 		RX2FreqMHz: cfg.rx2FreqMHz,
@@ -236,8 +353,18 @@ func newDaemon(cfg config, netw *core.Network, a model.Allocation) (*daemon, err
 		QueueDepth:   cfg.queueDepth,
 		DedupWindowS: cfg.dedupWindowS,
 		RetainCap:    cfg.retainCap,
-		OnDelivery:   func(_ int, del netserver.Delivery) { d.tracker.Observe(del) },
+		OnDelivery: func(_ int, del netserver.Delivery) {
+			d.tracker.Observe(del)
+			if del.FPort == 0 {
+				d.onMACUplink(del)
+			}
+		},
 	})
+	if recovered != nil && recovered.Snapshot != nil {
+		if err := d.pool.ImportState(recovered.Snapshot.Pool); err != nil {
+			return nil, fmt.Errorf("restore pool (re-run with the shard count the state was written at, or clear -state-dir): %w", err)
+		}
+	}
 	if cfg.reallocEvery > 0 {
 		inc, err := alloc.NewIncremental(netw.Net, netw.Params, a, alloc.Options{})
 		if err != nil {
@@ -248,6 +375,7 @@ func newDaemon(cfg config, netw *core.Network, a model.Allocation) (*daemon, err
 			MinPRR:      cfg.minPRR,
 			MinFrames:   cfg.minFrames,
 		})
+		d.realloc.RestoreReassigned(int(recoveredMoves))
 	}
 	if cfg.deltasPath != "" {
 		f, err := os.OpenFile(cfg.deltasPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -308,6 +436,16 @@ func (d *daemon) Serve(ctx context.Context) error {
 		defer t.Stop()
 		reallocC = t.C
 	}
+	// Periodic snapshots, honoring the pointer-zero contract: an explicit
+	// -snapshot-interval 0 runs WAL-only (final snapshot on shutdown).
+	var snapC <-chan time.Time
+	if d.store != nil {
+		if every, enabled := storeOptions(d.cfg).SnapshotCadence(); enabled {
+			t := time.NewTicker(every)
+			defer t.Stop()
+			snapC = t.C
+		}
+	}
 	for {
 		select {
 		case <-ctx.Done():
@@ -326,7 +464,63 @@ func (d *daemon) Serve(ctx context.Context) error {
 				wg.Wait()
 				return err
 			}
+		case <-snapC:
+			if err := d.takeSnapshot(); err != nil {
+				d.shutdown()
+				wg.Wait()
+				return err
+			}
 		}
+	}
+}
+
+// exportState assembles the daemon's durable state at the current moment.
+// Each shard is internally consistent; the WAL sequence covers every
+// control-loop delta appended so far (appends and snapshots are both
+// serialized on the Serve loop).
+func (d *daemon) exportState() *statestore.State {
+	a := d.initAlloc
+	var reassigned uint64
+	if d.realloc != nil {
+		a = d.realloc.Allocation()
+		reassigned = uint64(d.realloc.Reassigned())
+	}
+	st := &statestore.State{
+		Seq:         d.store.NextSeq() - 1,
+		UplinkCount: uint64(d.pool.Counters().Uplinks),
+		TakenAtS:    d.nowS(),
+		Pool:        d.pool.ExportState(),
+		Tracker:     d.tracker.ExportState(),
+		Alloc:       a,
+		Reassigned:  reassigned,
+	}
+	d.fcntMu.Lock()
+	st.FCntDown = make([]statestore.FCntDownEntry, 0, len(d.fcntDown))
+	for addr, fcnt := range d.fcntDown {
+		st.FCntDown = append(st.FCntDown, statestore.FCntDownEntry{DevAddr: addr, FCnt: fcnt})
+	}
+	d.fcntMu.Unlock()
+	sort.Slice(st.FCntDown, func(i, j int) bool { return st.FCntDown[i].DevAddr < st.FCntDown[j].DevAddr })
+	return st
+}
+
+// takeSnapshot makes the WAL durable, then writes a snapshot covering it.
+func (d *daemon) takeSnapshot() error {
+	if err := d.store.Sync(); err != nil {
+		return err
+	}
+	return d.store.WriteSnapshot(d.exportState())
+}
+
+// onMACUplink handles an FPort-0 uplink: the payload is the decrypted MAC
+// command stream, which for this daemon means a LinkADRAns acknowledging
+// (or rejecting) a queued reassignment.
+func (d *daemon) onMACUplink(del netserver.Delivery) {
+	if d.realloc == nil {
+		return
+	}
+	if ans, err := lorawan.ParseLinkADRAns(del.Payload); err == nil {
+		d.realloc.NoteAns(del.DevAddr, ans)
 	}
 }
 
@@ -339,9 +533,18 @@ func (d *daemon) shutdown() {
 	}
 	d.pool.Drain()
 	d.pool.Flush()
-	d.pool.Close()
+	d.pool.Close() // stops the shard workers; state export still works
 	if d.realloc != nil {
 		_ = d.reallocStep() // final pass so observed drift is not lost
+	}
+	// Final snapshot: SIGTERM hands the next process a zero-replay boot.
+	if d.store != nil {
+		if err := d.takeSnapshot(); err != nil {
+			fmt.Fprintln(os.Stderr, "eflora-nsd: final snapshot:", err)
+		}
+		if err := d.store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "eflora-nsd: state close:", err)
+		}
 	}
 	if d.deltaFile != nil {
 		d.deltaFile.Close()
@@ -355,6 +558,14 @@ func (d *daemon) reallocStep() error {
 	delta, err := d.realloc.Step(d.nowS())
 	if err != nil || delta == nil {
 		return err
+	}
+	// WAL first: the delta must be durable before its downlinks go out, or
+	// a crash between send and append would leave devices on settings the
+	// recovered state does not know about.
+	if d.store != nil {
+		if _, err := d.store.AppendSync(delta, d.nowS()); err != nil {
+			return err
+		}
 	}
 	d.queueDownlinks(delta)
 	if d.deltaFile == nil {
@@ -514,6 +725,7 @@ func (d *daemon) queueDownlinks(delta *scenario.Delta) {
 			d.dlEncodeErr.Add(1)
 			continue
 		}
+		d.realloc.NoteCommandSent(dev.DevAddr)
 		if f := d.sched.Enqueue(dev.DevAddr, phy, d.nowS()); f != nil {
 			d.sendDownlink(f)
 		}
@@ -525,7 +737,7 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	rf := d.frontend.Counters()
 	dl := d.sched.Counters()
-	writeMetrics(w, d.pool, metricsExtra{
+	x := metricsExtra{
 		uptimeS:     d.nowS(),
 		gateways:    int(d.gwCount.Load()),
 		parseErrors: d.parseErr.Load(),
@@ -536,7 +748,16 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		routes:      d.routes.Len(),
 		dlEncodeErr: d.dlEncodeErr.Load(),
 		ackErrs:     d.sched.AckErrors(),
-	})
+	}
+	if d.store != nil {
+		ss := d.store.Metrics()
+		x.ss = &ss
+	}
+	if d.realloc != nil {
+		ans := d.realloc.Ans()
+		x.ans = &ans
+	}
+	writeMetrics(w, d.pool, x)
 }
 
 func (d *daemon) reallocated() int {
@@ -561,6 +782,10 @@ type metricsExtra struct {
 	routes      int
 	dlEncodeErr int64
 	ackErrs     []downlink.AckErrorCount
+	// ss is the durable-state accounting (nil when -state-dir is unset);
+	// ans the LinkADRAns outcome tallies (nil when re-allocation is off).
+	ss  *statestore.Metrics
+	ans *ingest.AnsCounters
 }
 
 // writeMetrics is shared between the live /metrics endpoint and the
@@ -604,12 +829,212 @@ func writeMetrics(w io.Writer, pool *ingest.Pool, x metricsExtra) {
 			fmt.Fprintf(w, "eflora_nsd_txack_total{gateway=\"%x\",error=%q} %d\n", e.EUI, e.Error, e.Count)
 		}
 	}
+	if x.ans != nil {
+		fmt.Fprintf(w, "eflora_nsd_linkadr_sent_total %d\n", x.ans.Sent)
+		fmt.Fprintf(w, "eflora_nsd_linkadr_applied_total %d\n", x.ans.Applied)
+		fmt.Fprintf(w, "eflora_nsd_linkadr_rejected_total %d\n", x.ans.Rejected)
+		fmt.Fprintf(w, "eflora_nsd_linkadr_unsolicited_total %d\n", x.ans.Unsolicited)
+	}
+	if x.ss != nil {
+		fmt.Fprintf(w, "eflora_nsd_state_wal_seq %d\n", x.ss.WALSeq)
+		fmt.Fprintf(w, "eflora_nsd_state_wal_appends_total %d\n", x.ss.WALAppends)
+		fmt.Fprintf(w, "eflora_nsd_state_wal_bytes_total %d\n", x.ss.WALBytes)
+		fmt.Fprintf(w, "eflora_nsd_state_wal_fsyncs_total %d\n", x.ss.WALFsyncs)
+		fmt.Fprintf(w, "eflora_nsd_state_wal_lag_records %d\n", x.ss.WALLagRecords)
+		for _, q := range []float64{0.5, 0.99} {
+			if lat, ok := x.ss.FsyncSeconds.Quantile(q); ok {
+				fmt.Fprintf(w, "eflora_nsd_state_fsync_seconds{quantile=%q} %.9f\n", fmt.Sprintf("%g", q), lat.Seconds())
+			}
+		}
+		fmt.Fprintf(w, "eflora_nsd_state_snapshots_total %d\n", x.ss.Snapshots)
+		fmt.Fprintf(w, "eflora_nsd_state_snapshot_bytes %d\n", x.ss.SnapshotBytes)
+		fmt.Fprintf(w, "eflora_nsd_state_snapshot_seconds %.9f\n", x.ss.SnapshotSeconds)
+		fmt.Fprintf(w, "eflora_nsd_state_recovery_replayed_total %d\n", x.ss.RecoveryReplayed)
+		fmt.Fprintf(w, "eflora_nsd_state_recovery_snapshots_skipped_total %d\n", x.ss.RecoverySnapshotsSkipped)
+		fmt.Fprintf(w, "eflora_nsd_state_recovery_discarded_bytes_total %d\n", x.ss.RecoveryDiscardedBytes)
+	}
 	for k, depth := range pool.ShardDepths() {
 		fmt.Fprintf(w, "eflora_nsd_shard_depth{shard=\"%d\"} %d\n", k, depth)
 	}
 	for k, pending := range pool.PendingCounts() {
 		fmt.Fprintf(w, "eflora_nsd_shard_pending{shard=\"%d\"} %d\n", k, pending)
 	}
+}
+
+// exportReplayState assembles a crash-drill rig's durable state the same
+// way the daemon's exportState does (replay mode has no downlink frame
+// counters). The envelope fields stay zero; they are excluded from the
+// digest anyway.
+func exportReplayState(pool *ingest.Pool, tracker *ingest.Tracker, realloc *ingest.Reallocator) *statestore.State {
+	return &statestore.State{
+		UplinkCount: uint64(pool.Counters().Uplinks),
+		Pool:        pool.ExportState(),
+		Tracker:     tracker.ExportState(),
+		Alloc:       realloc.Allocation(),
+		Reassigned:  uint64(realloc.Reassigned()),
+	}
+}
+
+// runCrashDrill proves the durability contract end to end, inside one
+// process: run the trace uninterrupted as the oracle; run it again but
+// persist a snapshot plus WAL tail at the cut and abandon the serving
+// state the way a crash would; recover into a fresh pool from disk alone;
+// finish the trace; and require the final counters and the per-device
+// state digest to be bit-exact against the oracle. Both runs use the same
+// global flush schedule and control-loop times, so any divergence is the
+// durability path's fault.
+func runCrashDrill(cfg config, netw *core.Network, a model.Allocation, rt *ingest.Replay, out io.Writer) error {
+	n := len(rt.Uplinks)
+	cut := int(cfg.crashAt * float64(n))
+	if cut <= 0 || cut >= n {
+		return fmt.Errorf("crash drill: -crash-at %g cuts at uplink %d of %d", cfg.crashAt, cut, n)
+	}
+	reallocCfg := ingest.ReallocConfig{
+		SNRMarginDB: cfg.snrMarginDB,
+		MinPRR:      cfg.minPRR,
+		MinFrames:   cfg.minFrames,
+	}
+	midS := rt.SimTimeS * cfg.crashAt
+
+	newRig := func() (*ingest.Pool, *ingest.Tracker) {
+		tracker := ingest.NewTracker(0)
+		pool := ingest.NewPool(rt.Devices, ingest.PoolConfig{
+			Shards:       cfg.shards,
+			QueueDepth:   cfg.queueDepth,
+			DedupWindowS: cfg.dedupWindowS,
+			RetainCap:    cfg.retainCap,
+			OnDelivery:   func(_ int, del netserver.Delivery) { tracker.Observe(del) },
+		})
+		return pool, tracker
+	}
+	newRealloc := func(tracker *ingest.Tracker, seed model.Allocation) (*ingest.Reallocator, error) {
+		inc, err := alloc.NewIncremental(netw.Net, netw.Params, seed, alloc.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return ingest.NewReallocator(inc, tracker, reallocCfg), nil
+	}
+	dispatch := func(pool *ingest.Pool, from, to int) {
+		for i := from; i < to; i++ {
+			pool.Dispatch(rt.Uplinks[i])
+			if i&0x0FFF == 0x0FFF {
+				pool.FlushExpiredVirtual()
+			}
+		}
+		pool.Drain()
+	}
+
+	// Phase 1: the uninterrupted oracle, with the same mid-trace control
+	// step the crash run will take.
+	oPool, oTracker := newRig()
+	oRealloc, err := newRealloc(oTracker, a)
+	if err != nil {
+		return err
+	}
+	oPool.Start()
+	dispatch(oPool, 0, cut)
+	if _, err := oRealloc.Step(midS); err != nil {
+		return err
+	}
+	dispatch(oPool, cut, n)
+	oPool.Flush()
+	if _, err := oRealloc.Step(rt.SimTimeS); err != nil {
+		return err
+	}
+	oracle := exportReplayState(oPool, oTracker, oRealloc)
+	oracleCounters := oPool.Counters()
+	oPool.Close()
+
+	// Phase 2: the crash run. Snapshot BEFORE the control step so the step's
+	// delta lands only in the WAL — recovery must replay it, not find it.
+	store, err := statestore.Open(cfg.stateDir, storeOptions(cfg))
+	if err != nil {
+		return err
+	}
+	if pre, err := store.Recover(); err != nil {
+		return err
+	} else if pre.Snapshot != nil || len(pre.Tail) > 0 {
+		return fmt.Errorf("crash drill: -state-dir %s already holds state; use an empty directory", cfg.stateDir)
+	}
+	cPool, cTracker := newRig()
+	cRealloc, err := newRealloc(cTracker, a)
+	if err != nil {
+		return err
+	}
+	cPool.Start()
+	dispatch(cPool, 0, cut)
+	snap := exportReplayState(cPool, cTracker, cRealloc)
+	snap.Seq = store.NextSeq() - 1
+	snap.TakenAtS = midS
+	if err := store.WriteSnapshot(snap); err != nil {
+		return err
+	}
+	midDelta, err := cRealloc.Step(midS)
+	if err != nil {
+		return err
+	}
+	walRecords := 0
+	if midDelta != nil {
+		if _, err := store.AppendSync(midDelta, midS); err != nil {
+			return err
+		}
+		walRecords++
+	}
+	// Crash: stop the workers and walk away. No final snapshot, no clean
+	// store close — everything after the snapshot lives only in the WAL.
+	cPool.Close()
+	fmt.Fprintf(out, "crash drill: crashed after %d/%d uplinks (snapshot + %d WAL record(s) on disk)\n",
+		cut, n, walRecords)
+
+	// Phase 3: restart from disk alone and finish the trace.
+	store2, err := statestore.Open(cfg.stateDir, storeOptions(cfg))
+	if err != nil {
+		return err
+	}
+	rec, err := store2.Recover()
+	if err != nil {
+		return err
+	}
+	if rec.Snapshot == nil {
+		return fmt.Errorf("crash drill: no snapshot recovered from %s", cfg.stateDir)
+	}
+	rPool, rTracker := newRig()
+	rTracker.ImportState(rec.Snapshot.Tracker)
+	a2 := rec.Snapshot.Alloc.Clone()
+	moves := rec.Snapshot.Reassigned + applyWALTail(rec.Tail, &a2, rTracker)
+	if err := rPool.ImportState(rec.Snapshot.Pool); err != nil {
+		return err
+	}
+	rRealloc, err := newRealloc(rTracker, a2)
+	if err != nil {
+		return err
+	}
+	rRealloc.RestoreReassigned(int(moves))
+	m := store2.Metrics()
+	fmt.Fprintf(out, "crash drill: recovered snapshot seq %d, replayed %d WAL record(s), %d torn byte(s) discarded\n",
+		rec.Snapshot.Seq, m.RecoveryReplayed, m.RecoveryDiscardedBytes)
+	rPool.Start()
+	dispatch(rPool, cut, n)
+	rPool.Flush()
+	if _, err := rRealloc.Step(rt.SimTimeS); err != nil {
+		return err
+	}
+	got := exportReplayState(rPool, rTracker, rRealloc)
+	gotCounters := rPool.Counters()
+	rPool.Close()
+	if err := store2.Close(); err != nil {
+		return err
+	}
+
+	if gotCounters != oracleCounters {
+		return fmt.Errorf("crash drill: RECOVERY FAILED: counters %+v diverge from oracle %+v", gotCounters, oracleCounters)
+	}
+	gd, od := got.Digest(), oracle.Digest()
+	if gd != od {
+		return fmt.Errorf("crash drill: RECOVERY FAILED: state digest %s != oracle %s", gd, od)
+	}
+	fmt.Fprintf(out, "RECOVERY OK: post-crash counters and per-device state digest bit-exact vs no-crash oracle (%s)\n", od[:16])
+	return nil
 }
 
 // replayGatewayEUI synthesizes a stable forwarder identity per gateway
@@ -623,8 +1048,9 @@ func replayGatewayEUI(gw int) [8]byte {
 // with a LinkADRReq PULL_RESP into the device's RX1/RX2 window, the
 // simulated gateway judges and transmits it (blocking its own receiver
 // for the airtime), and the simulated device applies the command only if
-// the downlink actually lands.
-func runDownlinkExchange(cfg config, netw *core.Network, a model.Allocation, rt *ingest.Replay, delta *scenario.Delta, out io.Writer) error {
+// the downlink actually lands — then acknowledges it with a LinkADRAns
+// MAC uplink that runs the full FPort-0 codec roundtrip into r.
+func runDownlinkExchange(cfg config, netw *core.Network, a model.Allocation, rt *ingest.Replay, delta *scenario.Delta, r *ingest.Reallocator, out io.Writer) error {
 	plan := netw.Params.Plan
 	sched := downlink.NewScheduler(downlink.Config{
 		RX1DelayS:  cfg.rx1DelayS,
@@ -684,6 +1110,9 @@ func runDownlinkExchange(cfg config, netw *core.Network, a model.Allocation, rt 
 		if err != nil {
 			return fmt.Errorf("downlink: encode device %d: %w", i, err)
 		}
+		if r != nil {
+			r.NoteCommandSent(dev.DevAddr)
+		}
 		frame := sched.Enqueue(dev.DevAddr, phy, hbS+0.05)
 		if frame == nil {
 			unsent++ // both windows duty-blocked; stays queued
@@ -731,6 +1160,30 @@ func runDownlinkExchange(cfg config, netw *core.Network, a model.Allocation, rt 
 							"downlink: device %d applied SF%d->SF%d TP %gdBm ch %d via RX%d at %.2fs — only after the PULL_RESP landed\n",
 							i, a.SF[i], sim.SF, sim.TPdBm, sim.Channel, w, sim.AppliedAtS)
 					}
+					// The device acknowledges on its next uplink: a LinkADRAns
+					// on FPort 0, through the real codec both directions.
+					if r != nil {
+						ansPhy, err := lorawan.Encode(lorawan.Frame{
+							MType:   lorawan.UnconfirmedDataUp,
+							DevAddr: dev.DevAddr,
+							ADR:     true,
+							FCnt:    uint32(cfg.packets) + 1,
+							FPort:   0,
+							Payload: lorawan.LinkADRAns{ChannelACK: true, DataRateACK: true, PowerACK: true}.Encode(),
+						}, dev.Keys)
+						if err != nil {
+							return fmt.Errorf("downlink: device %d ans encode: %w", i, err)
+						}
+						fr, err := lorawan.Decode(ansPhy, dev.Keys, 0)
+						if err != nil {
+							return fmt.Errorf("downlink: device %d ans decode: %w", i, err)
+						}
+						ans, err := lorawan.ParseLinkADRAns(fr.Payload)
+						if err != nil {
+							return fmt.Errorf("downlink: device %d ans parse: %w", i, err)
+						}
+						r.NoteAns(dev.DevAddr, ans)
+					}
 				}
 			}
 			frame = retry
@@ -743,6 +1196,11 @@ func runDownlinkExchange(cfg config, netw *core.Network, a model.Allocation, rt 
 		fmt.Fprint(out, firstApplied)
 	}
 	fmt.Fprintf(out, "downlink: half-duplex gateways blocked %d/%d probe uplink(s) during their own TX\n", blocked, probes)
+	if r != nil {
+		ac := r.Ans()
+		fmt.Fprintf(out, "downlink: LinkADRAns %d sent, %d applied, %d rejected, %d unsolicited\n",
+			ac.Sent, ac.Applied, ac.Rejected, ac.Unsolicited)
+	}
 	return nil
 }
 
@@ -779,6 +1237,9 @@ func runReplay(cfg config, netw *core.Network, a model.Allocation, out io.Writer
 	})
 	if err != nil {
 		return err
+	}
+	if cfg.crashAt > 0 {
+		return runCrashDrill(cfg, netw, a, rt, out)
 	}
 	tracker := ingest.NewTracker(0)
 	pool := ingest.NewPool(rt.Devices, ingest.PoolConfig{
@@ -842,12 +1303,13 @@ func runReplay(cfg config, netw *core.Network, a model.Allocation, out io.Writer
 
 	// One control-loop pass over the observed statistics.
 	var delta *scenario.Delta
+	var r *ingest.Reallocator
 	if cfg.reallocEvery > 0 {
 		inc, err := alloc.NewIncremental(netw.Net, netw.Params, a, alloc.Options{})
 		if err != nil {
 			return err
 		}
-		r := ingest.NewReallocator(inc, tracker, ingest.ReallocConfig{
+		r = ingest.NewReallocator(inc, tracker, ingest.ReallocConfig{
 			SNRMarginDB: cfg.snrMarginDB,
 			MinPRR:      cfg.minPRR,
 			MinFrames:   cfg.minFrames,
@@ -876,7 +1338,7 @@ func runReplay(cfg config, netw *core.Network, a model.Allocation, out io.Writer
 	// Close the loop: deliver the reassignments as Class-A downlinks to
 	// the simulated devices and report what actually landed.
 	if delta != nil && len(delta.Changes) > 0 {
-		if err := runDownlinkExchange(cfg, netw, a, rt, delta, out); err != nil {
+		if err := runDownlinkExchange(cfg, netw, a, rt, delta, r, out); err != nil {
 			return err
 		}
 	}

@@ -38,6 +38,7 @@ var packetPathPackages = map[string]bool{
 	"eflora-nsd": true,
 	"downlink":   true,
 	"lorawan":    true,
+	"statestore": true,
 }
 
 const suppression = "blocking-ok"

@@ -36,14 +36,15 @@ var Analyzer = &framework.Analyzer{
 // criticalPackages are the packages (by import-path base) whose outputs
 // feed the golden-determinism digests.
 var criticalPackages = map[string]bool{
-	"sim":    true,
-	"engine": true,
-	"model":  true,
-	"alloc":  true,
-	"exp":    true,
-	"par":    true,
-	"golden": true,
-	"mathx":  true,
+	"sim":        true,
+	"engine":     true,
+	"model":      true,
+	"alloc":      true,
+	"exp":        true,
+	"par":        true,
+	"golden":     true,
+	"mathx":      true,
+	"statestore": true,
 }
 
 const suppression = "nondeterminism-ok"

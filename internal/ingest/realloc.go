@@ -7,6 +7,7 @@ import (
 
 	"eflora/internal/alloc"
 	"eflora/internal/lora"
+	"eflora/internal/lorawan"
 	"eflora/internal/model"
 	"eflora/internal/scenario"
 )
@@ -69,11 +70,29 @@ type Reallocator struct {
 	inc *alloc.Incremental
 	// Reassigned counts devices moved over the reallocator's lifetime.
 	reassigned int
+	// ansPending marks devices with an outstanding LinkADRReq; ans tallies
+	// the LinkADRAns outcomes devices reported back.
+	ansPending map[uint32]bool
+	ans        AnsCounters
+}
+
+// AnsCounters tallies the fate of LinkADRReq commands as reported by the
+// devices themselves, instead of assuming every sent command was applied:
+// Sent counts commands handed to the downlink path, Applied/Rejected the
+// LinkADRAns answers by outcome, Unsolicited answers with no outstanding
+// command (a retransmitted or forged ans).
+type AnsCounters struct {
+	Sent, Applied, Rejected, Unsolicited int
 }
 
 // NewReallocator wires a seeded incremental maintainer to a tracker.
 func NewReallocator(inc *alloc.Incremental, tracker *Tracker, cfg ReallocConfig) *Reallocator {
-	return &Reallocator{cfg: cfg.withDefaults(), tracker: tracker, inc: inc}
+	return &Reallocator{
+		cfg:        cfg.withDefaults(),
+		tracker:    tracker,
+		inc:        inc,
+		ansPending: make(map[uint32]bool),
+	}
 }
 
 // Reassigned reports how many device moves Step has made in total.
@@ -81,6 +100,57 @@ func (r *Reallocator) Reassigned() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.reassigned
+}
+
+// RestoreReassigned resets the lifetime move counter — recovery restoring
+// a snapshot's accounting into a freshly built reallocator.
+func (r *Reallocator) RestoreReassigned(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reassigned = n
+}
+
+// NoteCommandSent records that a LinkADRReq for devAddr was handed to the
+// downlink path, opening an outstanding-answer window for the device.
+func (r *Reallocator) NoteCommandSent(devAddr uint32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ans.Sent++
+	r.ansPending[devAddr] = true
+}
+
+// NoteAns folds a device's LinkADRAns into the accounting and reports
+// whether it acknowledged an outstanding command. A rejected answer also
+// clears the device's rolling statistics: the server's model of the
+// device is wrong (it kept its old radio settings), so stats accumulated
+// under the assumed-new assignment must not drive the next decision.
+func (r *Reallocator) NoteAns(devAddr uint32, ans lorawan.LinkADRAns) bool {
+	r.mu.Lock()
+	pending := r.ansPending[devAddr]
+	if !pending {
+		r.ans.Unsolicited++
+		r.mu.Unlock()
+		return false
+	}
+	delete(r.ansPending, devAddr)
+	applied := ans.Applied()
+	if applied {
+		r.ans.Applied++
+	} else {
+		r.ans.Rejected++
+	}
+	r.mu.Unlock()
+	if !applied {
+		r.tracker.Reset(devAddr)
+	}
+	return true
+}
+
+// Ans returns the LinkADRAns accounting.
+func (r *Reallocator) Ans() AnsCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ans
 }
 
 // Allocation snapshots the maintained allocation.
@@ -142,9 +212,12 @@ func (r *Reallocator) Step(nowS float64) (*scenario.Delta, error) {
 		}
 		// Forget the pre-move history either way: if the model kept the
 		// settings, re-triggering next tick with the same stale EWMA
-		// would only spin the detector.
+		// would only spin the detector. Kept-but-reset devices are
+		// recorded in Resets so the delta is a complete account of the
+		// step's state mutation (the WAL-replay contract).
 		r.tracker.Reset(AddrForIndex(i))
 		if !changed {
+			delta.Resets = append(delta.Resets, i)
 			continue
 		}
 		a := r.inc.Allocation()
@@ -156,7 +229,7 @@ func (r *Reallocator) Step(nowS float64) (*scenario.Delta, error) {
 		})
 		r.reassigned++
 	}
-	if len(delta.Changes) == 0 {
+	if len(delta.Changes) == 0 && len(delta.Resets) == 0 {
 		return nil, nil
 	}
 	return delta, nil

@@ -1,0 +1,81 @@
+package ingest
+
+import (
+	"fmt"
+	"sort"
+
+	"eflora/internal/netserver"
+)
+
+// TrackerEntry is one device's rolling statistics in an exported state.
+type TrackerEntry struct {
+	DevAddr uint32
+	Stats   DevStats
+}
+
+// ExportState snapshots every device's rolling statistics, sorted by
+// DevAddr so two identical trackers export identically.
+func (t *Tracker) ExportState() []TrackerEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TrackerEntry, 0, len(t.m))
+	for a, s := range t.m {
+		out = append(out, TrackerEntry{DevAddr: a, Stats: *s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DevAddr < out[j].DevAddr })
+	return out
+}
+
+// ImportState replaces the tracker's contents with a previous export.
+func (t *Tracker) ImportState(entries []TrackerEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m = make(map[uint32]*DevStats, len(entries))
+	for _, e := range entries {
+		s := e.Stats
+		t.m[e.DevAddr] = &s
+	}
+}
+
+// PoolState is the durable state of every shard in a Pool: the shard
+// servers' dedup/replay state plus each shard's virtual-clock high-water
+// mark (the newest uplink timestamp it has processed).
+type PoolState struct {
+	Shards   []netserver.State
+	MaxSeenS []float64
+}
+
+// ExportState snapshots every shard. Each shard is internally consistent
+// (exported under its server lock); for a globally consistent cut, stop
+// dispatching and Drain first.
+func (p *Pool) ExportState() PoolState {
+	st := PoolState{
+		Shards:   make([]netserver.State, len(p.shards)),
+		MaxSeenS: make([]float64, len(p.shards)),
+	}
+	for k, sh := range p.shards {
+		st.Shards[k] = sh.srv.ExportState()
+		st.MaxSeenS[k] = floatFromBits(sh.maxSeenS.Load())
+	}
+	return st
+}
+
+// ImportState restores a previous export into this pool. The shard count
+// must match — DevAddr→shard routing depends on it, so a state exported
+// at a different shard count cannot be loaded (re-shard by replaying the
+// source instead).
+func (p *Pool) ImportState(st PoolState) error {
+	if len(st.Shards) != len(p.shards) {
+		return fmt.Errorf("ingest: state has %d shards, pool has %d", len(st.Shards), len(p.shards))
+	}
+	if len(st.MaxSeenS) != len(p.shards) {
+		return fmt.Errorf("ingest: state has %d shard clocks, pool has %d", len(st.MaxSeenS), len(p.shards))
+	}
+	for k, sh := range p.shards {
+		if err := sh.srv.ImportState(st.Shards[k]); err != nil {
+			return fmt.Errorf("ingest: shard %d: %w", k, err)
+		}
+		sh.maxSeenS.Store(floatToBits(st.MaxSeenS[k]))
+	}
+	return nil
+}

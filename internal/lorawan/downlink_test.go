@@ -105,9 +105,10 @@ func TestDownlinkRejectsBadInput(t *testing.T) {
 	if _, err := EncodeDownlink(Frame{MType: UnconfirmedDataDown, FPort: 224}, keys); !errors.Is(err, ErrBadFPort) {
 		t.Errorf("FPort 224 accepted: %v", err)
 	}
-	// FPort 0 stays invalid on the uplink codec.
-	if _, err := Encode(Frame{MType: UnconfirmedDataUp, FPort: 0}, keys); !errors.Is(err, ErrBadFPort) {
-		t.Errorf("uplink FPort 0 accepted: %v", err)
+	// FPort 0 is the MAC channel in both directions (LinkADRAns rides the
+	// uplink side), so the uplink codec accepts it too.
+	if _, err := Encode(Frame{MType: UnconfirmedDataUp, FPort: 0}, keys); err != nil {
+		t.Errorf("uplink FPort 0 rejected: %v", err)
 	}
 }
 

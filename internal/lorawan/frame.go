@@ -60,7 +60,8 @@ type Frame struct {
 	// FCnt is the frame counter for this direction (16 LSBs on air).
 	FCnt uint32
 	// FPort is the application port (1..223 for application data; 0 is
-	// reserved for MAC commands and only valid on the downlink codec).
+	// reserved for MAC commands in either direction — a LinkADRReq on the
+	// downlink, its LinkADRAns on the uplink).
 	FPort uint8
 	// Payload is the plaintext application payload (or, on FPort 0, the
 	// MAC-command bytes, which travel encrypted under NwkSKey).
@@ -97,10 +98,11 @@ func payloadKey(keys Keys, fport uint8) [16]byte {
 	return keys.AppSKey
 }
 
-// checkFPort enforces the port range for a direction. FPort 0 (MAC
-// commands in the FRMPayload) is only implemented on the downlink side.
-func checkFPort(fport uint8, dir byte) error {
-	if fport > 223 || (fport == 0 && dir == dirUp) {
+// checkFPort enforces the port range. FPort 0 (MAC commands in the
+// FRMPayload, encrypted under NwkSKey) is valid in both directions: the
+// server sends LinkADRReq on it and the device answers with LinkADRAns.
+func checkFPort(fport uint8) error {
+	if fport > 223 {
 		return fmt.Errorf("%w: %d", ErrBadFPort, fport)
 	}
 	return nil
@@ -118,7 +120,7 @@ func encode(f Frame, keys Keys, dir byte) ([]byte, error) {
 	if err := dirFor(f.MType, dir); err != nil {
 		return nil, err
 	}
-	if err := checkFPort(f.FPort, dir); err != nil {
+	if err := checkFPort(f.FPort); err != nil {
 		return nil, err
 	}
 	enc, err := encryptFRMPayload(payloadKey(keys, f.FPort), f.DevAddr, f.FCnt, dir, f.Payload)
@@ -175,7 +177,7 @@ func decode(phy []byte, keys Keys, fCntHigh uint32, dir byte) (Frame, error) {
 	}
 	f.FCnt = fCntHigh<<16 | uint32(phy[6]) | uint32(phy[7])<<8
 	f.FPort = phy[8]
-	if err := checkFPort(f.FPort, dir); err != nil {
+	if err := checkFPort(f.FPort); err != nil {
 		return f, err
 	}
 	body := phy[:len(phy)-4]

@@ -187,11 +187,66 @@ func TestEncodeRejectsBadInput(t *testing.T) {
 	if _, err := Encode(Frame{MType: JoinRequest, FPort: 1}, keys); !errors.Is(err, ErrBadMType) {
 		t.Errorf("join request accepted: %v", err)
 	}
-	if _, err := Encode(Frame{MType: UnconfirmedDataUp, FPort: 0}, keys); !errors.Is(err, ErrBadFPort) {
-		t.Errorf("FPort 0 accepted: %v", err)
-	}
 	if _, err := Encode(Frame{MType: UnconfirmedDataUp, FPort: 224}, keys); !errors.Is(err, ErrBadFPort) {
 		t.Errorf("FPort 224 accepted: %v", err)
+	}
+}
+
+// TestUplinkMACChannel pins the FPort-0 uplink path: a LinkADRAns travels
+// encrypted under NwkSKey and round-trips through the uplink codec.
+func TestUplinkMACChannel(t *testing.T) {
+	keys := testKeys()
+	ans := LinkADRAns{ChannelACK: true, DataRateACK: true, PowerACK: true}
+	phy, err := Encode(Frame{
+		MType: UnconfirmedDataUp, DevAddr: 0x42, FCnt: 3, FPort: 0, Payload: ans.Encode(),
+	}, keys)
+	if err != nil {
+		t.Fatalf("FPort 0 uplink rejected: %v", err)
+	}
+	got, err := Decode(phy, keys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FPort != 0 {
+		t.Fatalf("FPort = %d, want 0", got.FPort)
+	}
+	back, err := ParseLinkADRAns(got.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != ans {
+		t.Errorf("LinkADRAns round-trip = %+v, want %+v", back, ans)
+	}
+	if !back.Applied() {
+		t.Error("all-ACK answer not Applied")
+	}
+}
+
+func TestLinkADRAnsCodec(t *testing.T) {
+	cases := []LinkADRAns{
+		{},
+		{ChannelACK: true},
+		{DataRateACK: true},
+		{PowerACK: true},
+		{ChannelACK: true, DataRateACK: true},
+		{ChannelACK: true, DataRateACK: true, PowerACK: true},
+	}
+	for _, c := range cases {
+		got, err := ParseLinkADRAns(c.Encode())
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if got != c {
+			t.Errorf("round-trip %+v != %+v", got, c)
+		}
+		if got.Applied() != (c.ChannelACK && c.DataRateACK && c.PowerACK) {
+			t.Errorf("%+v Applied = %v", c, got.Applied())
+		}
+	}
+	for _, bad := range [][]byte{nil, {CIDLinkADRAns}, {CIDLinkADRAns, 1, 2}, {0x04, 0x07}, {CIDLinkADRAns, 0x08}} {
+		if _, err := ParseLinkADRAns(bad); err == nil {
+			t.Errorf("ParseLinkADRAns(% x) accepted", bad)
+		}
 	}
 }
 

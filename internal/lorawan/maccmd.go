@@ -72,6 +72,60 @@ func (c LinkADRReq) Encode() ([]byte, error) {
 	}, nil
 }
 
+// CIDLinkADRAns is the LinkADRAns MAC command identifier (device →
+// server). LoRaWAN reuses the request's CID on the answer; direction
+// disambiguates.
+const CIDLinkADRAns = 0x03
+
+// linkADRAnsBytes is CID (1) + Status (1).
+const linkADRAnsBytes = 2
+
+// LinkADRAns is a device's answer to a LinkADRReq: one ACK bit per
+// dimension of the requested (channel, data rate, power) move. All three
+// must be set for the command to have been applied; any cleared bit means
+// the device kept its previous assignment entirely.
+type LinkADRAns struct {
+	ChannelACK, DataRateACK, PowerACK bool
+}
+
+// Applied reports whether the device accepted the full reassignment.
+func (c LinkADRAns) Applied() bool { return c.ChannelACK && c.DataRateACK && c.PowerACK }
+
+// Encode serializes the answer into its 2-byte wire form (status bits
+// 0=ChannelACK, 1=DataRateACK, 2=PowerACK per the LoRaWAN spec).
+func (c LinkADRAns) Encode() []byte {
+	status := byte(0)
+	if c.ChannelACK {
+		status |= 1 << 0
+	}
+	if c.DataRateACK {
+		status |= 1 << 1
+	}
+	if c.PowerACK {
+		status |= 1 << 2
+	}
+	return []byte{CIDLinkADRAns, status}
+}
+
+// ParseLinkADRAns decodes one LinkADRAns from a MAC-command payload.
+// Status bits above bit 2 are RFU and must be zero.
+func ParseLinkADRAns(cmd []byte) (LinkADRAns, error) {
+	var c LinkADRAns
+	if len(cmd) != linkADRAnsBytes {
+		return c, fmt.Errorf("%w: %d bytes", ErrBadMACCmd, len(cmd))
+	}
+	if cmd[0] != CIDLinkADRAns {
+		return c, fmt.Errorf("%w: CID %#02x", ErrBadMACCmd, cmd[0])
+	}
+	if cmd[1]&^0x07 != 0 {
+		return c, fmt.Errorf("%w: RFU status bits %#02x", ErrBadMACCmd, cmd[1])
+	}
+	c.ChannelACK = cmd[1]&(1<<0) != 0
+	c.DataRateACK = cmd[1]&(1<<1) != 0
+	c.PowerACK = cmd[1]&(1<<2) != 0
+	return c, nil
+}
+
 // ParseLinkADRReq decodes one LinkADRReq from the start of a MAC-command
 // payload. The ChMask must select exactly one channel — this server only
 // ever assigns a single channel per device, so an ambiguous mask is a

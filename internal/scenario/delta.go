@@ -28,6 +28,12 @@ type Delta struct {
 	// Comment is free-form provenance (trigger, daemon instance).
 	Comment string        `json:"comment,omitempty"`
 	Changes []DeltaChange `json:"changes"`
+	// Resets lists devices whose rolling statistics the emitter cleared
+	// without changing their assignment (drift detected, greedy kept the
+	// settings). Together with Changes it makes the delta a complete
+	// record of the control-loop step's state mutation, so a WAL replay
+	// can reproduce the tracker effects exactly.
+	Resets []int `json:"resets,omitempty"`
 }
 
 // Validate checks the delta against a deployment of n devices.
@@ -44,6 +50,11 @@ func (d *Delta) Validate(n int) error {
 		}
 		if c.Channel < 0 {
 			return fmt.Errorf("scenario: delta device %d has negative channel", c.Device)
+		}
+	}
+	for _, i := range d.Resets {
+		if i < 0 || i >= n {
+			return fmt.Errorf("scenario: delta reset device %d out of range [0,%d)", i, n)
 		}
 	}
 	return nil

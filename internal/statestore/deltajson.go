@@ -1,0 +1,121 @@
+package statestore
+
+import (
+	"strconv"
+	"unicode/utf8"
+
+	"eflora/internal/scenario"
+)
+
+// appendDeltaJSON renders d as one JSON object into buf, allocation-free
+// once buf has capacity. It replaces encoding/json on the WAL append hot
+// path: the serving loop appends a record per control step, and reflection
+// plus a fresh buffer per record capped throughput well below the ingest
+// rate. The output is plain JSON that json.Unmarshal (the read path)
+// decodes identically; it does not need to match encoding/json's exact
+// byte choices, only its meaning — the CRC covers whatever bytes were
+// framed.
+func appendDeltaJSON(buf []byte, d *scenario.Delta) []byte {
+	buf = append(buf, `{"version":`...)
+	buf = strconv.AppendInt(buf, int64(d.Version), 10)
+	if d.AtS != 0 {
+		buf = append(buf, `,"atS":`...)
+		buf = appendJSONFloat(buf, d.AtS)
+	}
+	if d.Comment != "" {
+		buf = append(buf, `,"comment":`...)
+		buf = appendJSONString(buf, d.Comment)
+	}
+	buf = append(buf, `,"changes":`...)
+	if d.Changes == nil {
+		buf = append(buf, "null"...)
+	} else {
+		buf = append(buf, '[')
+		for i, c := range d.Changes {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, `{"device":`...)
+			buf = strconv.AppendInt(buf, int64(c.Device), 10)
+			buf = append(buf, `,"sf":`...)
+			buf = strconv.AppendInt(buf, int64(c.SF), 10)
+			buf = append(buf, `,"tpDBm":`...)
+			buf = appendJSONFloat(buf, c.TPdBm)
+			buf = append(buf, `,"channel":`...)
+			buf = strconv.AppendInt(buf, int64(c.Channel), 10)
+			buf = append(buf, '}')
+		}
+		buf = append(buf, ']')
+	}
+	if len(d.Resets) > 0 {
+		buf = append(buf, `,"resets":[`...)
+		for i, r := range d.Resets {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendInt(buf, int64(r), 10)
+		}
+		buf = append(buf, ']')
+	}
+	buf = append(buf, '}')
+	return buf
+}
+
+// appendJSONFloat renders a finite float the way encoding/json does:
+// shortest representation, 'e' notation only for extreme exponents.
+// Non-finite values have no JSON encoding; the caller guards against them
+// (scenario times and TX powers are finite by construction).
+func appendJSONFloat(buf []byte, v float64) []byte {
+	abs := v
+	if abs < 0 {
+		abs = -abs
+	}
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	return strconv.AppendFloat(buf, v, format, -1, 64)
+}
+
+// appendJSONString renders s as a JSON string. Control characters, the
+// quote, and the backslash are escaped; invalid UTF-8 is replaced, like
+// encoding/json does.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); {
+		b := s[i]
+		if b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' {
+				buf = append(buf, b)
+				i++
+				continue
+			}
+			switch b {
+			case '"':
+				buf = append(buf, '\\', '"')
+			case '\\':
+				buf = append(buf, '\\', '\\')
+			case '\n':
+				buf = append(buf, '\\', 'n')
+			case '\r':
+				buf = append(buf, '\\', 'r')
+			case '\t':
+				buf = append(buf, '\\', 't')
+			default:
+				const hexdig = "0123456789abcdef"
+				buf = append(buf, '\\', 'u', '0', '0', hexdig[b>>4], hexdig[b&0xf])
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			buf = append(buf, `�`...)
+			i++
+			continue
+		}
+		buf = append(buf, s[i:i+size]...)
+		i += size
+	}
+	return append(buf, '"')
+}

@@ -1,0 +1,64 @@
+package statestore
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram is a power-of-two-bucketed latency histogram (bucket i counts
+// observations with nanoseconds in [2^(i-1), 2^i)), the same shape as the
+// ingest pool's, but plain counters: the store is single-writer, so no
+// atomics are needed.
+type Histogram struct {
+	Buckets [40]uint64
+}
+
+// Observe records a latency in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	d := time.Duration(seconds * float64(time.Second))
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for _, c := range h.Buckets {
+		total += c
+	}
+	return total
+}
+
+// Quantile returns the upper bound of the bucket holding the q-quantile
+// (0 < q <= 1); ok is false before any observation.
+func (h *Histogram) Quantile(q float64) (time.Duration, bool) {
+	total := h.Count()
+	if total == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen >= rank {
+			return time.Duration(uint64(1) << uint(i)), true
+		}
+	}
+	return time.Duration(uint64(1) << uint(len(h.Buckets)-1)), true
+}
