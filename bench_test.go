@@ -1,6 +1,7 @@
 package eflora_test
 
 import (
+	"os"
 	"testing"
 
 	"eflora/internal/alloc"
@@ -227,6 +228,51 @@ func benchEFLoRaAllocate(b *testing.B, workers int) {
 	b.Helper()
 	net, p, _ := benchNetwork(300, 3)
 	ef := alloc.NewEFLoRa(alloc.Options{Parallelism: workers})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ef.Allocate(net, p, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Hierarchical-allocator scale benchmarks. The 1k and 10k sizes run in
+// seconds; the 100k size and the exact-greedy 10k reference take minutes
+// and only run with EFLORA_HEAVY_BENCH=1 (cmd/eflora-bench records them
+// into BENCH_alloc.json, which TestHierarchicalScaleRecording pins).
+
+func benchHierarchical(b *testing.B, n, g int) {
+	b.Helper()
+	net, p, _ := benchNetwork(n, g)
+	h := alloc.NewHierarchical(alloc.HierOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Allocate(net, p, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHierarchicalAllocate1k(b *testing.B)  { benchHierarchical(b, 1000, 3) }
+func BenchmarkHierarchicalAllocate10k(b *testing.B) { benchHierarchical(b, 10000, 9) }
+
+func BenchmarkHierarchicalAllocate100k(b *testing.B) {
+	if os.Getenv("EFLORA_HEAVY_BENCH") == "" {
+		b.Skip("minutes-long; set EFLORA_HEAVY_BENCH=1")
+	}
+	benchHierarchical(b, 100000, 9)
+}
+
+// BenchmarkExactGreedyAllocate10k is the flat exact greedy on the same
+// 10k deployment as BenchmarkHierarchicalAllocate10k — the reference the
+// hierarchical allocator must beat at 10x its size (see
+// TestHierarchicalScaleRecording).
+func BenchmarkExactGreedyAllocate10k(b *testing.B) {
+	if os.Getenv("EFLORA_HEAVY_BENCH") == "" {
+		b.Skip("minutes-long; set EFLORA_HEAVY_BENCH=1")
+	}
+	net, p, _ := benchNetwork(10000, 9)
+	ef := alloc.NewEFLoRa(alloc.Options{Parallelism: 1})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ef.Allocate(net, p, rng.New(uint64(i))); err != nil {

@@ -231,9 +231,9 @@ func writeRecording(w io.Writer, rec Recording) error {
 	return err
 }
 
-func runRecord(benchRe, benchtime, pkg, outPath, desc string) error {
+func runRecord(benchRe, benchtime, timeout, pkg, outPath, desc string) error {
 	args := []string{"test", "-run", "^$", "-bench", benchRe,
-		"-benchtime", benchtime, "-benchmem", "-count=1", pkg}
+		"-benchtime", benchtime, "-timeout", timeout, "-benchmem", "-count=1", pkg}
 	fmt.Fprintf(os.Stderr, "eflora-bench: go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
@@ -320,6 +320,7 @@ func main() {
 		threshold = flag.Float64("threshold", 1.30, "diff mode: failure ratio for new/old on any metric")
 		benchRe   = flag.String("bench", "Sequential|Parallel", "record mode: -bench regexp passed to go test")
 		benchtime = flag.String("benchtime", "3x", "record mode: -benchtime passed to go test")
+		timeout   = flag.String("timeout", "60m", "record mode: -timeout passed to go test (heavy suites exceed go's 10m default)")
 		pkg       = flag.String("pkg", ".", "record mode: package to benchmark")
 		outPath   = flag.String("o", "BENCH_sim.json", "record mode: output recording path")
 		desc      = flag.String("description", "", "record mode: recording description")
@@ -333,7 +334,7 @@ func main() {
 		}
 		err = runDiff(flag.Arg(0), flag.Arg(1), *threshold)
 	} else {
-		err = runRecord(*benchRe, *benchtime, *pkg, *outPath, *desc)
+		err = runRecord(*benchRe, *benchtime, *timeout, *pkg, *outPath, *desc)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eflora-bench:", err)

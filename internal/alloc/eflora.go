@@ -39,6 +39,12 @@ type Options struct {
 	// evaluator as a read-only snapshot and the winning move is committed
 	// sequentially, so the allocation is bit-identical at any setting.
 	Parallelism int
+	// Starts caps the multi-start initial allocations the greedy refines:
+	// 0 runs all four, 1..4 keeps a prefix of [minimal-SF/max-power,
+	// balanced/max-power, balanced/min-power, RS-LoRa]. The hierarchical
+	// allocator trims per-cell starts to trade a little solution quality
+	// for throughput.
+	Starts int
 }
 
 func (o Options) withDefaults() Options {
@@ -126,23 +132,39 @@ func (a *EFLoRa) AllocateWithReport(net *model.Network, p model.Params, r *rng.R
 	// means low visibility, hence low mutual collision exposure) — and
 	// keep the best converged result. Every committed move is monotone
 	// in min-EE, so each run can only improve on its start.
-	inits := []model.Allocation{
-		a.initialAllocation(net, p, gains),
-		a.initialBalanced(net, p, gains, false),
-		a.initialBalanced(net, p, gains, true),
+	// Inits are built lazily so Options.Starts skips the construction cost
+	// of the starts it trims, not just their refinement.
+	initBuilders := []func() (model.Allocation, bool){
+		func() (model.Allocation, bool) { return a.initialAllocation(net, p, gains), true },
+		func() (model.Allocation, bool) { return a.initialBalanced(net, p, gains, false), true },
+		func() (model.Allocation, bool) { return a.initialBalanced(net, p, gains, true), true },
+		func() (model.Allocation, bool) {
+			// Refining from the RS-LoRa baseline's own allocation
+			// guarantees EF-LoRa dominates it under the model: the greedy
+			// is monotone, so the converged result scores at least as
+			// high. (Skipped when power is pinned: RS-LoRa sets
+			// per-device powers.)
+			if a.opts.FixedTPdBm != nil {
+				return model.Allocation{}, false
+			}
+			rs, err := (RSLoRa{}).Allocate(net, p, nil)
+			if err != nil {
+				return model.Allocation{}, false
+			}
+			return rs, true
+		},
 	}
-	if a.opts.FixedTPdBm == nil {
-		// Also refine from the RS-LoRa baseline's own allocation, which
-		// guarantees EF-LoRa dominates it under the model: the greedy is
-		// monotone, so the converged result scores at least as high.
-		// (Skipped when power is pinned: RS-LoRa sets per-device powers.)
-		if rs, err := (RSLoRa{}).Allocate(net, p, nil); err == nil {
-			inits = append(inits, rs)
-		}
+	starts := a.opts.Starts
+	if starts <= 0 || starts > len(initBuilders) {
+		starts = len(initBuilders)
 	}
 	bestMin := math.Inf(-1)
 	var bestAlloc model.Allocation
-	for ii, init := range inits {
+	for ii := 0; ii < starts; ii++ {
+		init, ok := initBuilders[ii]()
+		if !ok {
+			continue
+		}
 		ev, err := model.NewEvaluator(net, p, init, a.opts.Mode)
 		if err != nil {
 			return model.Allocation{}, rep, err

@@ -20,6 +20,16 @@ type Incremental struct {
 	p     model.Params
 	net   model.Network
 	alloc model.Allocation
+
+	// Reassignment state, built lazily on the first ReassignDevice (or
+	// AddDevice) and reused across calls so the reconcile path is
+	// delta-based: a reassignment touches only the two (SF, channel)
+	// groups it moves between (model.Evaluator.SetDevice) instead of
+	// rebuilding gains and evaluator per call. Topology changes
+	// (add/remove/reoptimize) invalidate all three.
+	ev       *model.Evaluator
+	gains    [][]float64
+	tpLevels []float64
 }
 
 // NewIncremental seeds an incremental maintainer from a full allocation.
@@ -49,6 +59,44 @@ func NewIncremental(net *model.Network, p model.Params, alloc model.Allocation, 
 		inc.net.IntervalS = append([]float64(nil), net.IntervalS...)
 	}
 	return inc, nil
+}
+
+// invalidate drops the cached reassignment state after a topology or
+// wholesale allocation change.
+func (inc *Incremental) invalidate() {
+	inc.ev = nil
+	inc.gains = nil
+	inc.tpLevels = nil
+}
+
+// ensureEval builds the cached gains matrix, evaluator and TP ladder if a
+// topology change (or construction) invalidated them.
+func (inc *Incremental) ensureEval() error {
+	if inc.ev != nil {
+		return nil
+	}
+	inc.gains = model.Gains(&inc.net, inc.p)
+	ev, err := model.NewEvaluator(&inc.net, inc.p, inc.alloc, inc.opts.Mode)
+	if err != nil {
+		return err
+	}
+	inc.ev = ev
+	if inc.opts.FixedTPdBm != nil {
+		inc.tpLevels = []float64{*inc.opts.FixedTPdBm}
+	} else {
+		inc.tpLevels = inc.p.Plan.TxPowerLevels()
+	}
+	return nil
+}
+
+// Refresh flushes the second-order capacity staleness that delta commits
+// accumulate in the cached evaluator (see model.Evaluator.RecomputeAll).
+// Callers running many ReassignDevice calls — the hierarchical boundary
+// reconcile — invoke it at pass boundaries, mirroring the full greedy.
+func (inc *Incremental) Refresh() {
+	if inc.ev != nil {
+		inc.ev.RecomputeAll()
+	}
 }
 
 // N returns the current number of devices.
@@ -95,7 +143,9 @@ func (inc *Incremental) AddDevice(pos geo.Point, env int) (int, error) {
 	i := inc.net.N() - 1
 
 	// Provisional settings for the newcomer, then greedy improvement of
-	// only that device.
+	// only that device. The gains matrix changed shape, so the cached
+	// reassignment state is rebuilt (and stays warm for later reassigns).
+	inc.invalidate()
 	gains := model.Gains(&inc.net, inc.p)
 	sf, ok := model.MinFeasibleSF(gains, i, inc.p.Plan.MaxTxPowerDBm)
 	if !ok {
@@ -113,60 +163,36 @@ func (inc *Incremental) AddDevice(pos geo.Point, env int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	bestEE, _ := ev.MinEE()
-	bestSF, bestTP, bestCh := sf, tp, 0
-	tpLevels := inc.p.Plan.TxPowerLevels()
+	inc.gains = gains
+	inc.ev = ev
 	if inc.opts.FixedTPdBm != nil {
-		tpLevels = []float64{*inc.opts.FixedTPdBm}
+		inc.tpLevels = []float64{*inc.opts.FixedTPdBm}
+	} else {
+		inc.tpLevels = inc.p.Plan.TxPowerLevels()
 	}
-	for _, s := range lora.SFs() {
-		for _, t := range tpLevels {
-			if !model.Feasible(gains, i, s, t) {
-				continue
-			}
-			for c := 0; c < inc.p.Plan.NumChannels(); c++ {
-				got := ev.MinEEIfAbove(i, s, t, c, bestEE)
-				if got > bestEE {
-					bestEE, bestSF, bestTP, bestCh = got, s, t, c
-				}
-			}
+	if sf, tp, ch, changed := inc.bestMove(i); changed {
+		if err := inc.commit(i, sf, tp, ch); err != nil {
+			return 0, err
 		}
 	}
-	inc.alloc.SF[i] = bestSF
-	inc.alloc.TPdBm[i] = bestTP
-	inc.alloc.Channel[i] = bestCh
 	return i, nil
 }
 
-// ReassignDevice re-runs the single-device greedy for an existing device:
-// holding every other device's settings fixed, device i moves to the
-// (SF, TP, channel) that maximizes the network minimum EE. This is the
-// online re-allocation step a live network server applies to a device
-// whose observed link quality has drifted. It reports whether the
-// assignment changed.
-func (inc *Incremental) ReassignDevice(i int) (bool, error) {
-	n := inc.net.N()
-	if i < 0 || i >= n {
-		return false, fmt.Errorf("alloc: reassign index %d out of range [0,%d)", i, n)
-	}
-	gains := model.Gains(&inc.net, inc.p)
-	ev, err := model.NewEvaluator(&inc.net, inc.p, inc.alloc, inc.opts.Mode)
-	if err != nil {
-		return false, err
-	}
-	bestEE, _ := ev.MinEE()
+// bestMove scans every feasible (SF, TP, channel) for device i against the
+// cached evaluator and returns the move that maximizes the network minimum
+// EE, and whether it differs from i's current assignment. The cached
+// evaluator must be valid (ensureEval).
+func (inc *Incremental) bestMove(i int) (lora.SF, float64, int, bool) {
+	bestEE, _ := inc.ev.MinEE()
 	bestSF, bestTP, bestCh := inc.alloc.SF[i], inc.alloc.TPdBm[i], inc.alloc.Channel[i]
-	tpLevels := inc.p.Plan.TxPowerLevels()
-	if inc.opts.FixedTPdBm != nil {
-		tpLevels = []float64{*inc.opts.FixedTPdBm}
-	}
-	for _, s := range lora.SFs() {
-		for _, t := range tpLevels {
-			if !model.Feasible(gains, i, s, t) {
+	nch := inc.p.Plan.NumChannels()
+	for s := lora.MinSF; s <= lora.MaxSF; s++ {
+		for _, t := range inc.tpLevels {
+			if !model.Feasible(inc.gains, i, s, t) {
 				continue
 			}
-			for c := 0; c < inc.p.Plan.NumChannels(); c++ {
-				got := ev.MinEEIfAbove(i, s, t, c, bestEE)
+			for c := 0; c < nch; c++ {
+				got := inc.ev.MinEEIfAbove(i, s, t, c, bestEE)
 				if got > bestEE {
 					bestEE, bestSF, bestTP, bestCh = got, s, t, c
 				}
@@ -174,10 +200,77 @@ func (inc *Incremental) ReassignDevice(i int) (bool, error) {
 		}
 	}
 	changed := bestSF != inc.alloc.SF[i] || bestTP != inc.alloc.TPdBm[i] || bestCh != inc.alloc.Channel[i]
-	inc.alloc.SF[i] = bestSF
-	inc.alloc.TPdBm[i] = bestTP
-	inc.alloc.Channel[i] = bestCh
-	return changed, nil
+	return bestSF, bestTP, bestCh, changed
+}
+
+// commit applies a move to both the allocation snapshot and the cached
+// evaluator, which delta-updates only the two (SF, channel) groups the
+// move touches.
+func (inc *Incremental) commit(i int, sf lora.SF, tp float64, ch int) error {
+	if err := inc.ev.SetDevice(i, sf, tp, ch); err != nil {
+		return err
+	}
+	inc.alloc.SF[i] = sf
+	inc.alloc.TPdBm[i] = tp
+	inc.alloc.Channel[i] = ch
+	return nil
+}
+
+// ReassignDevice re-runs the single-device greedy for an existing device:
+// holding every other device's settings fixed, device i moves to the
+// (SF, TP, channel) that maximizes the network minimum EE. This is the
+// online re-allocation step a live network server applies to a device
+// whose observed link quality has drifted, and the hierarchical
+// allocator's boundary-reconcile step. It reports whether the assignment
+// changed.
+//
+// The first call builds the gains matrix and evaluator; subsequent calls
+// reuse them, committing moves as delta updates that touch only the two
+// (SF, channel) groups involved — the warm path allocates nothing. Long
+// reassignment campaigns should call Refresh at pass boundaries to flush
+// second-order capacity staleness.
+func (inc *Incremental) ReassignDevice(i int) (bool, error) {
+	n := inc.net.N()
+	if i < 0 || i >= n {
+		return false, fmt.Errorf("alloc: reassign index %d out of range [0,%d)", i, n)
+	}
+	if err := inc.ensureEval(); err != nil {
+		return false, err
+	}
+	sf, tp, ch, changed := inc.bestMove(i)
+	if !changed {
+		return false, nil
+	}
+	if err := inc.commit(i, sf, tp, ch); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// SetAssignment overrides device i's committed (SF, TP dBm, channel) — the
+// entry point for reflecting settings a device actually runs (e.g. after a
+// rejected LinkADRAns) rather than the planned ones. It writes through the
+// cached reassignment state so a later ReassignDevice sees the override.
+func (inc *Incremental) SetAssignment(i int, sf lora.SF, tpDBm float64, ch int) error {
+	n := inc.net.N()
+	if i < 0 || i >= n {
+		return fmt.Errorf("alloc: assignment index %d out of range [0,%d)", i, n)
+	}
+	if !sf.Valid() {
+		return fmt.Errorf("alloc: invalid SF %d", sf)
+	}
+	if ch < 0 || ch >= inc.p.Plan.NumChannels() {
+		return fmt.Errorf("alloc: channel %d out of range [0,%d)", ch, inc.p.Plan.NumChannels())
+	}
+	if inc.ev != nil {
+		if err := inc.ev.SetDevice(i, sf, tpDBm, ch); err != nil {
+			return err
+		}
+	}
+	inc.alloc.SF[i] = sf
+	inc.alloc.TPdBm[i] = tpDBm
+	inc.alloc.Channel[i] = ch
+	return nil
 }
 
 // RemoveDevice deletes device i; the remaining devices keep their
@@ -200,6 +293,7 @@ func (inc *Incremental) RemoveDevice(i int) error {
 	inc.alloc.SF = append(inc.alloc.SF[:i], inc.alloc.SF[i+1:]...)
 	inc.alloc.TPdBm = append(inc.alloc.TPdBm[:i], inc.alloc.TPdBm[i+1:]...)
 	inc.alloc.Channel = append(inc.alloc.Channel[:i], inc.alloc.Channel[i+1:]...)
+	inc.invalidate()
 	return nil
 }
 
@@ -217,5 +311,6 @@ func (inc *Incremental) Reoptimize() (Report, error) {
 		return rep, err
 	}
 	inc.alloc = a
+	inc.invalidate()
 	return rep, nil
 }

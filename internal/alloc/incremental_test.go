@@ -130,9 +130,9 @@ func TestIncrementalReassignDevice(t *testing.T) {
 	// Sabotage one device: worst SF at maximum power on channel 0, then
 	// ask the incremental maintainer to repair just that device.
 	p := model.DefaultParams()
-	inc.alloc.SF[7] = 12
-	inc.alloc.TPdBm[7] = p.Plan.MaxTxPowerDBm
-	inc.alloc.Channel[7] = 0
+	if err := inc.SetAssignment(7, 12, p.Plan.MaxTxPowerDBm, 0); err != nil {
+		t.Fatal(err)
+	}
 	changed, err := inc.ReassignDevice(7)
 	if err != nil {
 		t.Fatal(err)
@@ -182,6 +182,78 @@ func TestIncrementalReassignKeepsOthersUnchanged(t *testing.T) {
 		if before.SF[i] != after.SF[i] || before.TPdBm[i] != after.TPdBm[i] || before.Channel[i] != after.Channel[i] {
 			t.Fatalf("device %d changed during reassign of device 3", i)
 		}
+	}
+}
+
+func TestIncrementalSetAssignmentValidates(t *testing.T) {
+	inc := newIncremental(t, 10)
+	if err := inc.SetAssignment(-1, 7, 14, 0); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := inc.SetAssignment(99, 7, 14, 0); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := inc.SetAssignment(0, 99, 14, 0); err == nil {
+		t.Error("invalid SF accepted")
+	}
+	if err := inc.SetAssignment(0, 7, 14, -1); err == nil {
+		t.Error("negative channel accepted")
+	}
+	if err := inc.SetAssignment(0, 7, 14, 9999); err == nil {
+		t.Error("out-of-range channel accepted")
+	}
+}
+
+// TestIncrementalReassignWarmCacheCoherent drives a long warm reassignment
+// campaign with Refresh at pass boundaries, then cross-checks the cached
+// evaluator path against a cold evaluation of the same allocation — the
+// delta-based bookkeeping must track the committed allocation exactly.
+func TestIncrementalReassignWarmCacheCoherent(t *testing.T) {
+	inc := newIncremental(t, 50)
+	p := model.DefaultParams()
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < inc.N(); i += 7 {
+			if _, err := inc.ReassignDevice(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		inc.Refresh()
+	}
+	a := inc.Allocation()
+	if err := a.Validate(inc.N(), p); err != nil {
+		t.Fatalf("post-campaign allocation invalid: %v", err)
+	}
+	cold, err := EvaluateMinEE(inc.Network(), p, a, model.ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := inc.MinEE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold != warm {
+		t.Fatalf("cached-path MinEE %v != cold evaluation %v", warm, cold)
+	}
+}
+
+// TestIncrementalReassignAllocBudget pins the delta-based reassignment
+// path: once the cache is warm, reassigning an already-optimal device must
+// not allocate at all. A regression back to rebuild-per-call (gains matrix
+// + evaluator construction, ~megabytes per call at paper scale) trips this
+// immediately.
+func TestIncrementalReassignAllocBudget(t *testing.T) {
+	inc := newIncremental(t, 50)
+	// Warm the cache and drive device 7 to its greedy fixpoint.
+	if _, err := inc.ReassignDevice(7); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := inc.ReassignDevice(7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm ReassignDevice allocates %v times per call, want 0", avg)
 	}
 }
 

@@ -29,7 +29,7 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name: "detrand",
 	Doc: "forbid wall clocks, global math/rand, environment reads and map iteration " +
-		"in determinism-critical packages (sim, engine, model, alloc, exp, par, golden, mathx)",
+		"in determinism-critical packages (sim, engine, model, alloc, exp, par, golden, mathx, geo)",
 	Run: run,
 }
 
@@ -45,6 +45,7 @@ var criticalPackages = map[string]bool{
 	"golden":     true,
 	"mathx":      true,
 	"statestore": true,
+	"geo":        true,
 }
 
 const suppression = "nondeterminism-ok"

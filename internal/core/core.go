@@ -74,24 +74,22 @@ func Build(s Scenario) (*Network, error) {
 	return &Network{Net: net, Params: p, Seed: s.Seed}, nil
 }
 
-// AllocatorByName resolves one of "eflora", "eflora-fixed", "legacy",
-// "rslora" (case-insensitive). For "eflora-fixed", fixedTP pins the power.
+// AllocatorByName resolves any registered strategy key or alias from
+// alloc.Strategies() — "legacy", "adr", "rslora", "eflora", "anneal",
+// "hier", "exhaustive" — plus the "eflora-fixed" ablation, for which
+// fixedTP pins the power (case-insensitive).
 func AllocatorByName(name string, opts alloc.Options, fixedTP float64) (alloc.Allocator, error) {
 	switch strings.ToLower(name) {
-	case "eflora", "ef-lora":
-		return alloc.NewEFLoRa(opts), nil
 	case "eflora-fixed", "ef-lora-fixed":
 		o := opts
 		o.FixedTPdBm = &fixedTP
 		return alloc.NewEFLoRa(o), nil
-	case "legacy", "legacy-lora":
-		return alloc.Legacy{}, nil
-	case "rslora", "rs-lora":
-		return alloc.RSLoRa{}, nil
-	case "adr":
-		return alloc.ADR{}, nil
 	}
-	return nil, fmt.Errorf("core: unknown allocator %q (want eflora, eflora-fixed, legacy, rslora or adr)", name)
+	s, err := alloc.StrategyByKey(name)
+	if err != nil {
+		return nil, fmt.Errorf("core: unknown allocator %q (want a strategy key from alloc.Strategies() or eflora-fixed)", name)
+	}
+	return s.New(opts), nil
 }
 
 // Allocate runs the named allocator on the network.

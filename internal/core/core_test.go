@@ -42,7 +42,8 @@ func TestBuildRejectsBadParams(t *testing.T) {
 }
 
 func TestAllocatorByName(t *testing.T) {
-	names := []string{"eflora", "EF-LoRa", "legacy", "Legacy-LoRa", "rslora", "RS-LoRa", "eflora-fixed", "adr"}
+	names := []string{"eflora", "EF-LoRa", "legacy", "Legacy-LoRa", "rslora", "RS-LoRa", "eflora-fixed", "adr",
+		"anneal", "hier", "Hierarchical", "exhaustive"}
 	for _, name := range names {
 		if _, err := AllocatorByName(name, alloc.Options{}, 14); err != nil {
 			t.Errorf("AllocatorByName(%q): %v", name, err)
@@ -50,6 +51,12 @@ func TestAllocatorByName(t *testing.T) {
 	}
 	if _, err := AllocatorByName("random", alloc.Options{}, 14); err == nil {
 		t.Error("unknown allocator accepted")
+	}
+	// Every registered strategy key must resolve through the facade.
+	for _, s := range alloc.Strategies() {
+		if _, err := AllocatorByName(s.Key, alloc.Options{}, 14); err != nil {
+			t.Errorf("registered strategy %q does not resolve: %v", s.Key, err)
+		}
 	}
 }
 

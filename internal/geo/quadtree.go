@@ -1,0 +1,146 @@
+package geo
+
+import "math"
+
+// QuadtreeOptions controls QuadtreePartition.
+type QuadtreeOptions struct {
+	// MaxLeaf is the largest number of points a leaf cell may hold before
+	// it splits. Defaults to 256 when <= 0.
+	MaxLeaf int
+	// MaxDepth bounds the recursion depth; a node at MaxDepth stays a leaf
+	// regardless of its population. Defaults to 32 when <= 0, which is deep
+	// enough that the float64 midpoints degenerate before the bound binds.
+	MaxDepth int
+}
+
+func (o QuadtreeOptions) withDefaults() QuadtreeOptions {
+	if o.MaxLeaf <= 0 {
+		o.MaxLeaf = 256
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 32
+	}
+	return o
+}
+
+// Rect is a half-open axis-aligned rectangle [MinX,MaxX) x [MinY,MaxY);
+// cells on the tree's outer boundary are closed so the root covers every
+// input point exactly.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Width returns the rectangle's horizontal extent.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the rectangle's vertical extent.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Cell is one leaf of the quadtree: its bounding rectangle and the indices
+// (into the input slice, ascending) of the points it holds.
+type Cell struct {
+	Rect    Rect
+	Members []int
+}
+
+// Partition is the result of QuadtreePartition: the root bounding square,
+// the non-empty leaf cells in deterministic DFS order, and for each input
+// point the index of the cell that holds it.
+type Partition struct {
+	Root   Rect
+	Cells  []Cell
+	CellOf []int
+}
+
+// QuadtreePartition splits pts into leaf cells of at most MaxLeaf points
+// each by recursive quadrant subdivision of the points' bounding square.
+//
+// The partition is a pure function of the point *set*: the root square and
+// every split depend only on coordinate extrema and midpoints, so permuting
+// the input order permutes nothing but each cell's Members (which are kept
+// ascending). Every point lands in exactly one cell, empty leaves are
+// dropped, and cells appear in depth-first SW, SE, NW, NE order.
+func QuadtreePartition(pts []Point, opt QuadtreeOptions) Partition {
+	opt = opt.withDefaults()
+	part := Partition{CellOf: make([]int, len(pts))}
+	if len(pts) == 0 {
+		return part
+	}
+
+	// Bounding square: order-independent min/max, widened to equal sides
+	// about the center so quadrants stay square at every depth.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	side := math.Max(maxX-minX, maxY-minY)
+	cx, cy := (minX+maxX)/2, (minY+maxY)/2
+	part.Root = Rect{
+		// Widening to a square can round a hair inside the extrema, so
+		// take the union with the exact bounding box.
+		MinX: math.Min(cx-side/2, minX), MaxX: math.Max(cx+side/2, maxX),
+		MinY: math.Min(cy-side/2, minY), MaxY: math.Max(cy+side/2, maxY),
+	}
+
+	all := make([]int, len(pts))
+	for i := range all {
+		all[i] = i
+	}
+	part.split(pts, all, part.Root, 0, opt)
+	return part
+}
+
+// split recurses on members (ascending indices into pts) within r,
+// appending leaf cells to p.Cells.
+func (p *Partition) split(pts []Point, members []int, r Rect, depth int, opt QuadtreeOptions) {
+	if len(members) <= opt.MaxLeaf || depth >= opt.MaxDepth || degenerate(pts, members) {
+		for _, i := range members {
+			p.CellOf[i] = len(p.Cells)
+		}
+		p.Cells = append(p.Cells, Cell{Rect: r, Members: members})
+		return
+	}
+	midX, midY := (r.MinX+r.MaxX)/2, (r.MinY+r.MaxY)/2
+	// Quadrant of a point: east when X >= midX, north when Y >= midY. A
+	// stable partition of an ascending members slice keeps each quadrant's
+	// slice ascending, so cell membership stays input-order independent.
+	var quads [4][]int
+	for _, i := range members {
+		q := 0
+		if pts[i].X >= midX {
+			q |= 1
+		}
+		if pts[i].Y >= midY {
+			q |= 2
+		}
+		quads[q] = append(quads[q], i)
+	}
+	rects := [4]Rect{
+		{r.MinX, r.MinY, midX, midY}, // SW
+		{midX, r.MinY, r.MaxX, midY}, // SE
+		{r.MinX, midY, midX, r.MaxY}, // NW
+		{midX, midY, r.MaxX, r.MaxY}, // NE
+	}
+	for q, sub := range quads {
+		if len(sub) == 0 {
+			continue
+		}
+		p.split(pts, sub, rects[q], depth+1, opt)
+	}
+}
+
+// degenerate reports whether every member is at the same coordinates, in
+// which case no split can separate them and the node must stay a leaf.
+func degenerate(pts []Point, members []int) bool {
+	first := pts[members[0]]
+	for _, i := range members[1:] {
+		if pts[i] != first {
+			return false
+		}
+	}
+	return true
+}

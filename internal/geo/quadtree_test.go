@@ -1,0 +1,206 @@
+package geo
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"eflora/internal/rng"
+)
+
+// checkPartitionInvariants asserts the structural contract of a quadtree
+// partition: every point is in exactly one cell, members are ascending,
+// cells are non-empty, member points lie inside their cell's rectangle
+// (closed bounds; the tree's outer boundary is closed), and CellOf agrees
+// with the member lists.
+func checkPartitionInvariants(t *testing.T, pts []Point, part Partition) {
+	t.Helper()
+	if len(part.CellOf) != len(pts) {
+		t.Fatalf("CellOf has %d entries for %d points", len(part.CellOf), len(pts))
+	}
+	seen := make([]int, len(pts))
+	for ci, c := range part.Cells {
+		if len(c.Members) == 0 {
+			t.Fatalf("cell %d is empty", ci)
+		}
+		prev := -1
+		for _, i := range c.Members {
+			if i <= prev {
+				t.Fatalf("cell %d members not strictly ascending: %v", ci, c.Members)
+			}
+			prev = i
+			if i < 0 || i >= len(pts) {
+				t.Fatalf("cell %d member %d out of range", ci, i)
+			}
+			seen[i]++
+			if part.CellOf[i] != ci {
+				t.Fatalf("CellOf[%d] = %d, but point is member of cell %d", i, part.CellOf[i], ci)
+			}
+			p := pts[i]
+			if p.X < c.Rect.MinX || p.X > c.Rect.MaxX || p.Y < c.Rect.MinY || p.Y > c.Rect.MaxY {
+				t.Fatalf("point %d %+v outside its cell rect %+v", i, p, c.Rect)
+			}
+			if p.X < part.Root.MinX || p.X > part.Root.MaxX || p.Y < part.Root.MinY || p.Y > part.Root.MaxY {
+				t.Fatalf("point %d %+v outside root %+v", i, p, part.Root)
+			}
+		}
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("point %d appears in %d cells, want exactly 1", i, n)
+		}
+	}
+}
+
+func TestQuadtreePartitionProperties(t *testing.T) {
+	for _, n := range []int{1, 10, 257, 2000} {
+		r := rng.New(uint64(1000 + n))
+		pts := UniformDisc(n, 5000, r)
+		part := QuadtreePartition(pts, QuadtreeOptions{MaxLeaf: 64})
+		checkPartitionInvariants(t, pts, part)
+		for ci, c := range part.Cells {
+			// UniformDisc points are distinct with probability 1, and the
+			// default MaxDepth never binds at these scales, so the leaf
+			// bound must hold exactly.
+			if len(c.Members) > 64 {
+				t.Fatalf("n=%d: cell %d has %d members > MaxLeaf 64", n, ci, len(c.Members))
+			}
+		}
+		if n <= 64 && len(part.Cells) != 1 {
+			t.Fatalf("n=%d under MaxLeaf should be a single cell, got %d", n, len(part.Cells))
+		}
+	}
+}
+
+// TestQuadtreePartitionOrderIndependent pins that the cell structure is a
+// function of the point set: permuting the input permutes only the indices
+// inside Members, never the geometry or the cell order.
+func TestQuadtreePartitionOrderIndependent(t *testing.T) {
+	r := rng.New(77)
+	pts := UniformDisc(500, 4000, r)
+	opt := QuadtreeOptions{MaxLeaf: 32}
+	base := QuadtreePartition(pts, opt)
+
+	perm := r.Perm(len(pts))
+	shuffled := make([]Point, len(pts))
+	for newIdx, origIdx := range perm {
+		shuffled[newIdx] = pts[origIdx]
+	}
+	got := QuadtreePartition(shuffled, opt)
+
+	if got.Root != base.Root {
+		t.Fatalf("root differs: %+v vs %+v", got.Root, base.Root)
+	}
+	if len(got.Cells) != len(base.Cells) {
+		t.Fatalf("cell count differs: %d vs %d", len(got.Cells), len(base.Cells))
+	}
+	for i, c := range got.Cells {
+		if c.Rect != base.Cells[i].Rect {
+			t.Fatalf("cell %d rect differs: %+v vs %+v", i, c.Rect, base.Cells[i].Rect)
+		}
+	}
+	// Each original point must land in the same cell (by index) regardless
+	// of where the permutation placed it.
+	for newIdx, origIdx := range perm {
+		if got.CellOf[newIdx] != base.CellOf[origIdx] {
+			t.Fatalf("point %d moved from cell %d to cell %d under permutation",
+				origIdx, base.CellOf[origIdx], got.CellOf[newIdx])
+		}
+	}
+}
+
+func TestQuadtreePartitionDegenerate(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		part := QuadtreePartition(nil, QuadtreeOptions{})
+		if len(part.Cells) != 0 || len(part.CellOf) != 0 {
+			t.Fatalf("empty input produced %d cells", len(part.Cells))
+		}
+	})
+	t.Run("single", func(t *testing.T) {
+		pts := []Point{{X: 3, Y: -4}}
+		part := QuadtreePartition(pts, QuadtreeOptions{MaxLeaf: 1})
+		checkPartitionInvariants(t, pts, part)
+		if len(part.Cells) != 1 {
+			t.Fatalf("single point produced %d cells", len(part.Cells))
+		}
+	})
+	t.Run("all-same-point", func(t *testing.T) {
+		pts := make([]Point, 1000)
+		for i := range pts {
+			pts[i] = Point{X: 1.5, Y: 2.5}
+		}
+		part := QuadtreePartition(pts, QuadtreeOptions{MaxLeaf: 4})
+		checkPartitionInvariants(t, pts, part)
+		// Unsplittable: must terminate as one leaf, not recurse forever.
+		if len(part.Cells) != 1 {
+			t.Fatalf("coincident points produced %d cells, want 1", len(part.Cells))
+		}
+	})
+	t.Run("collinear", func(t *testing.T) {
+		pts := make([]Point, 100)
+		for i := range pts {
+			pts[i] = Point{X: float64(i), Y: 42}
+		}
+		part := QuadtreePartition(pts, QuadtreeOptions{MaxLeaf: 8})
+		checkPartitionInvariants(t, pts, part)
+		for ci, c := range part.Cells {
+			if len(c.Members) > 8 {
+				t.Fatalf("collinear cell %d has %d members > 8", ci, len(c.Members))
+			}
+		}
+	})
+}
+
+// fuzzPoints decodes data as consecutive little-endian int16 coordinate
+// pairs, scaled to meters; trailing bytes that do not complete a pair are
+// ignored.
+func fuzzPoints(data []byte) []Point {
+	n := len(data) / 4
+	if n > 2048 {
+		n = 2048
+	}
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		x := int16(binary.LittleEndian.Uint16(data[4*i:]))
+		y := int16(binary.LittleEndian.Uint16(data[4*i+2:]))
+		pts[i] = Point{X: float64(x), Y: float64(y)}
+	}
+	return pts
+}
+
+// FuzzQuadtreePartition drives the partitioner with arbitrary coordinate
+// sets and leaf/depth knobs, asserting the structural invariants and input
+// order independence (reversal) on every case.
+func FuzzQuadtreePartition(f *testing.F) {
+	// Single device.
+	f.Add([]byte{1, 0, 2, 0}, uint16(4), uint16(8))
+	// Degenerate all-same-point.
+	f.Add([]byte{5, 0, 5, 0, 5, 0, 5, 0, 5, 0, 5, 0, 5, 0, 5, 0}, uint16(1), uint16(4))
+	// Collinear along Y = 3.
+	f.Add([]byte{0, 0, 3, 0, 1, 0, 3, 0, 2, 0, 3, 0, 3, 0, 3, 0, 4, 0, 3, 0}, uint16(2), uint16(0))
+	// A small scatter crossing all four quadrants (negative coordinates).
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 0, 1, 0, 0xff, 0xff, 1, 0, 1, 0, 0xff, 0xff}, uint16(1), uint16(0))
+	f.Fuzz(func(t *testing.T, data []byte, maxLeaf, maxDepth uint16) {
+		pts := fuzzPoints(data)
+		opt := QuadtreeOptions{MaxLeaf: int(maxLeaf % 64), MaxDepth: int(maxDepth % 20)}
+		part := QuadtreePartition(pts, opt)
+		checkPartitionInvariants(t, pts, part)
+
+		// Reversing the input must not change the geometry or which cell
+		// holds each point.
+		rev := make([]Point, len(pts))
+		for i, p := range pts {
+			rev[len(pts)-1-i] = p
+		}
+		rpart := QuadtreePartition(rev, opt)
+		if rpart.Root != part.Root || len(rpart.Cells) != len(part.Cells) {
+			t.Fatalf("reversal changed structure: %d cells root %+v vs %d cells root %+v",
+				len(rpart.Cells), rpart.Root, len(part.Cells), part.Root)
+		}
+		for i := range pts {
+			if rpart.CellOf[len(pts)-1-i] != part.CellOf[i] {
+				t.Fatalf("reversal moved point %d: cell %d vs %d",
+					i, part.CellOf[i], rpart.CellOf[len(pts)-1-i])
+			}
+		}
+	})
+}

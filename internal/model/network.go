@@ -200,6 +200,34 @@ func (n *Network) IntervalOf(i int, def float64) float64 {
 	return n.IntervalS[i]
 }
 
+// Subset returns a new network holding only the devices named by idx (in
+// the given order), against the full gateway set. Per-device attributes
+// (Env, IntervalS) follow their devices; the Gateways slice is shared, not
+// copied, since deployments never mutate it. The hierarchical allocator
+// uses this to hand one spatial cell to the exact greedy.
+func (n *Network) Subset(idx []int) *Network {
+	sub := &Network{
+		Devices:  make([]geo.Point, len(idx)),
+		Gateways: n.Gateways,
+	}
+	for j, i := range idx {
+		sub.Devices[j] = n.Devices[i]
+	}
+	if n.Env != nil {
+		sub.Env = make([]int, len(idx))
+		for j, i := range idx {
+			sub.Env[j] = n.Env[i]
+		}
+	}
+	if n.IntervalS != nil {
+		sub.IntervalS = make([]float64, len(idx))
+		for j, i := range idx {
+			sub.IntervalS[j] = n.IntervalS[i]
+		}
+	}
+	return sub
+}
+
 // Validate checks the deployment against params.
 func (n *Network) Validate(p Params) error {
 	if len(n.Devices) == 0 {
