@@ -553,7 +553,10 @@ func (d *daemon) shutdown() {
 
 // reallocStep runs one control-loop pass, appends any delta, and queues
 // the matching LinkADRReq downlinks so the moved devices actually hear
-// about their new assignment.
+// about their new assignment. The WAL-first ordering below is what the
+// walorder analyzer enforces.
+//
+//eflora:durable
 func (d *daemon) reallocStep() error {
 	delta, err := d.realloc.Step(d.nowS())
 	if err != nil || delta == nil {

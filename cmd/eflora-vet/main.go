@@ -1,27 +1,39 @@
 // Command eflora-vet runs the repository's first-party analyzer suite —
 // detrand (determinism), hotalloc (zero-alloc hot paths), units
-// (dB/dBm/mW safety) and boundedsend (non-blocking ingest) — over the
-// given packages, in the style of a go/analysis multichecker. It is the
-// CI lint gate: the tree must produce zero unannotated findings.
+// (dB/dBm/mW safety), boundedsend (non-blocking ingest), walorder
+// (WAL-first durability ordering) and locksafe (no blocking calls under
+// a mutex) — over the given packages, in the style of a go/analysis
+// multichecker, with whole-program call-graph and effect-summary context
+// so taint is tracked across package boundaries. It is the CI lint
+// gate: the tree must produce zero findings beyond the checked-in
+// ratchet baseline.
 //
 // Usage:
 //
 //	eflora-vet [flags] [packages]
 //
-//	-json       emit findings as a JSON document instead of text
-//	-fix        apply suggested fixes to the source files, then re-report
-//	-list       list the analyzers and exit
-//	-analyzers  comma-separated subset to run (default: all)
+//	-json            emit findings as a JSON document instead of text
+//	-sarif           emit findings as a SARIF 2.1.0 document
+//	-fix             apply suggested fixes to the source files, then re-report
+//	-list            list the analyzers and exit
+//	-analyzers       comma-separated subset to run (default: all)
+//	-baseline FILE   suppress findings recorded in FILE; fail only on NEW
+//	                 findings (and report stale entries to ratchet out)
+//	-write-baseline FILE
+//	                 write the current findings to FILE as the new baseline
+//	-no-program      per-package analysis only (skip call graph + summaries)
 //
 // Packages are directories or recursive patterns ("./...",
 // "./internal/sim"); the default is "./...". Standard toolchain checks
 // (go vet's own passes) are not duplicated here — CI runs `go vet ./...`
-// alongside. Exit status: 0 clean, 1 findings, 2 usage or load error.
+// alongside. Exit status: 0 clean (or all findings baselined), 1 new
+// findings, 2 usage or load error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
 	"strings"
@@ -38,10 +50,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("eflora-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
 	fix := fs.Bool("fix", false, "apply suggested fixes to source files")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run")
+	baselinePath := fs.String("baseline", "", "ratchet baseline file; fail only on findings not recorded there")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this file as the new baseline")
+	noProgram := fs.Bool("no-program", false, "per-package analysis only, without whole-program summaries")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "eflora-vet: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -75,29 +95,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		patterns = []string{"./..."}
 	}
 
-	dirs, err := framework.Expand(patterns)
+	diags, fset, err := analyze(patterns, analyzers, *noProgram)
 	if err != nil {
 		fmt.Fprintf(stderr, "eflora-vet: %v\n", err)
 		return 2
 	}
-	loader := framework.NewLoader()
-	var diags []framework.Diagnostic
-	for _, dir := range dirs {
-		pkg, err := loader.Load(dir)
-		if err != nil {
-			fmt.Fprintf(stderr, "eflora-vet: %v\n", err)
-			return 2
-		}
-		pkgDiags, err := framework.RunPackage(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintf(stderr, "eflora-vet: %v\n", err)
-			return 2
-		}
-		diags = append(diags, pkgDiags...)
-	}
 
 	if *fix {
-		applied, err := framework.ApplyFixes(loader.Fset, diags)
+		applied, err := framework.ApplyFixes(fset, diags)
 		if err != nil {
 			fmt.Fprintf(stderr, "eflora-vet: applying fixes: %v\n", err)
 			return 2
@@ -105,16 +110,93 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "eflora-vet: applied %d suggested fix(es)\n", applied)
 	}
 
-	if *jsonOut {
-		if err := framework.WriteJSON(stdout, diags); err != nil {
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
 			fmt.Fprintf(stderr, "eflora-vet: %v\n", err)
 			return 2
 		}
-	} else {
-		framework.WriteText(stdout, diags)
+		werr := framework.WriteBaseline(f, framework.NewBaseline(diags))
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "eflora-vet: writing baseline: %v\n", werr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "eflora-vet: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
 	}
-	if len(diags) > 0 {
+
+	report := diags
+	if *baselinePath != "" {
+		base, err := framework.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "eflora-vet: %v\n", err)
+			return 2
+		}
+		covered, fresh := base.Diff(diags)
+		for _, k := range base.Stale(diags) {
+			fmt.Fprintf(stderr, "eflora-vet: stale baseline entry (fixed — ratchet it out): %s\n",
+				framework.DescribeKey(k))
+		}
+		if len(covered) > 0 {
+			fmt.Fprintf(stderr, "eflora-vet: %d finding(s) covered by baseline %s\n",
+				len(covered), *baselinePath)
+		}
+		report = fresh
+	}
+
+	switch {
+	case *jsonOut:
+		if err := framework.WriteJSON(stdout, report); err != nil {
+			fmt.Fprintf(stderr, "eflora-vet: %v\n", err)
+			return 2
+		}
+	case *sarifOut:
+		if err := framework.WriteSARIF(stdout, report, analyzers); err != nil {
+			fmt.Fprintf(stderr, "eflora-vet: %v\n", err)
+			return 2
+		}
+	default:
+		framework.WriteText(stdout, report)
+	}
+	if len(report) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// analyze runs the suite in whole-program mode (default) or per-package
+// mode, returning the findings and the FileSet for -fix.
+func analyze(patterns []string, analyzers []*framework.Analyzer, noProgram bool) ([]framework.Diagnostic, *token.FileSet, error) {
+	if noProgram {
+		loader := framework.NewLoader()
+		dirs, err := framework.Expand(patterns)
+		if err != nil {
+			return nil, nil, err
+		}
+		var diags []framework.Diagnostic
+		for _, dir := range dirs {
+			pkg, err := loader.Load(dir)
+			if err != nil {
+				return nil, nil, err
+			}
+			pkgDiags, err := framework.RunPackage(pkg, analyzers)
+			if err != nil {
+				return nil, nil, err
+			}
+			diags = append(diags, pkgDiags...)
+		}
+		return diags, loader.Fset, nil
+	}
+	prog, err := framework.LoadProgram(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	diags, err := framework.RunProgram(prog, analyzers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return diags, prog.Fset, nil
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -41,7 +43,7 @@ func TestListSmoke(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
 	}
-	for _, name := range []string{"detrand", "hotalloc", "units", "boundedsend"} {
+	for _, name := range []string{"detrand", "hotalloc", "units", "boundedsend", "walorder", "locksafe"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
 		}
@@ -61,5 +63,87 @@ func TestAnalyzerSubset(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if code := run([]string{"-analyzers", "boundedsend", "../../internal/model"}, &out, &errBuf); code != 0 {
 		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errBuf.String(), out.String())
+	}
+}
+
+// TestSARIFSmoke checks the -sarif document shape on a clean package.
+func TestSARIFSmoke(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-sarif", "../../internal/lora"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errBuf.String(), out.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name string `json:"name"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("parse -sarif output: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("sarif version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "eflora-vet" {
+		t.Errorf("sarif runs/driver malformed:\n%s", out.String())
+	}
+	if n := len(log.Runs[0].Results); n != 0 {
+		t.Errorf("internal/lora has %d findings, want 0", n)
+	}
+}
+
+// TestSARIFAndJSONExclusive rejects combining the two output modes.
+func TestSARIFAndJSONExclusive(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-json", "-sarif", "../../internal/lora"}, &out, &errBuf); code != 2 {
+		t.Errorf("exit %d for -json -sarif, want 2", code)
+	}
+}
+
+// TestBaselineRatchet exercises the write/apply cycle: a tree with
+// findings is dirty bare, clean against its own baseline, and dirty
+// again when the baseline is emptied.
+func TestBaselineRatchet(t *testing.T) {
+	fixture := "../../internal/analysis/walorder/testdata/prog/walfirst"
+	pattern := fixture + "/..."
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{pattern}, &out, &errBuf); code != 1 {
+		t.Fatalf("fixture tree exit %d, want 1 (findings expected)\nstderr: %s", code, errBuf.String())
+	}
+
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "baseline.json")
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-write-baseline", basePath, pattern}, &out, &errBuf); code != 0 {
+		t.Fatalf("-write-baseline exit %d, stderr: %s", code, errBuf.String())
+	}
+
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-baseline", basePath, pattern}, &out, &errBuf); code != 0 {
+		t.Fatalf("baselined run exit %d, want 0\nstdout: %s\nstderr: %s",
+			code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "covered by baseline") {
+		t.Errorf("baselined run did not report coverage:\n%s", errBuf.String())
+	}
+
+	// An empty baseline must surface every finding again.
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-baseline", empty, pattern}, &out, &errBuf); code != 1 {
+		t.Errorf("empty-baseline run exit %d, want 1", code)
 	}
 }

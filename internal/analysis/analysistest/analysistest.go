@@ -55,6 +55,37 @@ func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) [
 	return all
 }
 
+// RunProgram loads the fixture module rooted at testdata/prog/<mod> —
+// a self-contained module with its own go.mod whose packages import each
+// other — as a whole program (call graph + effect summaries), applies
+// the analyzer to every package, and checks diagnostics against want
+// comments across the whole module. It returns all diagnostics.
+//
+// Fixture package directories are named for the import-path base the
+// analyzers scope on, exactly like the real tree: a package at
+// <mod>/sim is determinism-critical, one at <mod>/statestore carries
+// the WAL intrinsics, and so on.
+func RunProgram(t *testing.T, testdata, mod string, a *framework.Analyzer) []framework.Diagnostic {
+	t.Helper()
+	root := filepath.Join(testdata, "prog", mod)
+	prog, err := framework.LoadProgram([]string{root + "/..."})
+	if err != nil {
+		t.Fatalf("load program %s: %v", root, err)
+	}
+	diags, err := framework.RunProgram(prog, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, root, err)
+	}
+	var pkgs []*framework.Package
+	for _, pkg := range prog.Packages {
+		if prog.IsRoot(pkg) {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	checkWantsAll(t, pkgs, diags)
+	return diags
+}
+
 // want is one expectation parsed from a comment.
 type want struct {
 	file    string
@@ -68,11 +99,18 @@ var wantRE = regexp.MustCompile("//\\s*want\\s+(.*)$")
 
 func checkWants(t *testing.T, pkg *framework.Package, diags []framework.Diagnostic) {
 	t.Helper()
+	checkWantsAll(t, []*framework.Package{pkg}, diags)
+}
+
+func checkWantsAll(t *testing.T, pkgs []*framework.Package, diags []framework.Diagnostic) {
+	t.Helper()
 	var wants []*want
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				wants = append(wants, parseWants(t, pkg.Fset, c)...)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWants(t, pkg.Fset, c)...)
+				}
 			}
 		}
 	}

@@ -16,6 +16,14 @@
 //
 // on the finding's line or the line above. The reason is mandatory; the
 // framework reports reasonless suppressions.
+//
+// Under whole-program analysis (RunProgram), detrand also follows taint
+// across package boundaries: a call from a critical package to a helper
+// in a non-critical package whose transitive summary reaches a wall
+// clock, the environment, global math/rand or map iteration is reported
+// at the call site, with the full call chain in the diagnostic. Calls to
+// other critical packages are not re-reported — the effect's origin gets
+// its own finding there.
 package detrand
 
 import (
@@ -75,6 +83,58 @@ func run(pass *framework.Pass) error {
 	if !criticalPackages[pass.PkgBase()] {
 		return nil
 	}
+	runLocal(pass)
+	if pass.Prog != nil {
+		runInterprocedural(pass)
+	}
+	return nil
+}
+
+// runInterprocedural reports call sites whose callee, declared outside
+// the determinism-critical packages, transitively reaches a
+// nondeterministic construct.
+func runInterprocedural(pass *framework.Pass) {
+	prog := pass.Prog
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := pass.FuncObj(fd)
+			if fn == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, e := range prog.CallGraph.CalleesAt(fn, call.Pos()) {
+					s := prog.SummaryOf(e.Callee)
+					if s == nil || criticalPackages[framework.FuncPkgBase(e.Callee)] {
+						continue // origin package reports its own finding
+					}
+					det := s.Total & framework.DetEffects
+					if det == 0 || pass.Suppressed(call.Pos(), suppression) {
+						continue
+					}
+					bit := det & (^det + 1) // lowest contributing effect
+					pass.Reportf(call.Pos(),
+						"call reaches %s outside the determinism-critical packages; "+
+							"call chain: %s → %s (thread the dependency explicitly or "+
+							"annotate //eflora:%s <reason>)",
+						bit, framework.FuncDisplayName(fn), prog.ChainString(e.Callee, bit),
+						suppression)
+					break // one finding per call site
+				}
+				return true
+			})
+		}
+	}
+}
+
+func runLocal(pass *framework.Pass) {
 	pass.Inspect(func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.SelectorExpr:
@@ -115,7 +175,6 @@ func run(pass *framework.Pass) error {
 		}
 		return true
 	})
-	return nil
 }
 
 // packageQualifier resolves sel's X to an imported package path when the

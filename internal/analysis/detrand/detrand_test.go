@@ -10,3 +10,10 @@ import (
 func TestDetrand(t *testing.T) {
 	analysistest.Run(t, "testdata", detrand.Analyzer, "sim", "free")
 }
+
+// TestDetrandInterprocedural checks the two-hop cross-package chain: the
+// critical package reaches time.Now only through mid → clock, and the
+// diagnostic prints the full chain.
+func TestDetrandInterprocedural(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", "twohop", detrand.Analyzer)
+}

@@ -1,0 +1,14 @@
+// Package clock is two hops away from the critical package: sim calls
+// mid, mid calls here, and only here does the wall clock appear.
+package clock
+
+import "time"
+
+// Seconds reads the wall clock — the effect the summary propagation has
+// to carry back through mid into sim.
+func Seconds() float64 {
+	return float64(time.Now().UnixNano()) / 1e9
+}
+
+// Pure is clean; calling it must not taint anyone.
+func Pure(x float64) float64 { return x * 2 }

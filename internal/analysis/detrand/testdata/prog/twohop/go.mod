@@ -1,0 +1,3 @@
+module twohop
+
+go 1.22

@@ -1,0 +1,11 @@
+// Package mid is the innocent-looking middle hop: no nondeterministic
+// construct appears in this file, only a call into clock.
+package mid
+
+import "twohop/clock"
+
+// Jitter transitively reaches time.Now through clock.Seconds.
+func Jitter() float64 { return clock.Seconds() * 0.5 }
+
+// Scale is clean.
+func Scale(x float64) float64 { return clock.Pure(x) }

@@ -1,0 +1,25 @@
+// Package sim is determinism-critical (scoped by import-path base, like
+// the real eflora/internal/sim). Nothing in this file touches a clock
+// directly — the taint arrives through a two-hop cross-package chain,
+// which only whole-program summaries can see.
+package sim
+
+import "twohop/mid"
+
+// Step consumes a nondeterministic value through two package hops.
+func Step(x float64) float64 {
+	j := mid.Jitter() // want `call reaches wallclock outside the determinism-critical packages; call chain: sim\.Step → mid\.Jitter → clock\.Seconds → time\.Now`
+	return x + j
+}
+
+// Clean calls only effect-free helpers; no diagnostic.
+func Clean(x float64) float64 {
+	return mid.Scale(x)
+}
+
+// Vouched suppresses the finding with an annotation at the call site.
+func Vouched(x float64) float64 {
+	//eflora:nondeterminism-ok startup banner timestamp, not part of any digest
+	j := mid.Jitter()
+	return x + j
+}

@@ -1,0 +1,165 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Baseline is the checked-in ratchet of accepted findings. CI compares
+// the current run against it: any finding not in the baseline fails the
+// build, so the finding count can only ratchet down. Entries are keyed
+// on analyzer+file+message — deliberately NOT on line numbers, which
+// shift under unrelated edits; analyzer messages embed call chains and
+// sink descriptions instead, which are stable identities.
+type Baseline struct {
+	// Findings maps baselineKey -> accepted count (the same message can
+	// legitimately occur more than once in a file).
+	Findings map[string]int `json:"findings"`
+}
+
+// baselineKey renders the identity of one finding.
+func baselineKey(d Diagnostic) string {
+	return fmt.Sprintf("%s\x00%s\x00%s", d.Analyzer, d.Position.Filename, d.Message)
+}
+
+// NewBaseline builds a baseline from a set of findings.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	b := &Baseline{Findings: make(map[string]int)}
+	for _, d := range diags {
+		b.Findings[baselineKey(d)]++
+	}
+	return b
+}
+
+// Diff splits diags into findings covered by the baseline and NEW
+// findings that exceed it. A key whose count grew reports only the
+// excess occurrences (the last ones in sorted order) as new.
+func (b *Baseline) Diff(diags []Diagnostic) (covered, fresh []Diagnostic) {
+	budget := make(map[string]int, len(b.Findings))
+	for k, n := range b.Findings {
+		budget[k] = n
+	}
+	for _, d := range diags {
+		k := baselineKey(d)
+		if budget[k] > 0 {
+			budget[k]--
+			covered = append(covered, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	return covered, fresh
+}
+
+// Stale returns the baseline keys no longer matched by any current
+// finding — fixed findings whose entries should be ratcheted out.
+func (b *Baseline) Stale(diags []Diagnostic) []string {
+	remaining := make(map[string]int, len(b.Findings))
+	for k, n := range b.Findings {
+		remaining[k] = n
+	}
+	for _, d := range diags {
+		k := baselineKey(d)
+		if remaining[k] > 0 {
+			remaining[k]--
+		}
+	}
+	var stale []string
+	for k, n := range remaining {
+		if n > 0 {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return stale
+}
+
+// baselineEntry is the on-disk form: human-readable and diff-friendly.
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count,omitempty"` // omitted when 1
+}
+
+type baselineFile struct {
+	Comment  string          `json:"_comment"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+const baselineComment = "eflora-vet ratchet baseline: accepted findings keyed on analyzer+file+message. " +
+	"CI fails on any finding not listed here. Regenerate with: go run ./cmd/eflora-vet -write-baseline <path> ./..."
+
+// WriteBaseline writes the baseline in sorted, stable form.
+func WriteBaseline(w io.Writer, b *Baseline) error {
+	keys := make([]string, 0, len(b.Findings))
+	for k := range b.Findings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := baselineFile{Comment: baselineComment, Findings: []baselineEntry{}}
+	for _, k := range keys {
+		var e baselineEntry
+		parts := splitKey(k)
+		e.Analyzer, e.File, e.Message = parts[0], parts[1], parts[2]
+		if n := b.Findings[k]; n > 1 {
+			e.Count = n
+		}
+		out.Findings = append(out.Findings, e)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadBaseline loads a baseline file. A missing file is an empty
+// baseline, so a repo without one simply requires a clean tree.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &Baseline{Findings: map[string]int{}}, nil
+		}
+		return nil, err
+	}
+	var in baselineFile
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	b := &Baseline{Findings: make(map[string]int, len(in.Findings))}
+	for _, e := range in.Findings {
+		n := e.Count
+		if n == 0 {
+			n = 1
+		}
+		b.Findings[fmt.Sprintf("%s\x00%s\x00%s", e.Analyzer, e.File, e.Message)] += n
+	}
+	return b, nil
+}
+
+// splitKey undoes baselineKey. Keys always contain exactly two NUL
+// separators because analyzer names and file paths never do.
+func splitKey(k string) [3]string {
+	var parts [3]string
+	idx := 0
+	start := 0
+	for i := 0; i < len(k) && idx < 2; i++ {
+		if k[i] == 0 {
+			parts[idx] = k[start:i]
+			idx++
+			start = i + 1
+		}
+	}
+	parts[2] = k[start:]
+	return parts
+}
+
+// DescribeKey renders a baseline key for human-readable stale-entry
+// reports.
+func DescribeKey(k string) string {
+	p := splitKey(k)
+	return fmt.Sprintf("%s: %s: %s", p[1], p[0], p[2])
+}

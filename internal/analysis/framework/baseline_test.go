@@ -1,0 +1,98 @@
+package framework_test
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eflora/internal/analysis/framework"
+)
+
+func diag(analyzer, file, msg string, line int) framework.Diagnostic {
+	return framework.Diagnostic{
+		Analyzer: analyzer,
+		Message:  msg,
+		Position: token.Position{Filename: file, Line: line, Column: 1},
+	}
+}
+
+// TestBaselineDiff checks the ratchet semantics: covered findings are
+// absorbed, new findings surface, duplicate messages are counted, and
+// line-number changes do not invalidate entries.
+func TestBaselineDiff(t *testing.T) {
+	old := []framework.Diagnostic{
+		diag("detrand", "a.go", "msg one", 10),
+		diag("detrand", "a.go", "msg dup", 20),
+		diag("detrand", "a.go", "msg dup", 30),
+	}
+	b := framework.NewBaseline(old)
+
+	// Same findings on different lines: fully covered.
+	moved := []framework.Diagnostic{
+		diag("detrand", "a.go", "msg one", 99),
+		diag("detrand", "a.go", "msg dup", 98),
+		diag("detrand", "a.go", "msg dup", 97),
+	}
+	covered, fresh := b.Diff(moved)
+	if len(covered) != 3 || len(fresh) != 0 {
+		t.Errorf("moved lines: covered=%d fresh=%d, want 3/0", len(covered), len(fresh))
+	}
+
+	// A third duplicate exceeds the budget of two.
+	extra := append(moved, diag("detrand", "a.go", "msg dup", 96))
+	if _, fresh := b.Diff(extra); len(fresh) != 1 {
+		t.Errorf("extra dup: fresh=%d, want 1", len(fresh))
+	}
+
+	// A different analyzer for the same message is new.
+	if _, fresh := b.Diff([]framework.Diagnostic{diag("hotalloc", "a.go", "msg one", 10)}); len(fresh) != 1 {
+		t.Errorf("analyzer change: fresh=%d, want 1", len(fresh))
+	}
+
+	// Fixing a finding makes its entry stale.
+	stale := b.Stale(moved[:1])
+	if len(stale) != 1 {
+		t.Fatalf("stale=%d, want 1 (both dup occurrences fixed → one key)", len(stale))
+	}
+	if got := framework.DescribeKey(stale[0]); got != "a.go: detrand: msg dup" {
+		t.Errorf("DescribeKey = %q", got)
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline to disk and reads it back.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []framework.Diagnostic{
+		diag("walorder", "nsd.go", "effect before append", 5),
+		diag("walorder", "nsd.go", "effect before append", 7),
+		diag("locksafe", "srv.go", "send under mu", 3),
+	}
+	var buf bytes.Buffer
+	if err := framework.WriteBaseline(&buf, framework.NewBaseline(diags)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := framework.ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, fresh := b.Diff(diags)
+	if len(covered) != 3 || len(fresh) != 0 {
+		t.Errorf("round trip: covered=%d fresh=%d, want 3/0", len(covered), len(fresh))
+	}
+}
+
+// TestBaselineMissingFile treats an absent baseline as empty.
+func TestBaselineMissingFile(t *testing.T) {
+	b, err := framework.ReadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, fresh := b.Diff([]framework.Diagnostic{diag("units", "x.go", "m", 1)}); len(fresh) != 1 {
+		t.Errorf("missing baseline: fresh=%d, want 1", len(fresh))
+	}
+}

@@ -1,0 +1,370 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CallKind classifies how a call-graph edge was resolved.
+type CallKind uint8
+
+const (
+	// CallDirect is a statically resolved call: a named function or a
+	// method on a concrete receiver.
+	CallDirect CallKind = iota
+	// CallInterface is a conservative edge from an interface method call
+	// to one concrete method that implements it.
+	CallInterface
+	// CallFuncValue is a conservative edge from a call through a function
+	// value to one address-taken function with an identical signature.
+	CallFuncValue
+)
+
+func (k CallKind) String() string {
+	switch k {
+	case CallDirect:
+		return "direct"
+	case CallInterface:
+		return "interface"
+	case CallFuncValue:
+		return "funcvalue"
+	}
+	return "unknown"
+}
+
+// Edge is one possible caller→callee transfer, anchored at the call
+// expression that induced it.
+type Edge struct {
+	Caller *types.Func
+	Callee *types.Func
+	Pos    token.Pos
+	Kind   CallKind
+}
+
+// CallGraph is a conservative static call graph over the program's
+// declared functions and methods. Function literals are attributed to
+// their enclosing declared function (a closure's calls and effects count
+// against whoever wrote it); literals in package-level variable
+// initializers are the one documented blind spot.
+type CallGraph struct {
+	edges map[*types.Func][]Edge
+	// addressTaken lists functions whose identifier escapes call
+	// position (stored in a slice for deterministic edge order).
+	addressTaken []*types.Func
+}
+
+// EdgesFrom returns fn's outgoing edges in source order.
+func (g *CallGraph) EdgesFrom(fn *types.Func) []Edge { return g.edges[origin(fn)] }
+
+// CalleesAt returns the possible callees of the call expression at pos
+// inside caller, in deterministic order.
+func (g *CallGraph) CalleesAt(caller *types.Func, pos token.Pos) []Edge {
+	var out []Edge
+	for _, e := range g.edges[origin(caller)] {
+		if e.Pos == pos {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Funcs returns every function with at least one outgoing edge, in
+// deterministic (position) order. Mostly useful to tests.
+func (g *CallGraph) Funcs() []*types.Func {
+	out := make([]*types.Func, 0, len(g.edges))
+	for fn := range g.edges {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// graphBuilder accumulates state across the two construction passes.
+type graphBuilder struct {
+	prog  *Program
+	graph *CallGraph
+	// namedTypes are all concrete named types declared in the program,
+	// the candidate set for interface dispatch.
+	namedTypes []*types.Named
+	// dispatch caches interface-call resolution per (recv type, method).
+	dispatch map[dispatchKey][]*types.Func
+	// pending are dynamic (function-value) call sites awaiting the
+	// address-taken set.
+	pending []pendingCall
+	// addrTaken marks functions referenced outside call position.
+	addrTaken map[*types.Func]bool
+}
+
+type dispatchKey struct {
+	recv types.Type
+	name string
+}
+
+type pendingCall struct {
+	caller *types.Func
+	pos    token.Pos
+	sig    *types.Signature
+}
+
+// buildCallGraph constructs the program's call graph.
+func buildCallGraph(prog *Program) *CallGraph {
+	b := &graphBuilder{
+		prog:      prog,
+		graph:     &CallGraph{edges: make(map[*types.Func][]Edge)},
+		dispatch:  make(map[dispatchKey][]*types.Func),
+		addrTaken: make(map[*types.Func]bool),
+	}
+	b.collectNamedTypes()
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				b.walkBody(pkg, origin(fn), fd.Body)
+			}
+		}
+	}
+	b.collectAddressTaken()
+	b.resolvePending()
+	return b.graph
+}
+
+// collectNamedTypes gathers every concrete named type declared by a
+// program package, in deterministic order.
+func (b *graphBuilder) collectNamedTypes() {
+	for _, pkg := range b.prog.Packages {
+		scope := pkg.Pkg.Scope()
+		names := scope.Names() // already sorted
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(named) {
+				continue
+			}
+			b.namedTypes = append(b.namedTypes, named)
+		}
+	}
+}
+
+// walkBody records call edges from fn for every call expression in body,
+// including those inside function literals.
+func (b *graphBuilder) walkBody(pkg *Package, fn *types.Func, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		b.recordCall(pkg, fn, call)
+		return true
+	})
+}
+
+// recordCall classifies one call expression and adds its edges.
+func (b *graphBuilder) recordCall(pkg *Package, caller *types.Func, call *ast.CallExpr) {
+	info := pkg.TypesInfo
+	fun := ast.Unparen(call.Fun)
+	// Strip explicit generic instantiation.
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		if target := calleeOf(info, idx.X); target != nil {
+			b.addEdge(Edge{Caller: caller, Callee: target, Pos: call.Pos(), Kind: CallDirect})
+			return
+		}
+	case *ast.IndexListExpr:
+		if target := calleeOf(info, idx.X); target != nil {
+			b.addEdge(Edge{Caller: caller, Callee: target, Pos: call.Pos(), Kind: CallDirect})
+			return
+		}
+	}
+	// Conversions are not calls.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			b.addEdge(Edge{Caller: caller, Callee: origin(obj), Pos: call.Pos(), Kind: CallDirect})
+			return
+		case *types.Builtin:
+			return
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			m, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return
+			}
+			if types.IsInterface(sel.Recv()) {
+				for _, impl := range b.implementations(sel.Recv(), m) {
+					b.addEdge(Edge{Caller: caller, Callee: impl, Pos: call.Pos(), Kind: CallInterface})
+				}
+				return
+			}
+			b.addEdge(Edge{Caller: caller, Callee: origin(m), Pos: call.Pos(), Kind: CallDirect})
+			return
+		}
+		// Package-qualified function (pkg.F) or method expression.
+		if target := calleeOf(info, fun); target != nil {
+			b.addEdge(Edge{Caller: caller, Callee: target, Pos: call.Pos(), Kind: CallDirect})
+			return
+		}
+	}
+	// Anything else typed as a signature is a call through a function
+	// value: resolve against the address-taken set once it is complete.
+	if tv, ok := info.Types[call.Fun]; ok && tv.Type != nil {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			b.pending = append(b.pending, pendingCall{caller: caller, pos: call.Pos(), sig: sig})
+		}
+	}
+}
+
+// calleeOf resolves an expression to the declared function it names, or
+// nil if it is not a direct function reference.
+func calleeOf(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[e].(*types.Func); ok {
+			return origin(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+			return origin(fn)
+		}
+	}
+	return nil
+}
+
+// implementations resolves an interface method call to every concrete
+// program-local method that could satisfy it.
+func (b *graphBuilder) implementations(recv types.Type, m *types.Func) []*types.Func {
+	key := dispatchKey{recv: recv, name: m.Name()}
+	if impls, ok := b.dispatch[key]; ok {
+		return impls
+	}
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var impls []*types.Func
+	for _, named := range b.namedTypes {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, m.Pkg(), m.Name())
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if fn.Pkg() == nil || b.prog.byPath[fn.Pkg().Path()] == nil {
+			continue // embedded foreign method: no body to summarize
+		}
+		impls = append(impls, origin(fn))
+	}
+	b.dispatch[key] = impls
+	return impls
+}
+
+// collectAddressTaken finds every declared function whose identifier is
+// used outside call position — assigned, passed, stored in a struct —
+// making it a candidate callee for calls through function values.
+func (b *graphBuilder) collectAddressTaken() {
+	for _, pkg := range b.prog.Packages {
+		// First mark the identifiers that are the operator of a call.
+		inCallPos := make(map[*ast.Ident]bool)
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fun := ast.Unparen(call.Fun)
+				switch idx := fun.(type) {
+				case *ast.IndexExpr:
+					fun = ast.Unparen(idx.X)
+				case *ast.IndexListExpr:
+					fun = ast.Unparen(idx.X)
+				}
+				switch fun := fun.(type) {
+				case *ast.Ident:
+					inCallPos[fun] = true
+				case *ast.SelectorExpr:
+					inCallPos[fun.Sel] = true
+				}
+				return true
+			})
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || inCallPos[id] {
+					return true
+				}
+				if fn, ok := pkg.TypesInfo.Uses[id].(*types.Func); ok {
+					fn = origin(fn)
+					if fn.Pkg() != nil && b.prog.byPath[fn.Pkg().Path()] != nil && !b.addrTaken[fn] {
+						b.addrTaken[fn] = true
+						b.graph.addressTaken = append(b.graph.addressTaken, fn)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// resolvePending adds edges from dynamic call sites to every
+// address-taken function whose signature matches.
+func (b *graphBuilder) resolvePending() {
+	for _, pc := range b.pending {
+		for _, fn := range b.graph.addressTaken {
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			if !signaturesMatch(pc.sig, sig) {
+				continue
+			}
+			b.addEdge(Edge{Caller: pc.caller, Callee: fn, Pos: pc.pos, Kind: CallFuncValue})
+		}
+	}
+}
+
+// signaturesMatch compares a call site's signature with a candidate
+// function's, ignoring the candidate's receiver (a method value's type
+// already has the receiver bound away, but the declared *types.Func
+// keeps it).
+func signaturesMatch(site, candidate *types.Signature) bool {
+	if candidate.Recv() != nil {
+		candidate = types.NewSignatureType(nil, nil, nil, candidate.Params(), candidate.Results(), candidate.Variadic())
+	}
+	return types.Identical(site, candidate)
+}
+
+// addEdge appends an edge, deduplicating repeats at the same position.
+func (b *graphBuilder) addEdge(e Edge) {
+	if e.Callee == nil {
+		return
+	}
+	for _, have := range b.graph.edges[e.Caller] {
+		if have.Callee == e.Callee && have.Pos == e.Pos {
+			return
+		}
+	}
+	b.graph.edges[e.Caller] = append(b.graph.edges[e.Caller], e)
+}

@@ -46,6 +46,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Prog is the whole-program context (call graph, summaries) when the
+	// analyzer runs under RunProgram; nil in legacy per-package mode, in
+	// which analyzers fall back to their purely local checks.
+	Prog *Program
+
 	// annotations indexes //eflora: comments by file and line.
 	annotations map[string]map[int]Annotation
 
@@ -96,37 +101,41 @@ func parseAnnotation(c *ast.Comment) (name, reason string, ok bool) {
 	return strings.TrimSpace(name), strings.TrimSpace(reason), name != ""
 }
 
-// buildAnnotations indexes every //eflora: comment of the pass's files by
+// buildAnnotationIndex indexes every //eflora: comment of files by
 // filename and line.
-func (p *Pass) buildAnnotations() {
-	p.annotations = make(map[string]map[int]Annotation)
-	for _, f := range p.Files {
+func buildAnnotationIndex(fset *token.FileSet, files []*ast.File) map[string]map[int]Annotation {
+	idx := make(map[string]map[int]Annotation)
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				name, reason, ok := parseAnnotation(c)
 				if !ok {
 					continue
 				}
-				pos := p.Fset.Position(c.Pos())
-				byLine := p.annotations[pos.Filename]
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
 				if byLine == nil {
 					byLine = make(map[int]Annotation)
-					p.annotations[pos.Filename] = byLine
+					idx[pos.Filename] = byLine
 				}
 				byLine[pos.Line] = Annotation{Name: name, Reason: reason, Line: pos.Line}
 			}
 		}
 	}
+	return idx
 }
 
-// Suppressed reports whether a finding at pos is silenced by the given
-// suppression annotation (e.g. "nondeterminism-ok") on the same line or
-// the line directly above. A matching annotation with an empty reason
-// does not suppress — the runner separately reports reasonless
-// suppressions — so every escape hatch carries its justification.
-func (p *Pass) Suppressed(pos token.Pos, name string) bool {
-	position := p.Fset.Position(pos)
-	byLine := p.annotations[position.Filename]
+// buildAnnotations indexes every //eflora: comment of the pass's files by
+// filename and line.
+func (p *Pass) buildAnnotations() {
+	p.annotations = buildAnnotationIndex(p.Fset, p.Files)
+}
+
+// suppressedAt reports whether pos carries the given suppression
+// annotation (with a non-empty reason) on its own line or the line above.
+func suppressedAt(idx map[string]map[int]Annotation, fset *token.FileSet, pos token.Pos, name string) bool {
+	position := fset.Position(pos)
+	byLine := idx[position.Filename]
 	if byLine == nil {
 		return false
 	}
@@ -136,6 +145,15 @@ func (p *Pass) Suppressed(pos token.Pos, name string) bool {
 		}
 	}
 	return false
+}
+
+// Suppressed reports whether a finding at pos is silenced by the given
+// suppression annotation (e.g. "nondeterminism-ok") on the same line or
+// the line directly above. A matching annotation with an empty reason
+// does not suppress — the runner separately reports reasonless
+// suppressions — so every escape hatch carries its justification.
+func (p *Pass) Suppressed(pos token.Pos, name string) bool {
+	return suppressedAt(p.annotations, p.Fset, pos, name)
 }
 
 // FuncAnnotated reports whether fn's doc comment (or a comment on the
@@ -156,6 +174,16 @@ func (p *Pass) FuncAnnotated(fn *ast.FuncDecl, name string) bool {
 		}
 	}
 	return false
+}
+
+// FuncObj resolves a function declaration to its types.Func object (its
+// generic origin, for parameterized functions), or nil.
+func (p *Pass) FuncObj(fn *ast.FuncDecl) *types.Func {
+	obj, ok := p.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return origin(obj)
 }
 
 // Annotations returns every parsed //eflora: annotation of the package,

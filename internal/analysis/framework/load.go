@@ -27,15 +27,46 @@ type Package struct {
 // "source" importer, which resolves stdlib and module-local dependencies
 // from their source code — no compiled export data and no network — so
 // eflora-vet works in a hermetic build environment.
+//
+// Every package the Loader type-checks is registered by import path, and
+// later loads resolve imports from that registry before falling back to
+// the source importer. Loading packages in dependency order (as
+// LoadProgram does) therefore yields one shared type universe: the
+// *types.Func a caller's TypesInfo resolves a cross-package call to is
+// the same object the callee's own load defined, which is what lets the
+// call graph and summaries span packages.
 type Loader struct {
-	Fset *token.FileSet
-	imp  types.Importer
+	Fset  *token.FileSet
+	imp   types.Importer
+	local map[string]*types.Package
 }
 
 // NewLoader returns a Loader with a shared FileSet and importer cache.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	return &Loader{
+		Fset:  fset,
+		imp:   importer.ForCompiler(fset, "source", nil),
+		local: make(map[string]*types.Package),
+	}
+}
+
+// loaderImporter resolves imports from the Loader's registry of already
+// type-checked packages first, then from the source importer.
+type loaderImporter struct{ l *Loader }
+
+func (li loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := li.l.local[path]; ok {
+		return pkg, nil
+	}
+	if from, ok := li.l.imp.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return li.l.imp.Import(path)
 }
 
 // Expand resolves command-line package patterns into package directories.
@@ -139,11 +170,12 @@ func (l *Loader) Load(dir string) (*Package, error) {
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	conf := types.Config{Importer: l.imp}
+	conf := types.Config{Importer: loaderImporter{l}}
 	pkg, err := conf.Check(importPath, l.Fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("type-check %s: %w", importPath, err)
 	}
+	l.local[importPath] = pkg
 	return &Package{
 		Dir:        dir,
 		ImportPath: importPath,

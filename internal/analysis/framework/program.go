@@ -1,0 +1,286 @@
+package framework
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Program is a whole-repo analysis unit: every matched package plus the
+// module-local packages they transitively import, type-checked in
+// dependency order against one shared type universe, with a conservative
+// static call graph and transitive per-function effect summaries.
+//
+// Roots are the packages matched by the command-line patterns; analyzers
+// report only in roots, but summaries are computed over the full closure
+// so taint crosses package boundaries regardless of what was matched.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package // dependency order: every import precedes its importer
+	byPath   map[string]*Package
+	roots    map[string]bool
+
+	CallGraph *CallGraph
+	Summaries map[*types.Func]*Summary
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (p *Program) Package(path string) *Package {
+	return p.byPath[path]
+}
+
+// IsRoot reports whether the package was matched by the load patterns
+// (as opposed to being pulled in only as a dependency).
+func (p *Program) IsRoot(pkg *Package) bool { return p.roots[pkg.ImportPath] }
+
+// SummaryOf returns fn's effect summary, or nil for functions outside
+// the program (stdlib, bodiless declarations).
+func (p *Program) SummaryOf(fn *types.Func) *Summary {
+	if fn == nil {
+		return nil
+	}
+	return p.Summaries[origin(fn)]
+}
+
+// LoadProgram loads the packages matched by patterns plus their
+// module-local transitive imports, in dependency order, then builds the
+// call graph and effect summaries. All patterns must resolve inside one
+// module.
+func LoadProgram(patterns []string) (*Program, error) {
+	rootDirs, err := Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(rootDirs) == 0 {
+		return nil, fmt.Errorf("patterns %v matched no packages", patterns)
+	}
+	modRoot, modPath, err := findModule(rootDirs[0])
+	if err != nil {
+		return nil, err
+	}
+
+	// Discover the closure of module-local packages, mapping import paths
+	// to directories through the module root.
+	dirFor := func(importPath string) (string, bool) {
+		if importPath == modPath {
+			return modRoot, true
+		}
+		rel, ok := strings.CutPrefix(importPath, modPath+"/")
+		if !ok {
+			return "", false
+		}
+		return filepath.Join(modRoot, filepath.FromSlash(rel)), true
+	}
+
+	type node struct {
+		dir, path string
+		imports   []string // module-local imports only
+	}
+	nodes := make(map[string]*node) // by import path
+	var discover func(dir string) (string, error)
+	discover = func(dir string) (string, error) {
+		importPath, err := importPathFor(dir)
+		if err != nil {
+			return "", err
+		}
+		if _, ok := nodes[importPath]; ok {
+			return importPath, nil
+		}
+		n := &node{dir: dir, path: importPath}
+		nodes[importPath] = n
+		imports, err := dirImports(dir)
+		if err != nil {
+			return "", err
+		}
+		for _, imp := range imports {
+			depDir, ok := dirFor(imp)
+			if !ok {
+				continue // stdlib or foreign: the source importer's problem
+			}
+			if _, err := discover(depDir); err != nil {
+				return "", fmt.Errorf("dependency %s of %s: %w", imp, importPath, err)
+			}
+			n.imports = append(n.imports, imp)
+		}
+		return importPath, nil
+	}
+	roots := make(map[string]bool)
+	for _, dir := range rootDirs {
+		path, err := discover(dir)
+		if err != nil {
+			return nil, err
+		}
+		roots[path] = true
+	}
+
+	// Topological sort: dependencies first. Go forbids import cycles, so
+	// a cycle here is a load error worth surfacing.
+	var order []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		for _, imp := range nodes[path].imports {
+			if err := visit(imp); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	var paths []string
+	for path := range nodes {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+
+	loader := NewLoader()
+	prog := &Program{
+		Fset:   loader.Fset,
+		byPath: make(map[string]*Package, len(order)),
+		roots:  roots,
+	}
+	for _, path := range order {
+		pkg, err := loader.Load(nodes[path].dir)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[pkg.ImportPath] = pkg
+	}
+	prog.CallGraph = buildCallGraph(prog)
+	prog.Summaries = computeSummaries(prog)
+	return prog, nil
+}
+
+// dirImports returns the union of import paths of the directory's
+// non-test Go files, by a fast imports-only parse.
+func dirImports(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	seen := make(map[string]bool)
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// findModule locates the go.mod governing dir, returning the module root
+// directory (relative if dir was) and the module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			modPath = modulePath(data)
+			if modPath == "" {
+				return "", "", fmt.Errorf("no module line in %s/go.mod", d)
+			}
+			// Prefer a path relative to the working directory so
+			// diagnostic positions (and baseline keys) stay portable.
+			if cwd, err := os.Getwd(); err == nil {
+				if rel, err := filepath.Rel(cwd, d); err == nil && !strings.HasPrefix(rel, "..") {
+					return rel, modPath, nil
+				}
+			}
+			return d, modPath, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// origin normalizes an instantiated generic function or method to its
+// declared form, so summaries and graph nodes unify across instantiations.
+func origin(fn *types.Func) *types.Func {
+	if fn == nil {
+		return nil
+	}
+	return fn.Origin()
+}
+
+// FuncPkgBase returns the last import-path element of fn's package — the
+// same package-scoping key the analyzers use (so fixture modules scope
+// exactly like the real tree).
+func FuncPkgBase(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	path := pkg.Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// FuncDisplayName renders fn as pkgbase.Name or pkgbase.(*T).Name for
+// methods — the form diagnostics print in call chains.
+func FuncDisplayName(fn *types.Func) string {
+	if fn == nil {
+		return "<nil>"
+	}
+	base := FuncPkgBase(fn)
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		ptr := ""
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+			ptr = "*"
+		}
+		if named, ok := recv.(*types.Named); ok {
+			if ptr != "" {
+				return fmt.Sprintf("%s.(%s%s).%s", base, ptr, named.Obj().Name(), fn.Name())
+			}
+			return fmt.Sprintf("%s.%s.%s", base, named.Obj().Name(), fn.Name())
+		}
+	}
+	if base == "" {
+		return fn.Name()
+	}
+	return base + "." + fn.Name()
+}

@@ -1,0 +1,131 @@
+package framework_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eflora/internal/analysis/framework"
+)
+
+// loadGraph loads the call-graph fixture module once per test.
+func loadGraph(t *testing.T) *framework.Program {
+	t.Helper()
+	prog, err := framework.LoadProgram([]string{filepath.Join("testdata", "prog", "graph") + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// calleeNames returns the display names of fn's callees, with the edge
+// kind attached, sorted by the caller's edge order.
+func calleeNames(prog *framework.Program, name string) []string {
+	for _, fn := range prog.CallGraph.Funcs() {
+		if framework.FuncDisplayName(fn) != name {
+			continue
+		}
+		var out []string
+		for _, e := range prog.CallGraph.EdgesFrom(fn) {
+			out = append(out, framework.FuncDisplayName(e.Callee)+":"+e.Kind.String())
+		}
+		return out
+	}
+	return nil
+}
+
+func contains(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCallGraphInterfaceDispatch checks that a call through an interface
+// produces edges to every program-local implementation.
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	prog := loadGraph(t)
+	got := calleeNames(prog, "app.RunOp")
+	for _, want := range []string{"app.Add.Apply:interface", "app.Timed.Apply:interface"} {
+		if !contains(got, want) {
+			t.Errorf("RunOp edges = %v; missing %s", got, want)
+		}
+	}
+}
+
+// TestCallGraphFuncValues checks that a call through a function value
+// produces edges to every address-taken function of matching signature.
+func TestCallGraphFuncValues(t *testing.T) {
+	prog := loadGraph(t)
+	got := calleeNames(prog, "app.CallPicked")
+	for _, want := range []string{"app.double:funcvalue", "app.noisy:funcvalue"} {
+		if !contains(got, want) {
+			t.Errorf("CallPicked edges = %v; missing %s", got, want)
+		}
+	}
+	if !contains(got, "app.Pick:direct") {
+		t.Errorf("CallPicked edges = %v; missing direct edge to app.Pick", got)
+	}
+}
+
+// TestCallGraphRecursionCycle checks that summary propagation reaches a
+// fixpoint through a recursion cycle and that the witness chain still
+// terminates at the local origin.
+func TestCallGraphRecursionCycle(t *testing.T) {
+	prog := loadGraph(t)
+	for _, fn := range prog.CallGraph.Funcs() {
+		name := framework.FuncDisplayName(fn)
+		if name != "app.Even" && name != "app.Odd" {
+			continue
+		}
+		s := prog.SummaryOf(fn)
+		if s == nil {
+			t.Fatalf("no summary for %s", name)
+		}
+		if s.Total&framework.EffWallClock == 0 {
+			t.Errorf("%s total = %v; want wallclock through the cycle", name, s.Total)
+		}
+		chain := prog.ChainString(fn, framework.EffWallClock)
+		if !strings.Contains(chain, "time.Now") {
+			t.Errorf("%s chain = %q; want it to terminate at time.Now", name, chain)
+		}
+		if strings.Count(chain, name) > 1 {
+			t.Errorf("%s chain = %q; revisits the cycle head", name, chain)
+		}
+	}
+}
+
+// TestSummaryPropagationGolden pins the full summary table of the
+// fixture module: local effects where they originate, totals where they
+// propagate (across packages, through interface dispatch, function
+// values and recursion).
+func TestSummaryPropagationGolden(t *testing.T) {
+	prog := loadGraph(t)
+	want := []string{
+		"app.Add.Apply local=- total=-",
+		"app.CallPicked local=- total=wallclock",
+		"app.Collect local=- total=allocates",
+		"app.Even local=- total=wallclock",
+		"app.Odd local=- total=wallclock",
+		"app.Pick local=- total=-",
+		"app.RunOp local=- total=wallclock",
+		"app.Timed.Apply local=- total=wallclock",
+		"app.double local=- total=-",
+		"app.noisy local=- total=wallclock",
+		"app.tick local=- total=wallclock",
+		"base.Grow local=allocates total=allocates",
+		"base.Stamp local=wallclock total=wallclock",
+	}
+	got := prog.SummaryTable()
+	if len(got) != len(want) {
+		t.Fatalf("summary table has %d entries, want %d:\n%s",
+			len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("summary[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -15,16 +15,30 @@ import (
 // must not silently disable itself.
 var KnownAnnotations = []string{
 	"hotpath",           // marks a function for the hotalloc analyzer
+	"durable",           // marks a function for the walorder analyzer
 	"nondeterminism-ok", // suppresses a detrand finding (reason required)
 	"alloc-ok",          // suppresses a hotalloc finding (reason required)
 	"units-ok",          // suppresses a units finding (reason required)
 	"blocking-ok",       // suppresses a boundedsend finding (reason required)
+	"walorder-ok",       // suppresses a walorder finding (reason required)
+	"lockheld-ok",       // suppresses a locksafe finding (reason required)
 }
 
 // RunPackage executes each analyzer against one loaded package and
 // returns the findings, including annotation-hygiene findings (unknown
 // annotation names, suppressions without a reason).
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, err := runPackage(pkg, nil, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// runPackage executes the analyzers over one package with optional
+// whole-program context, without sorting.
+func runPackage(pkg *Package, prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -33,6 +47,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:       pkg.Files,
 			Pkg:         pkg.Pkg,
 			TypesInfo:   pkg.TypesInfo,
+			Prog:        prog,
 			diagnostics: &diags,
 		}
 		pass.buildAnnotations()
@@ -41,6 +56,31 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 	diags = append(diags, annotationHygiene(pkg)...)
+	return diags, nil
+}
+
+// RunProgram executes the analyzers over every root package of the
+// whole-program load, with interprocedural context attached, and returns
+// all findings sorted by position. Dependency packages pulled in only to
+// complete summaries are not analyzed.
+func RunProgram(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range prog.Packages {
+		if !prog.IsRoot(pkg) {
+			continue
+		}
+		diags, err := runPackage(pkg, prog, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		pi, pj := diags[i].Position, diags[j].Position
 		if pi.Filename != pj.Filename {
@@ -54,7 +94,6 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
 }
 
 // annotationHygiene validates the //eflora: annotations themselves.

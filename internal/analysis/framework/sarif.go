@@ -1,0 +1,128 @@
+package framework
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// SARIF 2.1.0 output, the minimal subset code-scanning UIs ingest: one
+// run, one rule per analyzer, one result per finding with a physical
+// location. Plain stdlib JSON — the structs below mirror only the
+// fields we emit.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 document. Rule metadata
+// comes from the analyzer docs when provided; analyzers seen only in
+// findings get a bare rule entry.
+func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer) error {
+	docs := make(map[string]string, len(analyzers))
+	for _, a := range analyzers {
+		docs[a.Name] = a.Doc
+	}
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		seen[d.Analyzer] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	run := sarifRun{
+		Tool: sarifTool{Driver: sarifDriver{
+			Name:  "eflora-vet",
+			Rules: make([]sarifRule, 0, len(names)),
+		}},
+		Results: make([]sarifResult, 0, len(diags)),
+	}
+	for _, n := range names {
+		doc := docs[n]
+		if doc == "" {
+			doc = n
+		}
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID:               n,
+			ShortDescription: sarifMessage{Text: doc},
+		})
+	}
+	for _, d := range diags {
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: d.Position.Filename},
+					Region: sarifRegion{
+						StartLine:   d.Position.Line,
+						StartColumn: d.Position.Column,
+					},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,628 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Effect is a bitset of observable behaviors a function may have, either
+// directly in its body or transitively through any function it can
+// reach. Effects form a join lattice (bitwise or), so the transitive
+// closure is a monotone fixpoint over the call graph.
+type Effect uint32
+
+const (
+	// EffWallClock: reads time.Now/Since/Until.
+	EffWallClock Effect = 1 << iota
+	// EffReadsEnv: reads the process environment.
+	EffReadsEnv
+	// EffGlobalRand: uses the globally seeded math/rand.
+	EffGlobalRand
+	// EffIteratesMap: ranges over a map (randomized order).
+	EffIteratesMap
+	// EffAllocates: may allocate per call (make/new/literals/append into
+	// a fresh slice/fmt/closures/non-constant string concatenation).
+	EffAllocates
+	// EffChannelSend: performs any channel send, including shedding
+	// select-with-default sends (the send is externally visible when it
+	// succeeds).
+	EffChannelSend
+	// EffSendsUnbounded: performs a channel send that can block.
+	EffSendsUnbounded
+	// EffAppendsWAL: appends to or syncs the durable statestore WAL.
+	EffAppendsWAL
+	// EffQueuesDownlink: enqueues a frame on the downlink scheduler.
+	EffQueuesDownlink
+	// EffAcquiresLock: locks a sync.Mutex or RWMutex.
+	EffAcquiresLock
+	// EffFsync: fsyncs an *os.File.
+	EffFsync
+	// EffSocketIO: reads or writes a net socket.
+	EffSocketIO
+
+	numEffects = 12
+)
+
+// effectNames maps each bit (by shift index) to its stable display name,
+// which the summary golden test and -sarif output pin.
+var effectNames = [numEffects]string{
+	"wallclock", "readsenv", "globalrand", "iteratesmap", "allocates",
+	"chansend", "sendsunbounded", "appendswal", "queuesdownlink",
+	"lock", "fsync", "socketio",
+}
+
+// String renders the effect set as sorted pipe-joined names, "-" if empty.
+func (e Effect) String() string {
+	if e == 0 {
+		return "-"
+	}
+	var parts []string
+	for i := 0; i < numEffects; i++ {
+		if e&(1<<i) != 0 {
+			parts = append(parts, effectNames[i])
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// DetEffects are the effects that break bit-identical determinism.
+const DetEffects = EffWallClock | EffReadsEnv | EffGlobalRand | EffIteratesMap
+
+// VisibleEffects are the externally visible side effects walorder orders
+// against WAL durability: once one of these happens, the outside world
+// may have observed state the WAL does not yet hold.
+const VisibleEffects = EffChannelSend | EffQueuesDownlink | EffSocketIO
+
+// BlockingEffects are the operations locksafe forbids under a held
+// mutex: each can stall for an unbounded time (channel backpressure,
+// disk, network) while every other goroutine queues on the lock.
+const BlockingEffects = EffChannelSend | EffFsync | EffSocketIO
+
+// Summary is one function's effect summary: the effects of its own body
+// (Local) and of everything it can reach (Total), with enough witness
+// structure to reconstruct a call chain from the function to each
+// effect's origin.
+type Summary struct {
+	Fn    *types.Func
+	Local Effect
+	Total Effect
+
+	localPos  map[Effect]token.Pos
+	localDesc map[Effect]string
+	via       map[Effect]Edge
+	marks     map[string]bool
+}
+
+// Annotated reports whether the summarized function's declaration
+// carries the given //eflora:<name> marker annotation.
+func (s *Summary) Annotated(name string) bool { return s.marks[name] }
+
+// LocalOrigin returns where (and as what construct) the function's own
+// body first produces eff, if it does.
+func (s *Summary) LocalOrigin(eff Effect) (token.Pos, string, bool) {
+	pos, ok := s.localPos[eff]
+	if !ok {
+		return token.NoPos, "", false
+	}
+	return pos, s.localDesc[eff], true
+}
+
+func (s *Summary) addLocal(eff Effect, pos token.Pos, desc string) {
+	if s.Local&eff == eff {
+		return
+	}
+	for i := 0; i < numEffects; i++ {
+		bit := Effect(1) << i
+		if eff&bit != 0 && s.Local&bit == 0 {
+			s.localPos[bit] = pos
+			s.localDesc[bit] = desc
+		}
+	}
+	s.Local |= eff
+	s.Total |= eff
+}
+
+// ChainString renders the witness call chain from fn down to the origin
+// of the (single-bit) effect, e.g. "sim.step → mathx.Jitter → time.Now".
+func (p *Program) ChainString(fn *types.Func, eff Effect) string {
+	parts := []string{FuncDisplayName(origin(fn))}
+	cur := origin(fn)
+	seen := map[*types.Func]bool{cur: true}
+	for range [32]struct{}{} {
+		s := p.SummaryOf(cur)
+		if s == nil {
+			break
+		}
+		if _, desc, ok := s.LocalOrigin(eff); ok {
+			parts = append(parts, desc)
+			break
+		}
+		e, ok := s.via[eff]
+		if !ok {
+			break
+		}
+		cur = origin(e.Callee)
+		if seen[cur] {
+			break
+		}
+		seen[cur] = true
+		parts = append(parts, FuncDisplayName(cur))
+	}
+	return strings.Join(parts, " → ")
+}
+
+// CallEffects returns every effect the call expression may have: the
+// intrinsic effect of a recognized stdlib/repo target plus the Total
+// summaries of all possible program-local callees.
+func (p *Program) CallEffects(pkg *Package, caller *types.Func, call *ast.CallExpr) Effect {
+	eff, _ := IntrinsicCallEffects(pkg.TypesInfo, call)
+	for _, e := range p.CallGraph.CalleesAt(caller, call.Pos()) {
+		if s := p.SummaryOf(e.Callee); s != nil {
+			eff |= s.Total
+		}
+	}
+	return eff
+}
+
+// ExplainCall renders how the call produces eff: the intrinsic construct
+// itself, or the chain through the first responsible callee.
+func (p *Program) ExplainCall(pkg *Package, caller *types.Func, call *ast.CallExpr, eff Effect) string {
+	if ieff, desc := IntrinsicCallEffects(pkg.TypesInfo, call); ieff&eff != 0 {
+		return desc
+	}
+	for _, e := range p.CallGraph.CalleesAt(caller, call.Pos()) {
+		if s := p.SummaryOf(e.Callee); s != nil && s.Total&eff != 0 {
+			return p.ChainString(e.Callee, firstBit(s.Total&eff))
+		}
+	}
+	return ""
+}
+
+func firstBit(e Effect) Effect {
+	return e & -e
+}
+
+// computeSummaries builds per-function local effect summaries and
+// propagates them to a fixpoint over the call graph.
+func computeSummaries(prog *Program) map[*types.Func]*Summary {
+	sums := make(map[*types.Func]*Summary)
+	var ordered []*types.Func
+	for _, pkg := range prog.Packages {
+		ann := buildAnnotationIndex(prog.Fset, pkg.Files)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fn = origin(fn)
+				s := &Summary{
+					Fn:        fn,
+					localPos:  make(map[Effect]token.Pos),
+					localDesc: make(map[Effect]string),
+					via:       make(map[Effect]Edge),
+					marks:     markAnnotations(prog.Fset, ann, fd),
+				}
+				scanLocalEffects(prog.Fset, pkg, ann, fd, s)
+				sums[fn] = s
+				ordered = append(ordered, fn)
+			}
+		}
+	}
+	// Monotone fixpoint: each function absorbs its callees' totals. The
+	// witness edge for a bit is fixed the first time the bit arrives, so
+	// witness chains always point toward a function that had the effect
+	// strictly earlier — they terminate at a local origin even through
+	// recursion cycles.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range ordered {
+			s := sums[fn]
+			for _, e := range prog.CallGraph.EdgesFrom(fn) {
+				cs := sums[origin(e.Callee)]
+				if cs == nil {
+					continue
+				}
+				add := cs.Total &^ s.Total
+				if add == 0 {
+					continue
+				}
+				s.Total |= add
+				for i := 0; i < numEffects; i++ {
+					if bit := Effect(1) << i; add&bit != 0 {
+						s.via[bit] = e
+					}
+				}
+				changed = true
+			}
+		}
+	}
+	return sums
+}
+
+// markAnnotations collects the declaration's marker annotations (doc
+// comment or the line above), e.g. hotpath, durable.
+func markAnnotations(fset *token.FileSet, ann map[string]map[int]Annotation, fd *ast.FuncDecl) map[string]bool {
+	marks := make(map[string]bool)
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if name, _, ok := parseAnnotation(c); ok {
+				marks[name] = true
+			}
+		}
+	}
+	pos := fset.Position(fd.Pos())
+	if byLine := ann[pos.Filename]; byLine != nil {
+		if a, ok := byLine[pos.Line-1]; ok {
+			marks[a.Name] = true
+		}
+	}
+	return marks
+}
+
+// effectScanner walks one function body collecting local effects.
+type effectScanner struct {
+	fset *token.FileSet
+	pkg  *Package
+	ann  map[string]map[int]Annotation
+	sum  *Summary
+	// returns spans all return statements: alloc effects there are the
+	// cold failure path, mirroring hotalloc's exemption.
+	returns []posRange
+	// sanctioned holds append calls of the x = append(x, ...) arena form.
+	sanctioned map[*ast.CallExpr]bool
+	// shedding holds sends that are the comm clause of a
+	// select-with-default (non-blocking by construction).
+	shedding map[*ast.SendStmt]bool
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+func (es *effectScanner) inReturn(pos token.Pos) bool {
+	for _, r := range es.returns {
+		if r.lo <= pos && pos < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// scanLocalEffects fills s.Local with the effects of fd's own body,
+// honoring in-place suppression annotations: a site the author already
+// vouched for with //eflora:nondeterminism-ok or //eflora:alloc-ok does
+// not taint callers.
+func scanLocalEffects(fset *token.FileSet, pkg *Package, ann map[string]map[int]Annotation, fd *ast.FuncDecl, s *Summary) {
+	es := &effectScanner{
+		fset:       fset,
+		pkg:        pkg,
+		ann:        ann,
+		sum:        s,
+		sanctioned: make(map[*ast.CallExpr]bool),
+		shedding:   make(map[*ast.SendStmt]bool),
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			es.returns = append(es.returns, posRange{n.Pos(), n.End()})
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call := appendCallExpr(n.Rhs[0]); call != nil &&
+					astExprString(n.Lhs[0]) == astExprString(call.Args[0]) {
+					es.sanctioned[call] = true
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if hasDefault {
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						if send, ok := cc.Comm.(*ast.SendStmt); ok {
+							es.shedding[send] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, es.visit)
+}
+
+func (es *effectScanner) detSuppressed(pos token.Pos) bool {
+	return suppressedAt(es.ann, es.fset, pos, "nondeterminism-ok")
+}
+
+func (es *effectScanner) allocSuppressed(pos token.Pos) bool {
+	return suppressedAt(es.ann, es.fset, pos, "alloc-ok")
+}
+
+func (es *effectScanner) alloc(pos token.Pos, desc string) {
+	if !es.inReturn(pos) && !es.allocSuppressed(pos) {
+		es.sum.addLocal(EffAllocates, pos, desc)
+	}
+}
+
+func (es *effectScanner) visit(n ast.Node) bool {
+	info := es.pkg.TypesInfo
+	switch n := n.(type) {
+	case *ast.SelectorExpr:
+		if pkgPath, ok := selectorPackage(info, n); ok {
+			pos := n.Pos()
+			switch pkgPath {
+			case "time":
+				switch n.Sel.Name {
+				case "Now", "Since", "Until":
+					if !es.detSuppressed(pos) {
+						es.sum.addLocal(EffWallClock, pos, "time."+n.Sel.Name)
+					}
+				}
+			case "os":
+				switch n.Sel.Name {
+				case "Getenv", "LookupEnv", "Environ":
+					if !es.detSuppressed(pos) {
+						es.sum.addLocal(EffReadsEnv, pos, "os."+n.Sel.Name)
+					}
+				}
+			case "math/rand", "math/rand/v2":
+				if !es.detSuppressed(pos) {
+					es.sum.addLocal(EffGlobalRand, pos, pkgPath+"."+n.Sel.Name)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !es.detSuppressed(n.Pos()) {
+				es.sum.addLocal(EffIteratesMap, n.Pos(), "map iteration")
+			}
+		}
+	case *ast.SendStmt:
+		if es.shedding[n] {
+			es.sum.addLocal(EffChannelSend, n.Pos(), "chan send (shedding)")
+		} else {
+			es.sum.addLocal(EffChannelSend|EffSendsUnbounded, n.Pos(), "blocking chan send")
+		}
+	case *ast.FuncLit:
+		es.alloc(n.Pos(), "closure creation")
+	case *ast.CompositeLit:
+		if tv, ok := info.Types[n]; ok && tv.Type != nil {
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				es.alloc(n.Pos(), "slice literal")
+			case *types.Map:
+				es.alloc(n.Pos(), "map literal")
+			}
+		}
+	case *ast.UnaryExpr:
+		if cl, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+			es.alloc(cl.Pos(), "&composite literal")
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if tv, ok := info.Types[n]; ok && tv.Type != nil && tv.Value == nil {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					es.alloc(n.OpPos, "string concatenation")
+				}
+			}
+		}
+	case *ast.CallExpr:
+		es.visitCall(n)
+	}
+	return true
+}
+
+func (es *effectScanner) visitCall(call *ast.CallExpr) {
+	info := es.pkg.TypesInfo
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch fun.Name {
+			case "make":
+				es.alloc(call.Pos(), "make")
+			case "new":
+				es.alloc(call.Pos(), "new")
+			case "append":
+				if !es.sanctioned[call] {
+					es.alloc(call.Pos(), "append into a fresh slice")
+				}
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if pkgPath, ok := selectorPackage(info, fun); ok {
+			switch {
+			case pkgPath == "fmt":
+				es.alloc(call.Pos(), "fmt."+fun.Sel.Name)
+			case pkgPath == "errors" && fun.Sel.Name == "New":
+				es.alloc(call.Pos(), "errors.New")
+			}
+		}
+	}
+	if eff, desc := IntrinsicCallEffects(info, call); eff != 0 {
+		es.sum.addLocal(eff, call.Pos(), desc)
+	}
+}
+
+// IntrinsicCallEffects recognizes calls whose effect is known by name
+// rather than by summary: stdlib sync/net/file primitives and the
+// repo's own durability and downlink choke points (matched by package
+// base and type name, so fixture modules scope identically).
+func IntrinsicCallEffects(info *types.Info, call *ast.CallExpr) (Effect, string) {
+	fn := staticTarget(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return 0, ""
+	}
+	name := fn.Name()
+	path := fn.Pkg().Path()
+	recvName := receiverName(fn)
+	switch path {
+	case "sync":
+		if name == "Lock" || name == "RLock" {
+			return EffAcquiresLock, "sync." + recvName + "." + name
+		}
+		return 0, ""
+	case "os":
+		if name == "Sync" && recvName == "File" {
+			return EffFsync, "(*os.File).Sync"
+		}
+		return 0, ""
+	case "net":
+		if strings.HasPrefix(name, "Read") || strings.HasPrefix(name, "Write") ||
+			name == "Accept" || strings.HasPrefix(name, "Dial") {
+			if recvName != "" {
+				return EffSocketIO, "net." + recvName + "." + name
+			}
+			return EffSocketIO, "net." + name
+		}
+		return 0, ""
+	}
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	switch {
+	case base == "statestore" && recvName == "Store" &&
+		(name == "Append" || name == "AppendSync" || name == "Sync"):
+		return EffAppendsWAL, "(*statestore.Store)." + name
+	case base == "downlink" && recvName == "Scheduler" &&
+		(name == "Enqueue" || name == "ObserveUplink"):
+		return EffQueuesDownlink, "(*downlink.Scheduler)." + name
+	}
+	return 0, ""
+}
+
+// staticTarget resolves a call to the declared function or method it
+// invokes, when that is statically knowable.
+func staticTarget(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return origin(fn)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return origin(fn)
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return origin(fn)
+		}
+	}
+	return nil
+}
+
+// receiverName returns the name of fn's receiver named type, "" for
+// plain functions and unnamed receivers.
+func receiverName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// selectorPackage resolves sel's X to an imported package path when the
+// selector is a package-qualified reference (e.g. time.Now).
+func selectorPackage(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pkgName.Imported().Path(), true
+}
+
+// appendCallExpr returns e as an append call with at least one argument.
+func appendCallExpr(e ast.Expr) *ast.CallExpr {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	return call
+}
+
+// astExprString renders an expression for structural comparison.
+func astExprString(e ast.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+// writeExpr is a tiny printer sufficient for lvalue comparison (idents,
+// selectors, indexes, stars, parens).
+func writeExpr(b *strings.Builder, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		b.WriteString(e.Name)
+	case *ast.SelectorExpr:
+		writeExpr(b, e.X)
+		b.WriteByte('.')
+		b.WriteString(e.Sel.Name)
+	case *ast.IndexExpr:
+		writeExpr(b, e.X)
+		b.WriteByte('[')
+		writeExpr(b, e.Index)
+		b.WriteByte(']')
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		writeExpr(b, e.X)
+	case *ast.ParenExpr:
+		b.WriteByte('(')
+		writeExpr(b, e.X)
+		b.WriteByte(')')
+	case *ast.BasicLit:
+		b.WriteString(e.Value)
+	default:
+		b.WriteString("?")
+	}
+}
+
+// SummaryTable renders every program function's summary as stable
+// "pkgpath.Func local=… total=…" lines, sorted — the golden-test
+// representation.
+func (p *Program) SummaryTable() []string {
+	var fns []*types.Func
+	for fn := range p.Summaries {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool {
+		pi, pj := fns[i].Pkg().Path(), fns[j].Pkg().Path()
+		if pi != pj {
+			return pi < pj
+		}
+		return FuncDisplayName(fns[i]) < FuncDisplayName(fns[j])
+	})
+	out := make([]string, 0, len(fns))
+	for _, fn := range fns {
+		s := p.Summaries[fn]
+		out = append(out, FuncDisplayName(fn)+" local="+s.Local.String()+" total="+s.Total.String())
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+// Package app exercises the three call-graph resolution modes (direct,
+// interface dispatch, function value) and summary propagation through a
+// recursion cycle.
+package app
+
+import "graph/base"
+
+// Op is dispatched through an interface; the graph must include every
+// program-local implementation.
+type Op interface{ Apply(x int) int }
+
+// Add is the effect-free implementation.
+type Add struct{}
+
+// Apply adds one.
+func (Add) Apply(x int) int { return x + 1 }
+
+// Timed is the implementation that reaches the wall clock.
+type Timed struct{}
+
+// Apply mixes in a timestamp.
+func (Timed) Apply(x int) int { return x + int(base.Stamp()) }
+
+// RunOp dispatches through the interface: its summary must join both
+// implementations.
+func RunOp(o Op, x int) int { return o.Apply(x) }
+
+func double(x int) int { return x * 2 }
+
+func noisy(x int) int { return x + int(base.Stamp()) }
+
+// Pick returns one of two function values; both become address-taken.
+func Pick(b bool) func(int) int {
+	if b {
+		return noisy
+	}
+	return double
+}
+
+// CallPicked calls through a function value: the graph must include
+// every address-taken function of matching signature.
+func CallPicked(b bool, x int) int {
+	f := Pick(b)
+	return f(x)
+}
+
+// Even and Odd form a recursion cycle with an effect at the bottom;
+// propagation must still reach a fixpoint and witness chains must still
+// terminate.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+// Odd is the other half of the cycle.
+func Odd(n int) bool {
+	if n == 0 {
+		tick()
+		return false
+	}
+	return Even(n - 1)
+}
+
+func tick() { _ = base.Stamp() }
+
+// Collect reaches the allocator directly across the package boundary.
+func Collect(xs []int, v int) []int { return base.Grow(xs, v) }

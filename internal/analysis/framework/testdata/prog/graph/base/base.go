@@ -1,0 +1,16 @@
+// Package base holds the effect origins the graph fixture propagates:
+// one wall-clock read, one allocation.
+package base
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Grow allocates a fresh slice.
+func Grow(xs []int, v int) []int {
+	buf := make([]int, len(xs)+1)
+	copy(buf, xs)
+	buf[len(xs)] = v
+	return buf
+}

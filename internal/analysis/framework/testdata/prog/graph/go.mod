@@ -1,0 +1,3 @@
+module graph
+
+go 1.22

@@ -26,6 +26,14 @@
 // scope: the budget tests bound the total, hotalloc guards the
 // per-iteration slope. Known-bounded exceptions are annotated
 // //eflora:alloc-ok <reason>.
+//
+// Under whole-program analysis (RunProgram), a call inside a hot loop to
+// any function whose transitive summary allocates is reported at the
+// call site with the full call chain — an allocating helper two packages
+// away no longer hides behind the package boundary. Callees themselves
+// annotated //eflora:hotpath are exempt: they carry their own loop
+// checks and AllocsPerRun budgets, and their pre-loop setup allocations
+// are the caller's amortized cost, not a per-iteration slope.
 package hotalloc
 
 import (
@@ -58,7 +66,7 @@ func run(pass *framework.Pass) error {
 			if !pass.FuncAnnotated(fn, "hotpath") {
 				continue
 			}
-			w := &walker{pass: pass}
+			w := &walker{pass: pass, fn: pass.FuncObj(fn)}
 			w.walkStmts(fn.Body.List)
 		}
 	}
@@ -68,7 +76,10 @@ func run(pass *framework.Pass) error {
 // walker tracks lexical context (loop depth, enclosing return) while
 // scanning a hot function body.
 type walker struct {
-	pass     *framework.Pass
+	pass *framework.Pass
+	// fn is the hot function's object, the call-graph node interprocedural
+	// checks resolve call sites against.
+	fn       *types.Func
 	loops    int
 	inReturn bool
 	// sanctioned holds append calls of the x = append(x, ...) form.
@@ -279,6 +290,30 @@ func (w *walker) checkCall(call *ast.CallExpr) {
 		}
 	}
 	w.checkBoxing(call)
+	w.checkCalleeSummary(call)
+}
+
+// checkCalleeSummary flags calls (inside hot loops) to functions whose
+// transitive effect summary allocates, printing the chain to the
+// allocation's origin. Only active under whole-program analysis.
+func (w *walker) checkCalleeSummary(call *ast.CallExpr) {
+	prog := w.pass.Prog
+	if prog == nil || w.fn == nil || w.inReturn {
+		return
+	}
+	for _, e := range prog.CallGraph.CalleesAt(w.fn, call.Pos()) {
+		s := prog.SummaryOf(e.Callee)
+		if s == nil || s.Annotated("hotpath") {
+			continue
+		}
+		if s.Total&framework.EffAllocates == 0 {
+			continue
+		}
+		w.report(call.Pos(), "call allocates per loop iteration; call chain: %s → %s",
+			framework.FuncDisplayName(w.fn),
+			prog.ChainString(e.Callee, framework.EffAllocates))
+		return // one finding per call site
+	}
 }
 
 // checkBoxing flags call arguments whose concrete value is passed as an

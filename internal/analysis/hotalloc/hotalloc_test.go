@@ -10,3 +10,10 @@ import (
 func TestHotalloc(t *testing.T) {
 	analysistest.Run(t, "testdata", hotalloc.Analyzer, "hot")
 }
+
+// TestHotallocInterprocedural checks that allocations hidden behind a
+// cross-package call are charged to the hot loop, with the chain in the
+// diagnostic, and that //eflora:hotpath callees carry their own budget.
+func TestHotallocInterprocedural(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", "xpkg", hotalloc.Analyzer)
+}

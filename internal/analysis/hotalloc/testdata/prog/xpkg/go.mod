@@ -1,0 +1,3 @@
+module xpkg
+
+go 1.22

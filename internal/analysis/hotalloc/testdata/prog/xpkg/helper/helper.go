@@ -1,0 +1,26 @@
+// Package helper holds allocation behavior the hot package reaches only
+// through calls — invisible to per-package analysis.
+package helper
+
+// Build allocates on every call.
+func Build(n int) []float64 {
+	buf := make([]float64, n)
+	return buf
+}
+
+// Sum is allocation-free.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Pooled is annotated as carrying its own allocation budget; callers in
+// hot loops must not be charged for it.
+//
+//eflora:hotpath
+func Pooled(n int) []float64 {
+	return make([]float64, n) // this make is in a return: cold-path exempt
+}

@@ -1,0 +1,43 @@
+// Package hot exercises the cross-package hotalloc check: the loop body
+// below contains no allocating construct itself, only calls into helper.
+package hot
+
+import "xpkg/helper"
+
+// Accumulate is a hot kernel; the helper.Build call allocates on every
+// iteration, two files away from this loop.
+//
+//eflora:hotpath
+func Accumulate(rounds, n int) float64 {
+	var total float64
+	for i := 0; i < rounds; i++ {
+		buf := helper.Build(n) // want `call allocates per loop iteration; call chain: hot\.Accumulate → helper\.Build → make`
+		total += helper.Sum(buf)
+	}
+	return total
+}
+
+// Reuse allocates once before the loop and only calls clean helpers
+// inside it; no diagnostic.
+//
+//eflora:hotpath
+func Reuse(rounds, n int) float64 {
+	buf := helper.Pooled(n)
+	var total float64
+	for i := 0; i < rounds; i++ {
+		total += helper.Sum(buf)
+	}
+	return total
+}
+
+// Budgeted calls an //eflora:hotpath callee inside its loop; the callee
+// carries its own budget, so the caller is not charged.
+//
+//eflora:hotpath
+func Budgeted(rounds, n int) float64 {
+	var total float64
+	for i := 0; i < rounds; i++ {
+		total += helper.Sum(helper.Pooled(n))
+	}
+	return total
+}

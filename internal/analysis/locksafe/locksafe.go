@@ -1,0 +1,298 @@
+// Package locksafe implements the lock-hygiene analyzer of eflora-vet.
+//
+// The serving path (netserver, statestore, downlink, the nsd daemon)
+// mixes fine-grained mutexes with channels, fsync and UDP sockets. A
+// sync.Mutex held across any of those is the classic deadlock-and-
+// latency footgun: the lock's critical section now includes channel
+// backpressure, disk stalls or kernel socket buffers, and every other
+// goroutine that touches the mutex inherits that tail latency (or, with
+// the wrong channel topology, deadlocks outright). locksafe walks each
+// function in source order, tracks which mutexes are held (Lock/RLock
+// through Unlock/RUnlock, or to function exit for deferred unlocks),
+// and reports any call made while holding a lock whose transitive
+// summary blocks: a channel send, an (*os.File).Sync, or socket I/O.
+//
+// The walk is a source-order linearization, not a CFG: an unlock inside
+// one branch of an if releases the lock for the statements after the if
+// (under-approximate, may miss), and a conditional lock taints the rest
+// of the function (over-approximate, may over-report — annotate).
+// Deliberate exceptions are annotated //eflora:lockheld-ok <reason>.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"eflora/internal/analysis/framework"
+)
+
+// Analyzer is the locksafe analysis.
+var Analyzer = &framework.Analyzer{
+	Name: "locksafe",
+	Doc: "forbid holding a sync.Mutex/RWMutex across calls that block: channel sends, " +
+		"fsync, or socket I/O (resolved through whole-program summaries)",
+	Run: run,
+}
+
+const suppression = "lockheld-ok"
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass, fn: pass.FuncObj(fd)}
+			w.stmts(fd.Body.List)
+		}
+	}
+	return nil
+}
+
+// heldLock is one currently held mutex, identified by the printed form
+// of its receiver expression (s.mu, w.state.lock, ...).
+type heldLock struct {
+	expr     string
+	deferred bool // released only at function exit
+}
+
+// walker tracks the set of held locks through a source-order walk.
+type walker struct {
+	pass *framework.Pass
+	fn   *types.Func
+	held []heldLock
+}
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.check(s.Cond)
+		w.stmts(s.Body.List)
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.check(s.Cond)
+		w.stmts(s.Body.List)
+		w.stmt(s.Post)
+	case *ast.RangeStmt:
+		w.check(s.X)
+		w.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.check(s.Tag)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.check(e)
+				}
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmt(cc.Comm)
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.DeferStmt:
+		if recv, op := lockOp(w.pass.TypesInfo, s.Call); op == opUnlock {
+			w.markDeferred(recv)
+			return
+		}
+		// Other deferred work runs at exit; whether locks are held there
+		// depends on defer order — out of linear-scan scope.
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently; launching it does not
+		// block, and the closure's effects are not executed under this
+		// stack's locks. The spawn expression's arguments are evaluated
+		// now though.
+		w.check(s.Call)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if recv, op := lockOp(w.pass.TypesInfo, call); op != opNone {
+				w.apply(recv, op)
+				return
+			}
+		}
+		w.check(s.X)
+	default:
+		w.check(s)
+	}
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies a call as a sync mutex acquire or release, returning
+// the printed receiver expression.
+func lockOp(info *types.Info, call *ast.CallExpr) (string, lockOpKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", opNone
+	}
+	m, ok := selection.Obj().(*types.Func)
+	if !ok || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", opNone
+	}
+	switch m.Name() {
+	case "Lock", "RLock":
+		return exprString(sel.X), opLock
+	case "Unlock", "RUnlock":
+		return exprString(sel.X), opUnlock
+	}
+	return "", opNone
+}
+
+func (w *walker) apply(recv string, op lockOpKind) {
+	switch op {
+	case opLock:
+		w.held = append(w.held, heldLock{expr: recv})
+	case opUnlock:
+		for i := len(w.held) - 1; i >= 0; i-- {
+			if w.held[i].expr == recv && !w.held[i].deferred {
+				w.held = append(w.held[:i], w.held[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+func (w *walker) markDeferred(recv string) {
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i].expr == recv {
+			w.held[i].deferred = true
+			return
+		}
+	}
+}
+
+// check scans a node for blocking operations performed while any lock is
+// held.
+func (w *walker) check(n ast.Node) {
+	if n == nil || len(w.held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false // construction is not execution
+		case *ast.SendStmt:
+			w.report(x.Pos(), "chan send")
+		case *ast.CallExpr:
+			if _, op := lockOp(w.pass.TypesInfo, x); op != opNone {
+				return true // nested lock ops are a different analyzer's concern
+			}
+			eff := w.callEffects(x)
+			if blocking := eff & framework.BlockingEffects; blocking != 0 {
+				w.report(x.Pos(), w.explain(x, blocking))
+			}
+		}
+		return true
+	})
+}
+
+func (w *walker) callEffects(call *ast.CallExpr) framework.Effect {
+	eff, _ := framework.IntrinsicCallEffects(w.pass.TypesInfo, call)
+	if w.pass.Prog != nil && w.fn != nil {
+		for _, e := range w.pass.Prog.CallGraph.CalleesAt(w.fn, call.Pos()) {
+			if s := w.pass.Prog.SummaryOf(e.Callee); s != nil {
+				eff |= s.Total
+			}
+		}
+	}
+	return eff
+}
+
+func (w *walker) explain(call *ast.CallExpr, blocking framework.Effect) string {
+	if ieff, desc := framework.IntrinsicCallEffects(w.pass.TypesInfo, call); ieff&blocking != 0 {
+		return desc
+	}
+	if w.pass.Prog != nil && w.fn != nil {
+		for _, e := range w.pass.Prog.CallGraph.CalleesAt(w.fn, call.Pos()) {
+			if s := w.pass.Prog.SummaryOf(e.Callee); s != nil && s.Total&blocking != 0 {
+				bit := s.Total & blocking
+				return w.pass.Prog.ChainString(e.Callee, bit&-bit)
+			}
+		}
+	}
+	return blocking.String()
+}
+
+func (w *walker) report(pos token.Pos, desc string) {
+	if w.pass.Suppressed(pos, suppression) {
+		return
+	}
+	locks := make([]string, len(w.held))
+	for i, h := range w.held {
+		locks[i] = h.expr
+	}
+	w.pass.Reportf(pos,
+		"mutex %s held across %s, which can block indefinitely; release the lock "+
+			"first, hand the work to a queue drained outside the critical section, or "+
+			"annotate //eflora:%s <reason>",
+		strings.Join(locks, ", "), desc, suppression)
+}
+
+// exprString renders a receiver expression (idents, selectors, indexes)
+// for lock identity matching.
+func exprString(e ast.Expr) string {
+	var b strings.Builder
+	write(&b, e)
+	return b.String()
+}
+
+func write(b *strings.Builder, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		b.WriteString(e.Name)
+	case *ast.SelectorExpr:
+		write(b, e.X)
+		b.WriteByte('.')
+		b.WriteString(e.Sel.Name)
+	case *ast.IndexExpr:
+		write(b, e.X)
+		b.WriteByte('[')
+		write(b, e.Index)
+		b.WriteByte(']')
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		write(b, e.X)
+	case *ast.ParenExpr:
+		write(b, e.X)
+	default:
+		b.WriteString("?")
+	}
+}

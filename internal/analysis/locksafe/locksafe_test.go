@@ -1,0 +1,16 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"eflora/internal/analysis/analysistest"
+	"eflora/internal/analysis/locksafe"
+)
+
+// TestLocksafe runs the lock-hygiene analyzer over a fixture module:
+// channel sends and a cross-package fsync under a held mutex (direct,
+// deferred-unlock, and RWMutex read-lock variants) are reported with the
+// blocking chain; unlock-before-send and annotated exceptions are not.
+func TestLocksafe(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", "locked", locksafe.Analyzer)
+}

@@ -1,0 +1,3 @@
+module locked
+
+go 1.22

@@ -1,0 +1,60 @@
+// Package srv exercises the locksafe analyzer: blocking operations under
+// a held sync.Mutex/RWMutex.
+package srv
+
+import (
+	"os"
+	"sync"
+
+	"locked/disk"
+)
+
+// S is a server shard with a lock, a channel and a WAL file.
+type S struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	ch  chan int
+	wal *os.File
+}
+
+// BadSend sends on a channel while holding mu.
+func (s *S) BadSend(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `mutex s\.mu held across chan send`
+	s.mu.Unlock()
+}
+
+// BadDeferSend holds mu to function exit via defer; the send is under it.
+func (s *S) BadDeferSend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want `mutex s\.mu held across chan send`
+}
+
+// BadFsync reaches (*os.File).Sync through another package while
+// holding the read lock.
+func (s *S) BadFsync() error {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.flush() // want `mutex s\.rw held across srv\.\(\*S\)\.flush → disk\.Flush → \(\*os\.File\)\.Sync`
+}
+
+func (s *S) flush() error {
+	return disk.Flush(s.wal) // no lock held in this frame; caller's frame reports
+}
+
+// Good releases the lock before sending.
+func (s *S) Good(v int) {
+	s.mu.Lock()
+	n := v + 1
+	s.mu.Unlock()
+	s.ch <- n
+}
+
+// Vouched documents a deliberate send under the lock.
+func (s *S) Vouched(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//eflora:lockheld-ok buffered signal channel sized to the worker count, cannot block
+	s.ch <- v
+}

@@ -1,14 +1,17 @@
 // Package analysis aggregates the eflora-vet analyzer suite: the
-// first-party static checks that keep the repository's three load-bearing
+// first-party static checks that keep the repository's load-bearing
 // guarantees honest at review time instead of runtime —
 //
-//	detrand     bit-identical determinism (PR 1)
-//	hotalloc    allocation-free hot paths (PR 3)
+//	detrand     bit-identical determinism (PR 1), cross-package via summaries
+//	hotalloc    allocation-free hot paths (PR 3), cross-package via summaries
 //	units       dB/dBm/mW link-budget arithmetic (PAPER.md §III)
 //	boundedsend no-blocking packet ingest (PR 2)
+//	walorder    WAL AppendSync happens-before visible effects (PR 7)
+//	locksafe    no mutex held across blocking calls
 //
 // cmd/eflora-vet runs the suite from the command line and CI; see
-// DESIGN.md "Static analysis & invariants" for the annotation language.
+// DESIGN.md "Static analysis & invariants" and "Interprocedural
+// analysis" for the annotation language and summary semantics.
 package analysis
 
 import (
@@ -16,7 +19,9 @@ import (
 	"eflora/internal/analysis/detrand"
 	"eflora/internal/analysis/framework"
 	"eflora/internal/analysis/hotalloc"
+	"eflora/internal/analysis/locksafe"
 	"eflora/internal/analysis/units"
+	"eflora/internal/analysis/walorder"
 )
 
 // All returns the full eflora-vet analyzer suite in stable order.
@@ -25,6 +30,8 @@ func All() []*framework.Analyzer {
 		boundedsend.Analyzer,
 		detrand.Analyzer,
 		hotalloc.Analyzer,
+		locksafe.Analyzer,
 		units.Analyzer,
+		walorder.Analyzer,
 	}
 }

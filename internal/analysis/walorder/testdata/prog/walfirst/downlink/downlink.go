@@ -1,0 +1,9 @@
+// Package downlink mimics the real scheduler's API surface; Enqueue is
+// an intrinsic externally-visible effect.
+package downlink
+
+// Scheduler is a stand-in downlink queue.
+type Scheduler struct{ n int }
+
+// Enqueue makes state visible to the outside world.
+func (s *Scheduler) Enqueue(v int) { s.n++ }

@@ -1,0 +1,7 @@
+// Package emit hides a channel send behind an innocent-looking helper,
+// so ordering violations must be found through summaries.
+package emit
+
+// Notify sends on a channel — externally visible once another goroutine
+// receives it.
+func Notify(ch chan int, v int) { ch <- v }

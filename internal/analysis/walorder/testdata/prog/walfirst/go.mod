@@ -1,0 +1,3 @@
+module walfirst
+
+go 1.22

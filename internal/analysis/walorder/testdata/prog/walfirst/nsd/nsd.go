@@ -1,0 +1,74 @@
+// Package nsd exercises the walorder analyzer: durable functions whose
+// visible effects must follow the WAL append.
+package nsd
+
+import (
+	"walfirst/downlink"
+	"walfirst/emit"
+	"walfirst/statestore"
+)
+
+// Daemon wires the fixture store and scheduler together.
+type Daemon struct {
+	store *statestore.Store
+	q     *downlink.Scheduler
+	ch    chan int
+}
+
+// BadStep queues the downlink before the delta is durable — the crash
+// window walorder exists to catch.
+//
+//eflora:durable
+func (d *Daemon) BadStep(v int) error {
+	d.q.Enqueue(v) // want `externally visible effect \(\(\*downlink\.Scheduler\)\.Enqueue\) before the dominating WAL AppendSync`
+	_, err := d.store.AppendSync(v)
+	return err
+}
+
+// BadSend leaks through a raw channel send before the append.
+//
+//eflora:durable
+func (d *Daemon) BadSend(v int) error {
+	d.ch <- v // want `externally visible effect \(chan send\) before the dominating WAL AppendSync`
+	_, err := d.store.AppendSync(v)
+	return err
+}
+
+// BadCrossPackage hides the visible effect behind a helper in another
+// package; only the summary sees it.
+//
+//eflora:durable
+func (d *Daemon) BadCrossPackage(v int) error {
+	emit.Notify(d.ch, v) // want `externally visible effect \(emit\.Notify → blocking chan send\) before the dominating WAL AppendSync`
+	_, err := d.store.AppendSync(v)
+	return err
+}
+
+// GoodStep appends first; everything after is fair game.
+//
+//eflora:durable
+func (d *Daemon) GoodStep(v int) error {
+	if _, err := d.store.AppendSync(v); err != nil {
+		return err
+	}
+	d.q.Enqueue(v)
+	emit.Notify(d.ch, v)
+	return nil
+}
+
+// Vouched suppresses a deliberate pre-append emission.
+//
+//eflora:durable
+func (d *Daemon) Vouched(v int) error {
+	//eflora:walorder-ok advisory metric only, not recovered state
+	d.q.Enqueue(v)
+	_, err := d.store.AppendSync(v)
+	return err
+}
+
+// NoAppend claims durability but never reaches the WAL.
+//
+//eflora:durable
+func (d *Daemon) NoAppend(v int) { // want `annotated //eflora:durable but never reaches a WAL Append/AppendSync`
+	_ = v
+}

@@ -1,0 +1,20 @@
+// Package statestore mimics the real durable store's API surface: the
+// intrinsic effect table matches on the import-path base "statestore"
+// and receiver "Store", so this fixture scopes exactly like the real
+// tree.
+package statestore
+
+// Store is a stand-in WAL.
+type Store struct{ seq uint64 }
+
+// AppendSync is the durability point.
+func (s *Store) AppendSync(v int) (uint64, error) {
+	s.seq++
+	return s.seq, nil
+}
+
+// Append is the non-synced variant; it still counts as reaching the WAL.
+func (s *Store) Append(v int) (uint64, error) {
+	s.seq++
+	return s.seq, nil
+}

@@ -1,0 +1,212 @@
+// Package walorder implements the WAL-ordering analyzer of eflora-vet.
+//
+// The durable-state subsystem (PR 7) recovers a crashed eflora-nsd
+// bit-exactly from snapshot + WAL tail. That guarantee silently inverts
+// if any externally visible side effect — a downlink queued, a frame
+// written to a gateway socket, a channel send another goroutine acts on
+// — happens before the state change behind it is durable: after a crash
+// the recovered process has forgotten state the outside world already
+// saw. The invariant is "WAL AppendSync happens-before every visible
+// effect", and functions that carry it are annotated
+//
+//	//eflora:durable
+//
+// in their doc comment. Within a durable function, walorder walks the
+// body in source order and reports any visible effect (channel send,
+// socket write, downlink enqueue) reachable before the statement
+// containing the dominating AppendSync/Sync call. Effects are resolved
+// through the whole-program summaries, so a send three calls deep in
+// another package still counts. A durable function that never reaches
+// the WAL at all is reported too — the annotation would be dead weight.
+//
+// Soundness caveats (documented in DESIGN.md): statement order is a
+// linearization, so an append inside one branch of an if unlocks the
+// statements after the whole if; deferred calls are treated as running
+// after the appends; closures constructed (but not called) inside the
+// body are not ordered. Deliberate exceptions are annotated
+// //eflora:walorder-ok <reason>.
+package walorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"eflora/internal/analysis/framework"
+)
+
+// Analyzer is the walorder analysis.
+var Analyzer = &framework.Analyzer{
+	Name: "walorder",
+	Doc: "in functions annotated //eflora:durable, forbid externally visible effects " +
+		"(channel send, socket write, downlink enqueue) before the dominating WAL AppendSync",
+	Run: run,
+}
+
+const suppression = "walorder-ok"
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !pass.FuncAnnotated(fd, "durable") {
+				continue
+			}
+			w := &walker{pass: pass, fn: pass.FuncObj(fd)}
+			w.stmts(fd.Body.List)
+			if !w.sawAppend {
+				pass.Reportf(fd.Pos(),
+					"function is annotated //eflora:durable but never reaches a WAL "+
+						"Append/AppendSync; drop the annotation or add the append")
+			}
+		}
+	}
+	return nil
+}
+
+// walker scans a durable function's statements in source order, flipping
+// durable once a statement containing a WAL append has executed.
+type walker struct {
+	pass      *framework.Pass
+	fn        *types.Func
+	durable   bool
+	sawAppend bool
+}
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.simple(s.Cond)
+		w.stmts(s.Body.List)
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.simple(s.Cond)
+		w.stmts(s.Body.List)
+		w.stmt(s.Post)
+	case *ast.RangeStmt:
+		w.simple(s.X)
+		w.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.simple(s.Tag)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.simple(e)
+				}
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmt(cc.Comm)
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.DeferStmt:
+		// Deferred work runs at function exit, after the appends.
+	case *ast.GoStmt:
+		// A spawned goroutine runs concurrently with everything that
+		// follows, so its effects count at spawn time.
+		w.simple(s.Call)
+	default:
+		w.simple(s)
+	}
+}
+
+// simple scans one simple statement or expression for visible effects
+// and WAL appends, in that order of concern: if the statement both emits
+// and appends, the emission is not provably ordered after the append, so
+// it still reports.
+func (w *walker) simple(n ast.Node) {
+	if n == nil {
+		return
+	}
+	appends := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false // construction is not execution
+		case *ast.SendStmt:
+			w.visible(x.Pos(), "chan send")
+		case *ast.CallExpr:
+			eff := w.callEffects(x)
+			if vis := eff & framework.VisibleEffects; vis != 0 && !w.durable {
+				desc := w.explain(x, vis)
+				w.visible(x.Pos(), desc)
+			}
+			if eff&framework.EffAppendsWAL != 0 {
+				appends = true
+			}
+		}
+		return true
+	})
+	if appends {
+		w.durable = true
+		w.sawAppend = true
+	}
+}
+
+func (w *walker) callEffects(call *ast.CallExpr) framework.Effect {
+	eff, _ := framework.IntrinsicCallEffects(w.pass.TypesInfo, call)
+	if w.pass.Prog != nil && w.fn != nil {
+		for _, e := range w.pass.Prog.CallGraph.CalleesAt(w.fn, call.Pos()) {
+			if s := w.pass.Prog.SummaryOf(e.Callee); s != nil {
+				eff |= s.Total
+			}
+		}
+	}
+	return eff
+}
+
+func (w *walker) explain(call *ast.CallExpr, vis framework.Effect) string {
+	if ieff, desc := framework.IntrinsicCallEffects(w.pass.TypesInfo, call); ieff&vis != 0 {
+		return desc
+	}
+	if w.pass.Prog != nil && w.fn != nil {
+		for _, e := range w.pass.Prog.CallGraph.CalleesAt(w.fn, call.Pos()) {
+			if s := w.pass.Prog.SummaryOf(e.Callee); s != nil && s.Total&vis != 0 {
+				return w.pass.Prog.ChainString(e.Callee, firstBit(s.Total&vis))
+			}
+		}
+	}
+	return vis.String()
+}
+
+func (w *walker) visible(pos token.Pos, desc string) {
+	if w.durable || w.pass.Suppressed(pos, suppression) {
+		return
+	}
+	w.pass.Reportf(pos,
+		"externally visible effect (%s) before the dominating WAL AppendSync in a "+
+			"//eflora:durable function; a crash here forgets state the outside world "+
+			"already saw — append first, or annotate //eflora:%s <reason>",
+		desc, suppression)
+}
+
+func firstBit(e framework.Effect) framework.Effect { return e & -e }

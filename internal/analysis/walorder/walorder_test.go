@@ -1,0 +1,18 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"eflora/internal/analysis/analysistest"
+	"eflora/internal/analysis/walorder"
+)
+
+// TestWalorder runs the durability-ordering analyzer over a fixture
+// module whose statestore/downlink packages mirror the real API surface:
+// downlinks queued or channels sent before the dominating AppendSync are
+// reported (including a send hidden in another package), append-first
+// flows and annotated exceptions are not, and a durable function that
+// never reaches the WAL is flagged as mislabeled.
+func TestWalorder(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", "walfirst", walorder.Analyzer)
+}

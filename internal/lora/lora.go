@@ -83,6 +83,7 @@ func SNRThresholdDB(s SF) float64 {
 func SensitivityDBm(s SF) float64 {
 	ss, ok := sensitivityDBm[s]
 	if !ok {
+		//eflora:alloc-ok panic message on the programming-error path only, never taken for valid SFs
 		panic(fmt.Sprintf("lora: invalid spreading factor %d", int(s)))
 	}
 	return ss

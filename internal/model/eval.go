@@ -183,6 +183,10 @@ func NewEvaluator(net *Network, p Params, alloc Allocation, mode Mode) (*Evaluat
 			e.chSum[e.ch[i]][k] += e.tpMW[i] * e.gain[i][k]
 		}
 	}
+	e.capDP = make([]*mathx.PoissonBinomial, e.g)
+	for k := 0; k < e.g; k++ {
+		e.capDP[k] = mathx.NewPoissonBinomial(e.p.GatewayCapacity)
+	}
 	e.rebuildCapacity()
 	e.RecomputeAll()
 	return e, nil
@@ -225,17 +229,11 @@ func (e *Evaluator) visibility(i, k int, s lora.SF, tpmw float64) float64 {
 
 // rebuildCapacity recomputes every per-gateway Poisson-binomial capacity
 // distribution from scratch, clearing any numerical drift from incremental
-// removals.
+// removals. The DP tables are allocated once in NewEvaluator and reset in
+// place here, keeping refinement passes allocation-free.
 func (e *Evaluator) rebuildCapacity() {
-	if e.capDP == nil {
-		e.capDP = make([]*mathx.PoissonBinomial, e.g)
-		for k := 0; k < e.g; k++ {
-			e.capDP[k] = mathx.NewPoissonBinomial(e.p.GatewayCapacity)
-		}
-	} else {
-		for _, dp := range e.capDP {
-			dp.Reset()
-		}
+	for _, dp := range e.capDP {
+		dp.Reset()
 	}
 	for i := 0; i < e.n; i++ {
 		for k := 0; k < e.g; k++ {

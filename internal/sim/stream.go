@@ -246,6 +246,7 @@ func runStreaming(net *model.Network, p model.Params, a model.Allocation, cfg Co
 				start: wtxs[t].StartS, end: wtxs[t].EndS,
 			})
 		}
+		//eflora:alloc-ok worker goroutine spawn is amortized over a whole gateway window, not per packet
 		par.For(cfg.Parallelism, g, gwWindow)
 		// Merge the gateways' verdicts in ascending gateway order — the
 		// same precedence walk as the batch merge.
