@@ -6,11 +6,25 @@
 //
 //	eflora-bench -bench 'Sequential|Parallel' -benchtime 3x -o BENCH_sim.json
 //
+// The -cpu flag is passed through to `go test -cpu`, so one recording can
+// hold a per-core scaling curve: go test runs every benchmark once per
+// GOMAXPROCS value and suffixes the name with -N (no suffix at 1 proc),
+// which the schema stores as separate benchmark entries:
+//
+//	eflora-bench -bench 'Sequential|Parallel' -cpu 1,2,4 -o BENCH_sim.json
+//
 // Diff mode compares two recordings benchmark-by-benchmark and exits
 // non-zero when any shared benchmark regressed beyond the threshold ratio
 // on time, bytes or allocations:
 //
 //	eflora-bench -diff -threshold 1.3 BENCH_parallel.json BENCH_sim.json
+//
+// When both recordings carry multi-proc entries for a benchmark family,
+// diff mode also compares the parallel speedup (1-proc ns/op over N-proc
+// ns/op) at every shared N and fails when the new speedup falls below the
+// old by more than -scaling-threshold — a kernel that still hits its
+// single-core number but stopped scaling across cores is a regression the
+// per-name ratios alone cannot see.
 //
 // The parser and differ are plain functions over readers and structs so
 // they are unit-testable without running the suite.
@@ -110,6 +124,81 @@ func parseBenchOutput(r io.Reader) ([]Benchmark, Host, error) {
 		}
 	}
 	return out, host, sc.Err()
+}
+
+// splitProcs separates a recorded benchmark name into its family and the
+// GOMAXPROCS the run used: go test suffixes -N under -cpu and for any
+// parallel run, and omits the suffix at 1 proc.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}
+
+// scalingCurves groups a recording's benchmarks into per-family curves of
+// ns/op keyed by GOMAXPROCS. Families with a single point still appear
+// (the differ skips them).
+func scalingCurves(r Recording) map[string]map[int]float64 {
+	out := map[string]map[int]float64{}
+	for _, b := range r.Benchmarks {
+		base, procs := splitProcs(b.Name)
+		if out[base] == nil {
+			out[base] = map[int]float64{}
+		}
+		out[base][procs] = b.NsPerOp
+	}
+	return out
+}
+
+// diffScaling compares the parallel speedup curves of the families both
+// recordings measured at 1 proc and at N>1 procs, and reports a
+// regression wherever oldSpeedup/newSpeedup exceeds threshold. Speedup is
+// ns/op at 1 proc over ns/op at N procs, so a slope regression is caught
+// even when every absolute time improved.
+func diffScaling(old, new Recording, threshold float64) []regression {
+	oldCurves := scalingCurves(old)
+	var regs []regression
+	for base, cur := range scalingCurves(new) {
+		prev := oldCurves[base]
+		if prev == nil || prev[1] == 0 || cur[1] == 0 {
+			continue
+		}
+		for procs, ns := range cur {
+			if procs == 1 || ns == 0 || prev[procs] == 0 {
+				continue
+			}
+			oldUp := prev[1] / prev[procs]
+			newUp := cur[1] / ns
+			if ratio := oldUp / newUp; ratio > threshold {
+				regs = append(regs, regression{
+					Name:   fmt.Sprintf("%s@%dprocs", base, procs),
+					Metric: "speedup",
+					Old:    oldUp,
+					New:    newUp,
+					Ratio:  ratio,
+				})
+			}
+		}
+	}
+	sortRegressions(regs)
+	return regs
+}
+
+// sortRegressions orders reports by name then metric for stable output
+// (scaling curves come out of map iteration).
+func sortRegressions(regs []regression) {
+	for i := 1; i < len(regs); i++ {
+		for j := i; j > 0 && (regs[j].Name < regs[j-1].Name ||
+			(regs[j].Name == regs[j-1].Name && regs[j].Metric < regs[j-1].Metric)); j-- {
+			regs[j], regs[j-1] = regs[j-1], regs[j]
+		}
+	}
 }
 
 // regression describes one metric of one benchmark exceeding the
@@ -231,9 +320,13 @@ func writeRecording(w io.Writer, rec Recording) error {
 	return err
 }
 
-func runRecord(benchRe, benchtime, timeout, pkg, outPath, desc string) error {
+func runRecord(benchRe, benchtime, timeout, pkg, outPath, desc, cpu string) error {
 	args := []string{"test", "-run", "^$", "-bench", benchRe,
-		"-benchtime", benchtime, "-timeout", timeout, "-benchmem", "-count=1", pkg}
+		"-benchtime", benchtime, "-timeout", timeout, "-benchmem", "-count=1"}
+	if cpu != "" {
+		args = append(args, "-cpu", cpu)
+	}
+	args = append(args, pkg)
 	fmt.Fprintf(os.Stderr, "eflora-bench: go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
@@ -271,7 +364,7 @@ func runRecord(benchRe, benchtime, timeout, pkg, outPath, desc string) error {
 	return nil
 }
 
-func runDiff(oldPath, newPath string, threshold float64) error {
+func runDiff(oldPath, newPath string, threshold, scalingThreshold float64) error {
 	old, err := readRecording(oldPath)
 	if err != nil {
 		return err
@@ -281,6 +374,9 @@ func runDiff(oldPath, newPath string, threshold float64) error {
 		return err
 	}
 	regs, unmatched := diffRecordings(old, cur, threshold)
+	if scalingThreshold > 0 {
+		regs = append(regs, diffScaling(old, cur, scalingThreshold)...)
+	}
 	for _, n := range unmatched {
 		fmt.Printf("only in one recording: %s\n", n)
 	}
@@ -324,17 +420,19 @@ func main() {
 		pkg       = flag.String("pkg", ".", "record mode: package to benchmark")
 		outPath   = flag.String("o", "BENCH_sim.json", "record mode: output recording path")
 		desc      = flag.String("description", "", "record mode: recording description")
+		cpu       = flag.String("cpu", "", "record mode: -cpu list passed to go test (e.g. 1,2,4) to record per-core scaling curves")
+		scaling   = flag.Float64("scaling-threshold", 1.25, "diff mode: failure ratio for old/new parallel speedup at each proc count (0 disables)")
 	)
 	flag.Parse()
 	var err error
 	if *diff {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: eflora-bench -diff [-threshold R] old.json new.json")
+			fmt.Fprintln(os.Stderr, "usage: eflora-bench -diff [-threshold R] [-scaling-threshold R] old.json new.json")
 			os.Exit(2)
 		}
-		err = runDiff(flag.Arg(0), flag.Arg(1), *threshold)
+		err = runDiff(flag.Arg(0), flag.Arg(1), *threshold, *scaling)
 	} else {
-		err = runRecord(*benchRe, *benchtime, *timeout, *pkg, *outPath, *desc)
+		err = runRecord(*benchRe, *benchtime, *timeout, *pkg, *outPath, *desc, *cpu)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eflora-bench:", err)

@@ -125,3 +125,79 @@ func TestParseExistingRecording(t *testing.T) {
 		t.Errorf("BENCH_parallel.json parsed to %+v", recFile)
 	}
 }
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		name string
+		base string
+		n    int
+	}{
+		{"BenchmarkSimulatorSequential", "BenchmarkSimulatorSequential", 1},
+		{"BenchmarkSimulatorSequential-2", "BenchmarkSimulatorSequential", 2},
+		{"BenchmarkDecodePushData/scratch-16", "BenchmarkDecodePushData/scratch", 16},
+		{"BenchmarkFoo-bar", "BenchmarkFoo-bar", 1},
+	}
+	for _, c := range cases {
+		base, n := splitProcs(c.name)
+		if base != c.base || n != c.n {
+			t.Errorf("splitProcs(%q) = %q, %d; want %q, %d", c.name, base, n, c.base, c.n)
+		}
+	}
+}
+
+func TestDiffScaling(t *testing.T) {
+	old := rec(
+		Benchmark{Name: "A", NsPerOp: 100},
+		Benchmark{Name: "A-2", NsPerOp: 60}, // 1.67x speedup
+		Benchmark{Name: "B", NsPerOp: 100},
+		Benchmark{Name: "B-2", NsPerOp: 60}, // 1.67x speedup
+		Benchmark{Name: "OnlyOld", NsPerOp: 100},
+		Benchmark{Name: "OnlyOld-2", NsPerOp: 50},
+	)
+	cur := rec(
+		// A got faster at 1 proc but stopped scaling: 80 -> 75 is only
+		// 1.07x. Every per-name ratio stays under the 1.3x gate (A-2 is
+		// 1.25x); only the slope gate catches the lost parallelism.
+		Benchmark{Name: "A", NsPerOp: 80},
+		Benchmark{Name: "A-2", NsPerOp: 75},
+		// B's speedup held (1.67x), times unchanged.
+		Benchmark{Name: "B", NsPerOp: 100},
+		Benchmark{Name: "B-2", NsPerOp: 60},
+		Benchmark{Name: "OnlyNew", NsPerOp: 100},
+		Benchmark{Name: "OnlyNew-2", NsPerOp: 50},
+	)
+	if regs, _ := diffRecordings(old, cur, 1.3); len(regs) != 0 {
+		t.Fatalf("per-name diff flagged %+v, want none (times improved)", regs)
+	}
+	regs := diffScaling(old, cur, 1.25)
+	if len(regs) != 1 {
+		t.Fatalf("scaling regs = %+v, want exactly A@2procs", regs)
+	}
+	r := regs[0]
+	if r.Name != "A@2procs" || r.Metric != "speedup" {
+		t.Errorf("regression = %+v", r)
+	}
+	if r.Old < 1.6 || r.Old > 1.7 || r.New < 1.0 || r.New > 1.1 {
+		t.Errorf("speedups = %.3g -> %.3g, want ~1.67 -> ~1.07", r.Old, r.New)
+	}
+	// A family that only one side measured at N procs never fires.
+	if regs := diffScaling(old, rec(Benchmark{Name: "OnlyOld", NsPerOp: 100}), 1.25); len(regs) != 0 {
+		t.Errorf("single-sided family fired: %+v", regs)
+	}
+}
+
+func TestScalingCurves(t *testing.T) {
+	curves := scalingCurves(rec(
+		Benchmark{Name: "A", NsPerOp: 100},
+		Benchmark{Name: "A-2", NsPerOp: 50},
+		Benchmark{Name: "A-4", NsPerOp: 30},
+		Benchmark{Name: "Solo", NsPerOp: 7},
+	))
+	a := curves["A"]
+	if len(a) != 3 || a[1] != 100 || a[2] != 50 || a[4] != 30 {
+		t.Errorf("curve A = %v", a)
+	}
+	if s := curves["Solo"]; len(s) != 1 || s[1] != 7 {
+		t.Errorf("curve Solo = %v", s)
+	}
+}

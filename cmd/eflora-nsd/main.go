@@ -594,12 +594,15 @@ func (d *daemon) gatewayIndex(eui [8]byte) int {
 // udpLoop is the packet-forwarder ingress: decode, ack, dispatch.
 func (d *daemon) udpLoop() {
 	buf := make([]byte, 65536)
+	// One parse scratch for the whole loop: each decoded packet aliases it
+	// and is consumed fully before the next read.
+	var psc ingest.ParseScratch
 	for {
 		n, addr, err := d.udp.ReadFromUDP(buf)
 		if err != nil {
 			return // closed
 		}
-		pkt, err := ingest.DecodePacket(buf[:n])
+		pkt, err := ingest.DecodePacketInto(buf[:n], &psc)
 		if err != nil {
 			d.parseErr.Add(1)
 			continue

@@ -37,7 +37,7 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name: "detrand",
 	Doc: "forbid wall clocks, global math/rand, environment reads and map iteration " +
-		"in determinism-critical packages (sim, engine, model, alloc, exp, par, golden, mathx, geo)",
+		"in determinism-critical packages (sim, engine, model, alloc, exp, par, golden, mathx, geo, slab)",
 	Run: run,
 }
 
@@ -54,6 +54,7 @@ var criticalPackages = map[string]bool{
 	"mathx":      true,
 	"statestore": true,
 	"geo":        true,
+	"slab":       true,
 }
 
 const suppression = "nondeterminism-ok"

@@ -1,0 +1,293 @@
+// Batch is the struct-of-arrays entry point to the receiver state
+// machine: one call consumes a whole transmission window laid out in
+// parallel columns and produces the same verdicts, counters and
+// carry-over state the scalar Arrive/FinishUpTo loop would — bit for
+// bit. The scalar API stays for the confirmed and live drivers, whose
+// events arrive one at a time; the batch drivers (sim.Run and the
+// streaming window loop) trade it for two passes over columns:
+//
+//  1. a fused sequential sweep in arrival order — sensitivity,
+//     half-duplex, the collision scan against the in-flight set and
+//     demodulator capacity, the per-event order of the scalar API
+//     inlined over the columns with one flag byte per entry — and
+//  2. a token-order SNR-verdict pass emitting Done entries.
+//
+// The verdict pass cannot fuse into the sweep: a reception's collision
+// mark can arrive from any later transmission that overlaps it, so its
+// outcome is only final once the sweep has moved past its end time.
+//
+// The sweep's in-flight set is bounded by the demodulator capacity
+// (locking is refused beyond it, and the carry-over from the previous
+// window obeyed the same bound), so the per-arrival scan is a handful
+// of comparisons over one small cache-resident slice. An earlier
+// revision of this kernel partitioned the scan into per-(SF, channel)
+// buckets; under the capacity bound the partitioning saved no
+// comparisons worth the scattered chain-table traffic it introduced,
+// and the fused direct sweep measured ~1.5x faster end to end. Revisit
+// bucketing only if a receiver model ever drops the capacity bound.
+// See DESIGN.md "Batch receiver kernel".
+package engine
+
+import (
+	"eflora/internal/lora"
+	"eflora/internal/slab"
+)
+
+// Window is one transmission window in struct-of-arrays form: column i
+// across all slices describes one transmission, carrying token Tok0+i.
+// Entries must be sorted by (StartS, Dev) — the same nondecreasing
+// arrival order the scalar API demands. TpMW is the transmit power the
+// driver combines with its per-gateway gain and fading model to build
+// the received-power column Batch consumes; the kernel itself never
+// reads it.
+type Window struct {
+	// Tok0 is the token of column 0; column i carries token Tok0 + i.
+	Tok0   int
+	Dev    []int32
+	SF     []lora.SF
+	Ch     []int32
+	StartS []float64
+	EndS   []float64
+	TpMW   []float64
+}
+
+// Len reports the number of transmissions in the window.
+func (w *Window) Len() int { return len(w.StartS) }
+
+// Reset empties the window (retaining column capacity) and sets the
+// token base for the next fill.
+func (w *Window) Reset(tok0 int) {
+	w.Tok0 = tok0
+	w.Dev = w.Dev[:0]
+	w.SF = w.SF[:0]
+	w.Ch = w.Ch[:0]
+	w.StartS = w.StartS[:0]
+	w.EndS = w.EndS[:0]
+	w.TpMW = w.TpMW[:0]
+}
+
+// Append adds one transmission to every column.
+//
+//eflora:hotpath
+func (w *Window) Append(dev int, sf lora.SF, ch int, startS, endS, tpMW float64) {
+	w.Dev = append(w.Dev, int32(dev))
+	w.SF = append(w.SF, sf)
+	w.Ch = append(w.Ch, int32(ch))
+	w.StartS = append(w.StartS, startS)
+	w.EndS = append(w.EndS, endS)
+	w.TpMW = append(w.TpMW, tpMW)
+}
+
+// Grow ensures every column can hold n entries without reallocating,
+// so a warmed window fills allocation-free.
+func (w *Window) Grow(n int) {
+	w.Dev = slab.Grow(w.Dev, n)[:len(w.Dev)]
+	w.SF = slab.Grow(w.SF, n)[:len(w.SF)]
+	w.Ch = slab.Grow(w.Ch, n)[:len(w.Ch)]
+	w.StartS = slab.Grow(w.StartS, n)[:len(w.StartS)]
+	w.EndS = slab.Grow(w.EndS, n)[:len(w.EndS)]
+	w.TpMW = slab.Grow(w.TpMW, n)[:len(w.TpMW)]
+}
+
+// Per-entry resolution flags of the batch passes.
+const (
+	bfVisible  uint8 = 1 << iota // cleared sensitivity
+	bfBlocked                    // lost to the gateway's own downlink
+	bfDropped                    // no free demodulator
+	bfLocked                     // occupies a demodulator
+	bfCollided                   // corrupted by same-SF same-channel overlap
+)
+
+// openRx is one in-flight locked reception during the sweep: enough of
+// its state to apply the collision rule, plus the cell index (carried
+// active below nc, window entry nc+i) to mark it collided in place.
+type openRx struct {
+	end  float64
+	rx   float64
+	dev  int32
+	ch   int32
+	cell int32
+	sf   lora.SF
+}
+
+// batchState holds the kernel's reusable pass buffers. They live on the
+// Gateway so a warmed receiver runs Batch allocation-free; Reset leaves
+// them alone (contents are rebuilt from scratch every call).
+type batchState struct {
+	flags []uint8  // per-window-entry resolution flags
+	open  []openRx // in-flight locked receptions during the sweep
+}
+
+// markCollided marks the reception in cell c (carried active below nc,
+// window entry at nc+i) corrupted.
+func (g *Gateway) markCollided(c int32, nc int) {
+	if int(c) < nc {
+		g.active[c].collided = true
+	} else {
+		g.batch.flags[int(c)-nc] |= bfCollided
+	}
+}
+
+// Batch runs the whole window through the receiver: every column entry
+// arrives in order, every reception (carried or new) ending at or
+// before cut completes, and one Done per verdict is appended to dst (a
+// caller-owned reused buffer). rxMW is the received-power column at
+// this gateway, parallel to the window. Unlike the scalar API, Batch
+// also emits a Done for arrivals that never lock — OutcomeNoSignal
+// below sensitivity, OutcomeCapacity for demodulator exhaustion and
+// half-duplex blocking (the mapping the drivers applied by hand around
+// Arrive) — so batch drivers consume a single verdict stream. Done
+// order is carried completions first, then window entries in token
+// order; all consumers key on Tok.
+//
+// Every StartS must lie below cut, and successive calls must not
+// overlap in time: receptions with EndS > cut carry over to the next
+// call exactly like the scalar active list.
+//
+//eflora:hotpath
+func (g *Gateway) Batch(w *Window, rxMW []float64, cut float64, dst []Done) []Done {
+	n := w.Len()
+	b := &g.batch
+	nc := len(g.active)
+
+	flags := slab.GrowZero(b.flags, n)
+	b.flags = flags
+	sens := &g.cfg.Thresholds.SensitivityMW
+
+	// Pass 1: fused sequential sweep in arrival order. open tracks the
+	// locked receptions still in flight (the scalar active list), seeded
+	// from the carry-over; every visible arrival prunes expired entries
+	// — the FinishUpTo(start) the scalar drivers run per event, minus
+	// the verdicts, which wait for pass 2 — then runs the scalar
+	// Arrive's checks in the scalar order. The capacity bound caps
+	// len(open), so the Grow below covers every append in the loop and a
+	// warmed gateway sweeps allocation-free.
+	open := slab.Grow(b.open, nc+g.cfg.Capacity)[:0]
+	for i := range g.active {
+		rx := &g.active[i]
+		open = append(open, openRx{end: rx.endS, rx: rx.rxMW, dev: int32(rx.dev),
+			ch: int32(rx.ch), cell: int32(i), sf: rx.sf})
+	}
+	for i := 0; i < n; i++ {
+		start := w.StartS[i]
+		if g.cfg.HalfDuplex {
+			// Prune finished ACK windows at every arrival — including
+			// below-sensitivity ones — exactly like the scalar Arrive.
+			wins := g.ackWins[:0]
+			for _, aw := range g.ackWins {
+				if aw.to > start {
+					wins = append(wins, aw)
+				}
+			}
+			g.ackWins = wins
+		}
+		pi := rxMW[i]
+		sf := w.SF[i]
+		if pi < sens[sf-lora.SF7] {
+			g.Counters.SensitivityMisses++
+			continue
+		}
+		flags[i] = bfVisible
+		live := open[:0]
+		for _, a := range open {
+			if a.end > start {
+				live = append(live, a)
+			}
+		}
+		open = live
+		// Collision scan before the half-duplex and capacity checks: a
+		// transmission that never locks is still RF energy on the air
+		// and corrupts locked receptions all the same; collision marks
+		// on the arrival itself only take effect if it locks.
+		dev := w.Dev[i]
+		ch := w.Ch[i]
+		collided := false
+		for j := range open {
+			a := &open[j]
+			if a.dev == dev || a.sf != sf || a.ch != ch {
+				continue
+			}
+			if g.cfg.Capture {
+				switch {
+				case pi >= g.cfg.CaptureLin*a.rx:
+					g.markCollided(a.cell, nc)
+				case a.rx >= g.cfg.CaptureLin*pi:
+					collided = true
+				default:
+					collided = true
+					g.markCollided(a.cell, nc)
+				}
+			} else {
+				collided = true
+				g.markCollided(a.cell, nc)
+			}
+		}
+		if g.cfg.HalfDuplex {
+			blocked := false
+			for _, aw := range g.ackWins {
+				if aw.from < w.EndS[i] && start < aw.to {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				flags[i] |= bfBlocked
+				g.Counters.AckBlocked++
+				continue
+			}
+		}
+		if len(open) >= g.cfg.Capacity {
+			flags[i] |= bfDropped
+			g.Counters.CapacityDrops++
+			continue
+		}
+		if collided {
+			flags[i] |= bfCollided
+		}
+		flags[i] |= bfLocked
+		open = append(open, openRx{end: w.EndS[i], rx: pi, dev: dev,
+			ch: ch, cell: int32(nc + i), sf: sf})
+	}
+	b.open = open[:0]
+
+	// Pass 2: verdicts. Carried receptions ending at or before cut
+	// complete first (collision marks from pass 1 included), then every
+	// window entry resolves in token order: failure Done, carry-over
+	// into the active list, or completion verdict.
+	keepAct := g.active[:0]
+	for _, rx := range g.active {
+		if rx.endS > cut {
+			keepAct = append(keepAct, rx)
+			continue
+		}
+		dst = append(dst, g.verdict(rx))
+	}
+	g.active = keepAct
+	snr := &g.cfg.Thresholds.SNRLin
+	for i := 0; i < n; i++ {
+		f := flags[i]
+		tok := w.Tok0 + i
+		switch {
+		case f&bfVisible == 0:
+			dst = append(dst, Done{Tok: tok, Outcome: OutcomeNoSignal})
+		case f&(bfBlocked|bfDropped) != 0:
+			dst = append(dst, Done{Tok: tok, Outcome: OutcomeCapacity})
+		case w.EndS[i] > cut:
+			g.active = append(g.active, reception{
+				tok: tok, dev: int(w.Dev[i]), ch: int(w.Ch[i]), sf: w.SF[i],
+				endS: w.EndS[i], rxMW: rxMW[i], collided: f&bfCollided != 0,
+			})
+		default:
+			o := OutcomeFaded
+			switch {
+			case f&bfCollided != 0:
+				g.Counters.CollisionLosses++
+				o = OutcomeCollided
+			case rxMW[i]/g.cfg.NoiseMW >= snr[w.SF[i]-lora.SF7]:
+				o = OutcomeDelivered
+			}
+			dst = append(dst, Done{Tok: tok, Outcome: o, RxMW: rxMW[i]})
+		}
+	}
+	return dst
+}

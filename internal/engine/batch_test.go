@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"eflora/internal/lora"
+	"eflora/internal/rng"
+)
+
+// runScalar replays one event stream through the scalar API, applying
+// the same verdict mapping the batch drivers use (failures become Done
+// entries), and returns outcomes keyed by token plus the counters.
+func runScalar(cfg Config, w *Window, rxMW []float64, cuts []float64, acks [][2]float64) (map[int]Done, Counters) {
+	var g Gateway
+	g.Reset(cfg)
+	for _, a := range acks {
+		g.AddAckWindow(a[0], a[1])
+	}
+	out := map[int]Done{}
+	var done []Done
+	i := 0
+	for _, cut := range cuts {
+		for ; i < w.Len() && w.StartS[i] < cut; i++ {
+			done = g.FinishUpTo(w.StartS[i], done[:0])
+			for _, d := range done {
+				out[d.Tok] = d
+			}
+			tok := w.Tok0 + i
+			switch g.Arrive(tok, int(w.Dev[i]), w.SF[i], int(w.Ch[i]), w.StartS[i], w.EndS[i], rxMW[i]) {
+			case VerdictNoSignal:
+				out[tok] = Done{Tok: tok, Outcome: OutcomeNoSignal}
+			case VerdictBlocked, VerdictNoCapacity:
+				out[tok] = Done{Tok: tok, Outcome: OutcomeCapacity}
+			}
+		}
+		done = g.FinishUpTo(cut, done[:0])
+		for _, d := range done {
+			out[d.Tok] = d
+		}
+	}
+	return out, g.Counters
+}
+
+// runBatch replays the same stream through Batch, splitting the window
+// at the same cuts.
+func runBatch(cfg Config, w *Window, rxMW []float64, cuts []float64, acks [][2]float64) (map[int]Done, Counters) {
+	var g Gateway
+	g.Reset(cfg)
+	for _, a := range acks {
+		g.AddAckWindow(a[0], a[1])
+	}
+	out := map[int]Done{}
+	var done []Done
+	i := 0
+	for _, cut := range cuts {
+		var sub Window
+		sub.Tok0 = w.Tok0 + i
+		lo := i
+		for ; i < w.Len() && w.StartS[i] < cut; i++ {
+		}
+		sub.Dev, sub.SF, sub.Ch = w.Dev[lo:i], w.SF[lo:i], w.Ch[lo:i]
+		sub.StartS, sub.EndS = w.StartS[lo:i], w.EndS[lo:i]
+		done = g.Batch(&sub, rxMW[lo:i], cut, done[:0])
+		for _, d := range done {
+			out[d.Tok] = d
+		}
+	}
+	return out, g.Counters
+}
+
+// diffStreams runs one stream through both paths at the given cuts and
+// fails on any outcome or counter divergence.
+func diffStreams(t *testing.T, cfg Config, w *Window, rxMW []float64, cuts []float64, acks [][2]float64) {
+	t.Helper()
+	wantOut, wantCtr := runScalar(cfg, w, rxMW, cuts, acks)
+	gotOut, gotCtr := runBatch(cfg, w, rxMW, cuts, acks)
+	if gotCtr != wantCtr {
+		t.Errorf("counters diverge: batch %+v, scalar %+v", gotCtr, wantCtr)
+	}
+	if len(gotOut) != len(wantOut) {
+		t.Errorf("verdict count diverges: batch %d, scalar %d", len(gotOut), len(wantOut))
+	}
+	for tok, want := range wantOut {
+		got, ok := gotOut[tok]
+		if !ok {
+			t.Errorf("tok %d: scalar %+v, batch emitted nothing", tok, want)
+			continue
+		}
+		if got != want {
+			t.Errorf("tok %d: batch %+v, scalar %+v", tok, got, want)
+		}
+	}
+}
+
+// randomWindow draws n sorted transmissions over a horizon. Powers span
+// the whole interesting range: below sensitivity, the faded band, and
+// comfortably decodable, with near-capture ratios in between.
+func randomWindow(r *rng.RNG, n, devs, chans int, horizon float64) (*Window, []float64) {
+	w := &Window{}
+	starts := make([]float64, n)
+	for i := range starts {
+		starts[i] = r.Float64() * horizon
+	}
+	// Insertion sort: deterministic and dependency-free for test sizes.
+	for i := 1; i < len(starts); i++ {
+		for j := i; j > 0 && starts[j] < starts[j-1]; j-- {
+			starts[j], starts[j-1] = starts[j-1], starts[j]
+		}
+	}
+	rx := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		sf := lora.SF7 + lora.SF(r.Uint64()%6)
+		dur := 0.05 + r.Float64()*2
+		w.Append(int(r.Uint64()%uint64(devs)), sf, int(r.Uint64()%uint64(chans)),
+			starts[i], starts[i]+dur, 1)
+		sens := lora.DBmToMilliwatts(lora.SensitivityDBm(sf))
+		rx = append(rx, sens*math.Pow(10, r.Float64()*8-1))
+	}
+	return w, rx
+}
+
+func TestBatchMatchesScalarRandomStreams(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 60; trial++ {
+		capture := trial%2 == 0
+		halfDuplex := trial%3 == 0
+		cfg := testConfig(capture, halfDuplex)
+		if trial%5 == 0 {
+			cfg.Capacity = 1 // saturate constantly
+		}
+		n := 2 + int(r.Uint64()%40)
+		w, rx := randomWindow(r, n, 1+n/3, 2, 10)
+		var acks [][2]float64
+		if halfDuplex {
+			from := r.Float64() * 10
+			acks = append(acks, [2]float64{from, from + r.Float64()*3})
+		}
+		// Exercise single-call, windowed, and empty-window cut layouts.
+		cutSets := [][]float64{
+			{math.Inf(1)},
+			{2.5, 5, 7.5, math.Inf(1)},
+			{1, 1, 4, 4, math.Inf(1)},
+		}
+		for _, cuts := range cutSets {
+			diffStreams(t, cfg, w, rx, cuts, acks)
+		}
+	}
+}
+
+func TestBatchCarryOverCollision(t *testing.T) {
+	// A reception locked in window 1 is corrupted by an overlap arriving
+	// in window 2: the collision loss must be charged at completion, in
+	// window 2, at both paths.
+	w := &Window{}
+	w.Append(0, lora.SF7, 0, 0.5, 3, 1)
+	w.Append(1, lora.SF7, 0, 1.5, 4, 1)
+	rx := []float64{strongMW, strongMW}
+	diffStreams(t, testConfig(false, false), w, rx, []float64{1, 2, math.Inf(1)}, nil)
+
+	var g Gateway
+	g.Reset(testConfig(false, false))
+	sub := Window{Tok0: 0, Dev: w.Dev[:1], SF: w.SF[:1], Ch: w.Ch[:1], StartS: w.StartS[:1], EndS: w.EndS[:1]}
+	done := g.Batch(&sub, rx[:1], 1, nil)
+	if len(done) != 0 || g.Active() != 1 {
+		t.Fatalf("window 1: done=%v active=%d, want carry-over", done, g.Active())
+	}
+	sub = Window{Tok0: 1, Dev: w.Dev[1:], SF: w.SF[1:], Ch: w.Ch[1:], StartS: w.StartS[1:], EndS: w.EndS[1:]}
+	done = g.Batch(&sub, rx[1:], math.Inf(1), done[:0])
+	if len(done) != 2 {
+		t.Fatalf("window 2: done=%v, want both completions", done)
+	}
+	for _, d := range done {
+		if d.Outcome != OutcomeCollided {
+			t.Errorf("tok %d outcome = %v, want collided", d.Tok, d.Outcome)
+		}
+	}
+	if g.Counters.CollisionLosses != 2 {
+		t.Errorf("collision losses = %d, want 2", g.Counters.CollisionLosses)
+	}
+}
+
+func TestBatchEmitsFailureVerdicts(t *testing.T) {
+	cfg := testConfig(false, true)
+	cfg.Capacity = 1
+	var g Gateway
+	g.Reset(cfg)
+	g.AddAckWindow(4, 5)
+	w := &Window{}
+	w.Append(0, lora.SF7, 0, 0, 1, 1)   // locks, delivered
+	w.Append(1, lora.SF7, 1, 0.5, 2, 1) // other channel, capacity drop
+	w.Append(2, lora.SF7, 0, 3, 3.5, 1) // below sensitivity
+	w.Append(3, lora.SF7, 0, 4.2, 6, 1) // half-duplex blocked
+	weak := lora.DBmToMilliwatts(lora.SensitivityDBm(lora.SF7)) / 2
+	rx := []float64{strongMW, strongMW, weak, strongMW}
+	done := g.Batch(w, rx, math.Inf(1), nil)
+	want := map[int]Outcome{0: OutcomeDelivered, 1: OutcomeCapacity, 2: OutcomeNoSignal, 3: OutcomeCapacity}
+	if len(done) != len(want) {
+		t.Fatalf("done = %+v, want %d verdicts", done, len(want))
+	}
+	for _, d := range done {
+		if d.Outcome != want[d.Tok] {
+			t.Errorf("tok %d outcome = %v, want %v", d.Tok, d.Outcome, want[d.Tok])
+		}
+	}
+	ctr := g.Counters
+	if ctr.CapacityDrops != 1 || ctr.SensitivityMisses != 1 || ctr.AckBlocked != 1 {
+		t.Errorf("counters = %+v, want one capacity drop, one miss, one blocked", ctr)
+	}
+}
+
+func TestBatchWarmIsAllocationFree(t *testing.T) {
+	cfg := testConfig(true, true)
+	var g Gateway
+	w, rx := randomWindow(rng.New(3), 64, 16, 2, 20)
+	done := make([]Done, 0, 128)
+	// Warm the pass buffers once.
+	g.Reset(cfg)
+	done = g.Batch(w, rx, math.Inf(1), done[:0])
+	avg := testing.AllocsPerRun(50, func() {
+		g.Reset(cfg)
+		g.AddAckWindow(1, 2)
+		done = g.Batch(w, rx, math.Inf(1), done[:0])
+	})
+	if avg != 0 {
+		t.Errorf("warm Batch allocates %v per window, want 0", avg)
+	}
+}
+
+func TestArrivePrunesAckWindowsOnEveryPath(t *testing.T) {
+	cfg := testConfig(false, true)
+	var g Gateway
+	g.Reset(cfg)
+	// Expired, boundary-equal (w.to == startS) and zero-length windows
+	// must all be pruned by a below-sensitivity arrival — the path that
+	// used to return before the half-duplex branch ran.
+	g.AddAckWindow(1, 2)
+	g.AddAckWindow(2, 5)     // boundary: to == startS of the probe below
+	g.AddAckWindow(3, 3)     // zero-length, already past
+	g.AddAckWindow(6, 7)     // still ahead: must survive
+	weak := lora.DBmToMilliwatts(lora.SensitivityDBm(lora.SF7)) / 2
+	if v := g.Arrive(0, 0, lora.SF7, 0, 5, 5.5, weak); v != VerdictNoSignal {
+		t.Fatalf("verdict = %v, want no-signal", v)
+	}
+	if n := len(g.ackWins); n != 1 {
+		t.Fatalf("ackWins after sensitivity miss = %d, want 1 (only the future window)", n)
+	}
+	// The surviving window still blocks.
+	if v := g.Arrive(1, 1, lora.SF7, 0, 6.5, 8, strongMW); v != VerdictBlocked {
+		t.Fatalf("verdict = %v, want blocked", v)
+	}
+	// A boundary-equal window (to == startS) never blocks: [from, to) is
+	// closed on the right before the arrival starts.
+	g.Reset(cfg)
+	g.AddAckWindow(1, 2)
+	if v := g.Arrive(2, 2, lora.SF7, 0, 2, 3, strongMW); v != VerdictLocked {
+		t.Fatalf("boundary-equal window blocked: verdict = %v, want locked", v)
+	}
+	if len(g.ackWins) != 0 {
+		t.Fatalf("boundary-equal window not pruned: %d left", len(g.ackWins))
+	}
+}

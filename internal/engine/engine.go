@@ -172,6 +172,8 @@ type Gateway struct {
 	cfg     Config
 	active  []reception
 	ackWins []ackWin
+	// batch holds the Batch kernel's reusable pass buffers (batch.go).
+	batch batchState
 
 	// Counters is the running per-outcome accounting since Reset.
 	Counters Counters
@@ -212,6 +214,20 @@ func (g *Gateway) SNRdB(rxMW float64) float64 {
 //
 //eflora:hotpath
 func (g *Gateway) Arrive(tok, dev int, sf lora.SF, ch int, startS, endS, rxMW float64) Verdict {
+	if g.cfg.HalfDuplex {
+		// Prune finished ACK windows before any early return — a long
+		// quiet stretch of below-sensitivity arrivals must not let
+		// expired windows accumulate. A pruned window (to <= startS) can
+		// never block this or any later arrival, so hoisting the prune
+		// above the sensitivity check changes no verdict.
+		wins := g.ackWins[:0]
+		for _, w := range g.ackWins {
+			if w.to > startS {
+				wins = append(wins, w)
+			}
+		}
+		g.ackWins = wins
+	}
 	if rxMW < g.cfg.Thresholds.SensitivityMW[sf-lora.SF7] {
 		g.Counters.SensitivityMisses++
 		return VerdictNoSignal
@@ -238,23 +254,13 @@ func (g *Gateway) Arrive(tok, dev int, sf lora.SF, ch int, startS, endS, rxMW fl
 		}
 	}
 	if g.cfg.HalfDuplex {
-		// Prune finished ACK windows, then block the uplink if any
-		// remaining downlink overlaps it in time.
-		wins := g.ackWins[:0]
-		blocked := false
+		// Windows were pruned on entry; block the uplink if any remaining
+		// downlink overlaps it in time.
 		for _, w := range g.ackWins {
-			if w.to <= startS {
-				continue
-			}
-			wins = append(wins, w)
 			if w.from < endS && startS < w.to {
-				blocked = true
+				g.Counters.AckBlocked++
+				return VerdictBlocked
 			}
-		}
-		g.ackWins = wins
-		if blocked {
-			g.Counters.AckBlocked++
-			return VerdictBlocked
 		}
 	}
 	if len(g.active) >= g.cfg.Capacity {

@@ -1,30 +1,16 @@
 package engine
 
-import "eflora/internal/lora"
-
-// Transmission is one packet on the air, as produced by an event source.
-// Tok is the driver-scoped token later Done verdicts carry; received
-// power is per gateway and therefore not part of the transmission — the
-// driver combines TpMW with its gain and fading model at each gateway.
-type Transmission struct {
-	Tok    int
-	Dev    int
-	Ch     int
-	SF     lora.SF
-	StartS float64
-	EndS   float64
-	TpMW   float64
-}
-
-// Source yields a transmission schedule window by window, so drivers can
-// hold O(active window) transmissions instead of materializing the whole
+// Source yields a transmission schedule window by window in the
+// columnar Window form the Batch kernel consumes, so drivers can hold
+// O(active window) transmissions instead of materializing the whole
 // schedule. Implementations must yield in ascending (StartS, Dev) order
-// with consecutive Tok values — the contract that lets a windowed driver
-// reproduce a batch replay bit-for-bit.
+// with consecutive tokens across windows — the contract that lets a
+// windowed driver reproduce a batch replay bit-for-bit.
 type Source interface {
-	// NextWindow appends every remaining transmission with StartS <
-	// untilS to dst (a caller-owned reused buffer) and returns the
-	// extended slice, plus whether transmissions remain at or beyond
-	// untilS. Passing +Inf drains the source.
-	NextWindow(untilS float64, dst []Transmission) ([]Transmission, bool)
+	// NextWindow resets w (retaining column capacity), sets its token
+	// base to the next unconsumed token and fills it with every
+	// remaining transmission whose StartS lies below untilS, returning
+	// whether transmissions remain at or beyond untilS. Passing +Inf
+	// drains the source.
+	NextWindow(untilS float64, w *Window) bool
 }

@@ -27,8 +27,8 @@ import (
 // mark, a documented approximation that keeps the engine's nondecreasing-
 // time contract without trusting the forwarder's wrapping µs counter.
 type Frontend struct {
-	cfg     FrontendConfig
-	chByKHz map[int]int
+	cfg   FrontendConfig
+	chTab []chEntry
 
 	mu  sync.Mutex
 	gws []feGateway
@@ -37,6 +37,16 @@ type Frontend struct {
 	// the engine on pseudo-channel -1); badDatr counts unparsable
 	// datarates (dropped).
 	unknownChannel, badDatr int
+}
+
+// chEntry maps one uplink center frequency (kHz, rounded) to its plan
+// channel index. The table is flat because regional plans carry at most
+// a dozen uplink channels: a linear scan over eight bytes per entry is
+// cheaper than hashing the frequency on every frame and keeps the lookup
+// allocation-free on the Observe hot path.
+type chEntry struct {
+	khz int32
+	idx int32
 }
 
 // feGateway is one gateway's receiver plus its clock high-water mark.
@@ -91,11 +101,24 @@ type FrontendCounters struct {
 // NewFrontend builds a frontend for the given plan.
 func NewFrontend(cfg FrontendConfig) *Frontend {
 	cfg = cfg.withDefaults()
-	f := &Frontend{cfg: cfg, chByKHz: make(map[int]int, len(cfg.Plan.Uplink))}
+	f := &Frontend{cfg: cfg, chTab: make([]chEntry, 0, len(cfg.Plan.Uplink))}
 	for _, ch := range cfg.Plan.Uplink {
-		f.chByKHz[int(ch.CenterHz/1e3+0.5)] = ch.Index
+		f.chTab = append(f.chTab, chEntry{khz: int32(ch.CenterHz/1e3 + 0.5), idx: int32(ch.Index)})
 	}
 	return f
+}
+
+// channel resolves a center frequency (MHz) to its plan channel index.
+//
+//eflora:hotpath
+func (f *Frontend) channel(freqMHz float64) (int, bool) {
+	khz := int32(freqMHz*1e3 + 0.5)
+	for _, e := range f.chTab {
+		if e.khz == khz {
+			return int(e.idx), true
+		}
+	}
+	return 0, false
 }
 
 // engineConfig assembles the engine parameters once per new gateway.
@@ -135,6 +158,13 @@ func parseCodr(codr string) (lora.CodingRate, bool) {
 // at server arrival time atS (seconds, any fixed epoch) and returns the
 // arrival verdict. ok is false when the frame's datarate is unparsable
 // and nothing was fed. Safe for concurrent use.
+//
+// Warm calls are allocation-free (pinned by TestObserveAllocBudget): the
+// datarate and coding-rate parsers work on string slices in place, the
+// channel lookup scans the flat table, and the gateway's engine and Done
+// buffers are arenas that grow to high-water and stay.
+//
+//eflora:hotpath
 func (f *Frontend) Observe(gw int, rx *RXPK, atS float64) (engine.Verdict, bool) {
 	sf, bwHz, err := ParseDatr(rx.Datr)
 	if err != nil {
@@ -155,7 +185,7 @@ func (f *Frontend) Observe(gw int, rx *RXPK, atS float64) (engine.Verdict, bool)
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	ch, ok := f.chByKHz[int(rx.Freq*1e3+0.5)]
+	ch, ok := f.channel(rx.Freq)
 	if !ok {
 		ch = -1
 		f.unknownChannel++

@@ -74,6 +74,58 @@ func TestFrontendUnknownChannelAndBadDatr(t *testing.T) {
 	}
 }
 
+// TestChannelTableResolvesPlan pins the flat channel table against the
+// plan it was built from: every uplink channel resolves to its own index
+// and off-plan frequencies miss.
+func TestChannelTableResolvesPlan(t *testing.T) {
+	plan := lora.EU868()
+	f := NewFrontend(FrontendConfig{Plan: plan})
+	for _, ch := range plan.Uplink {
+		idx, ok := f.channel(ch.CenterHz / 1e6)
+		if !ok || idx != ch.Index {
+			t.Errorf("channel(%g MHz) = %d, %v; want %d", ch.CenterHz/1e6, idx, ok, ch.Index)
+		}
+	}
+	if idx, ok := f.channel(915.0); ok {
+		t.Errorf("off-plan 915.0 MHz resolved to channel %d", idx)
+	}
+}
+
+// TestObserveAllocBudget enforces the live-path half of the zero-alloc
+// claim: once the gateway table, engine arenas and Done buffers are warm,
+// Observe — datarate parse, channel lookup, clock clamp, engine arrival —
+// allocates nothing per frame.
+func TestObserveAllocBudget(t *testing.T) {
+	f := NewFrontend(FrontendConfig{Plan: lora.EU868()})
+	rx := feRXPK(868.1, -60, "SF7BW125")
+	at := 0.0
+	for i := 0; i < 32; i++ { // warm the arenas to high-water
+		at++
+		f.Observe(0, &rx, at)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		at++ // spaced far past time-on-air: the active list stays bounded
+		if _, ok := f.Observe(0, &rx, at); !ok {
+			t.Fatal("warm frame rejected")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("warm Observe allocates %v per frame, want 0", avg)
+	}
+}
+
+func BenchmarkFrontendObserve(b *testing.B) {
+	f := NewFrontend(FrontendConfig{Plan: lora.EU868()})
+	rx := feRXPK(868.1, -60, "SF7BW125")
+	at := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at++
+		f.Observe(0, &rx, at)
+	}
+}
+
 func TestFrontendClampsClockRegressions(t *testing.T) {
 	f := NewFrontend(FrontendConfig{Plan: lora.EU868()})
 	rx := feRXPK(868.1, -60, "SF7BW125")

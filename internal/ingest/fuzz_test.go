@@ -26,13 +26,26 @@ func FuzzSemtechPushData(f *testing.F) {
 	f.Add(append([]byte{ProtocolVersion, 9, 9, PushData, 0, 0, 0, 0, 0, 0, 0, 0}, []byte(`{"rxpk":[`)...)) // bad JSON
 	f.Add(append([]byte{ProtocolVersion, 1, 0, TxAck, 1, 2, 3, 4, 5, 6, 7, 8}, []byte(`{"txpk_ack":{}}`)...))
 
+	// One scratch shared across all inputs: the scratch decoder must agree
+	// with the fresh-storage path no matter what state earlier datagrams
+	// left behind.
+	var scratch ParseScratch
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := DecodePacket(data)
+		ps, errS := DecodePacketInto(data, &scratch)
+		if (err == nil) != (errS == nil) {
+			t.Fatalf("scratch decode disagrees: fresh err=%v, scratch err=%v", err, errS)
+		}
 		if err != nil {
-			if p != nil {
+			if p != nil || ps != nil {
 				t.Fatalf("non-nil packet alongside error %v", err)
 			}
 			return
+		}
+		if ps.Version != p.Version || ps.Token != p.Token || ps.Kind != p.Kind ||
+			ps.EUI != p.EUI || ps.TxAckErr != p.TxAckErr || len(ps.RXPK) != len(p.RXPK) ||
+			(len(p.RXPK) > 0 && !reflect.DeepEqual(ps.RXPK, p.RXPK)) {
+			t.Fatalf("scratch decode diverges:\nfresh   %+v\nscratch %+v", p, ps)
 		}
 		if p.Version != ProtocolVersion {
 			t.Fatalf("decoded version %d", p.Version)

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"eflora/internal/lora"
+	"eflora/internal/slab"
 )
 
 // Semtech packet-forwarder protocol (v2) packet identifiers.
@@ -193,6 +194,44 @@ var canonicalKeys = map[string]string{
 	"data": "data", "imme": "imme", "powe": "powe", "ipol": "ipol",
 }
 
+// ParseScratch holds the decode buffers one ingress loop reuses across
+// datagrams: the packet value, the PUSH_DATA body with its RXPK slice,
+// and the strictKeys walk state (a flat frame stack plus a shared key
+// stack, replacing a per-object map). The Packet returned by
+// DecodePacketInto aliases the scratch and is valid until the next decode
+// with the same scratch. A zero ParseScratch is ready to use; a scratch
+// serves one decode at a time.
+type ParseScratch struct {
+	pkt    Packet
+	push   pushPayload
+	rd     bytes.Reader
+	frames []ksFrame
+	keys   []ksKey
+}
+
+// ksFrame is one open object or array during the strictKeys walk. Object
+// frames own the suffix of the key stack starting at keyLo, popped with
+// the frame — sibling keys dedup by a linear scan of that suffix, which
+// for protocol-sized objects (≤14 keys) beats allocating a map per '{'.
+type ksFrame struct {
+	obj       bool
+	expectKey bool
+	keyLo     int32
+}
+
+// ksKey is one object key, case-folded for comparison and as written.
+type ksKey struct {
+	folded, raw string
+}
+
+// ksEndValue marks a completed object value, so the next string token at
+// the current nesting level is a key again.
+func (sc *ParseScratch) ksEndValue() {
+	if n := len(sc.frames); n > 0 && sc.frames[n-1].obj {
+		sc.frames[n-1].expectKey = true
+	}
+}
+
 // strictKeys walks a JSON body and rejects the key ambiguities Go's
 // case-insensitive field matching would otherwise resolve silently: two
 // keys in one object that differ only by ASCII case (or repeat exactly),
@@ -200,21 +239,10 @@ var canonicalKeys = map[string]string{
 // kept FuzzSemtechPushData crasher ({"rXpk":[]}) is exactly such an
 // input. Keys unknown to the codec still pass — gateways send fields this
 // server does not model.
-func strictKeys(data []byte) error {
-	dec := json.NewDecoder(bytes.NewReader(data))
-	type frame struct {
-		obj       bool
-		expectKey bool
-		keys      map[string]string // folded -> as written
-	}
-	var stack []frame
-	// endValue marks a completed object value, so the next string token at
-	// this nesting level is a key again.
-	endValue := func() {
-		if n := len(stack); n > 0 && stack[n-1].obj {
-			stack[n-1].expectKey = true
-		}
-	}
+func (sc *ParseScratch) strictKeys(data []byte) error {
+	sc.rd.Reset(data)
+	dec := json.NewDecoder(&sc.rd)
+	sc.frames, sc.keys = sc.frames[:0], sc.keys[:0]
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
@@ -227,41 +255,53 @@ func strictKeys(data []byte) error {
 		case json.Delim:
 			switch t {
 			case '{':
-				stack = append(stack, frame{obj: true, expectKey: true, keys: make(map[string]string)})
+				sc.frames = append(sc.frames, ksFrame{obj: true, expectKey: true, keyLo: int32(len(sc.keys))})
 			case '[':
-				stack = append(stack, frame{})
+				sc.frames = append(sc.frames, ksFrame{})
 			default: // '}' or ']'
-				stack = stack[:len(stack)-1]
-				endValue()
+				if f := sc.frames[len(sc.frames)-1]; f.obj {
+					sc.keys = sc.keys[:f.keyLo]
+				}
+				sc.frames = sc.frames[:len(sc.frames)-1]
+				sc.ksEndValue()
 			}
 		case string:
-			if n := len(stack); n > 0 && stack[n-1].obj && stack[n-1].expectKey {
-				f := &stack[n-1]
+			if n := len(sc.frames); n > 0 && sc.frames[n-1].obj && sc.frames[n-1].expectKey {
+				f := &sc.frames[n-1]
 				folded := strings.ToLower(t)
-				if prev, dup := f.keys[folded]; dup {
-					return fmt.Errorf("ingest: ambiguous JSON keys %q and %q in one object", prev, t)
+				for _, k := range sc.keys[f.keyLo:] {
+					if k.folded == folded {
+						return fmt.Errorf("ingest: ambiguous JSON keys %q and %q in one object", k.raw, t)
+					}
 				}
-				f.keys[folded] = t
+				sc.keys = append(sc.keys, ksKey{folded: folded, raw: t})
 				if canon, known := canonicalKeys[folded]; known && t != canon {
 					return fmt.Errorf("ingest: JSON key %q mismatches protocol field %q", t, canon)
 				}
 				f.expectKey = false
 				continue
 			}
-			endValue()
+			sc.ksEndValue()
 		default: // number, bool, null
-			endValue()
+			sc.ksEndValue()
 		}
 	}
 }
 
 // strictUnmarshal applies the packet path's hardened JSON decoding: the
 // strictKeys scan first, then the ordinary unmarshal.
-func strictUnmarshal(data []byte, v any) error {
-	if err := strictKeys(data); err != nil {
+func (sc *ParseScratch) strictUnmarshal(data []byte, v any) error {
+	if err := sc.strictKeys(data); err != nil {
 		return err
 	}
 	return json.Unmarshal(data, v)
+}
+
+// strictUnmarshal is the one-shot form for cold paths (DecodeDownstream,
+// tests): a throwaway scratch per call.
+func strictUnmarshal(data []byte, v any) error {
+	var sc ParseScratch
+	return sc.strictUnmarshal(data, v)
 }
 
 // Packet is a decoded packet-forwarder datagram.
@@ -285,12 +325,29 @@ type Packet struct {
 func (p *Packet) TxAckOK() bool { return p.TxAckErr == "" || p.TxAckErr == TxErrNone }
 
 // DecodePacket parses an upstream datagram (PUSH_DATA, PULL_DATA or
-// TX_ACK — the kinds a gateway sends).
+// TX_ACK — the kinds a gateway sends) into freshly allocated storage.
+// Loops decoding at line rate should hold a ParseScratch and call
+// DecodePacketInto instead.
 func DecodePacket(buf []byte) (*Packet, error) {
+	var sc ParseScratch
+	p, err := DecodePacketInto(buf, &sc)
+	if err != nil {
+		return nil, err
+	}
+	out := *p
+	return &out, nil
+}
+
+// DecodePacketInto parses an upstream datagram like DecodePacket, reusing
+// the scratch's buffers. The returned Packet and its RXPK slice alias sc
+// and are valid until the next decode with the same scratch; callers that
+// keep frames across datagrams must copy them out first.
+func DecodePacketInto(buf []byte, sc *ParseScratch) (*Packet, error) {
 	if len(buf) < headerLen {
 		return nil, fmt.Errorf("ingest: datagram too short (%d bytes)", len(buf))
 	}
-	p := &Packet{
+	p := &sc.pkt
+	*p = Packet{
 		Version: buf[0],
 		Token:   uint16(buf[1]) | uint16(buf[2])<<8,
 		Kind:    buf[3],
@@ -309,16 +366,21 @@ func DecodePacket(buf []byte) (*Packet, error) {
 	copy(p.EUI[:], buf[headerLen:headerLen+8])
 	switch p.Kind {
 	case PushData:
-		var body pushPayload
-		if err := strictUnmarshal(buf[headerLen+8:], &body); err != nil {
+		// encoding/json appends array elements into the slice's existing
+		// backing array without zeroing it first, so fields absent from
+		// this datagram's rxpk objects would leak values from the previous
+		// one; clear the full capacity before handing the slice back.
+		rx := slab.GrowZero(sc.push.RXPK, cap(sc.push.RXPK))
+		sc.push = pushPayload{RXPK: rx[:0]}
+		if err := sc.strictUnmarshal(buf[headerLen+8:], &sc.push); err != nil {
 			return nil, fmt.Errorf("ingest: PUSH_DATA payload: %w", err)
 		}
-		p.RXPK = body.RXPK
+		p.RXPK = sc.push.RXPK
 	case TxAck:
 		// The body is optional: success may be an empty datagram.
 		if rest := buf[headerLen+8:]; len(bytes.TrimSpace(rest)) > 0 {
 			var body txAckPayload
-			if err := strictUnmarshal(rest, &body); err != nil {
+			if err := sc.strictUnmarshal(rest, &body); err != nil {
 				return nil, fmt.Errorf("ingest: TX_ACK payload: %w", err)
 			}
 			p.TxAckErr = body.Ack.Error

@@ -253,3 +253,131 @@ func TestRXPKPayloadSizeMismatch(t *testing.T) {
 		t.Error("bad base64 accepted")
 	}
 }
+
+// TestDecodePacketIntoScratchReuse runs a mixed datagram sequence through
+// one ParseScratch twice over and checks every decode against the
+// fresh-storage DecodePacket oracle. The sequence is built to catch the
+// two reuse hazards: a second PUSH_DATA whose rxpk objects omit fields
+// the first one set (encoding/json would leave the stale values in the
+// reused backing array), and kind switches that must not carry RXPK or
+// TxAckErr across.
+func TestDecodePacketIntoScratchReuse(t *testing.T) {
+	eui := [8]byte{9, 8, 7, 6, 5, 4, 3, 2}
+	rich, err := EncodePushData(1, eui, []RXPK{
+		{Tmst: 11, Time: "2026-01-01T00:00:00Z", Freq: 868.1, Chan: 2, Stat: 1,
+			Modu: "LORA", Datr: "SF7BW125", Codr: "4/7", RSSI: -80, LSNR: 3.5,
+			Size: 4, Data: "3q2+7w=="},
+		{Tmst: 12, Freq: 868.3, Stat: 1, Modu: "LORA", Datr: "SF9BW125",
+			Codr: "4/5", RSSI: -95, Size: 4, Data: "3q2+7w=="},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := EncodePushData(2, eui, []RXPK{
+		{Freq: 868.5, Modu: "LORA", Datr: "SF12BW125"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ackErr, err := EncodeTxAck(3, eui, TxErrTooLate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := [][]byte{rich, sparse, EncodePullData(4, eui), ackErr, sparse, rich}
+	var sc ParseScratch
+	for round := 0; round < 2; round++ {
+		for i, buf := range seq {
+			want, err := DecodePacket(buf)
+			if err != nil {
+				t.Fatalf("round %d datagram %d: oracle: %v", round, i, err)
+			}
+			got, err := DecodePacketInto(buf, &sc)
+			if err != nil {
+				t.Fatalf("round %d datagram %d: scratch: %v", round, i, err)
+			}
+			if got.Version != want.Version || got.Token != want.Token ||
+				got.Kind != want.Kind || got.EUI != want.EUI ||
+				got.TxAckErr != want.TxAckErr {
+				t.Fatalf("round %d datagram %d header:\n got %+v\nwant %+v", round, i, got, want)
+			}
+			if len(got.RXPK) != len(want.RXPK) {
+				t.Fatalf("round %d datagram %d: %d rxpk, want %d", round, i, len(got.RXPK), len(want.RXPK))
+			}
+			for j := range want.RXPK {
+				if got.RXPK[j] != want.RXPK[j] {
+					t.Errorf("round %d datagram %d rxpk %d:\n got %+v\nwant %+v",
+						round, i, j, got.RXPK[j], want.RXPK[j])
+				}
+			}
+		}
+	}
+}
+
+// TestDecodePacketIntoRejectsLikeDecodePacket pins the two entry points
+// to the same acceptance set on malformed input, warm scratch included.
+func TestDecodePacketIntoRejectsLikeDecodePacket(t *testing.T) {
+	eui := [8]byte{1, 1, 2, 2, 3, 3, 4, 4}
+	good, err := EncodePushData(9, eui, []RXPK{{Freq: 868.1, Modu: "LORA", Datr: "SF7BW125"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]byte{
+		{},
+		{2, 0, 0},
+		{1, 0, 0, PushData, 0, 0, 0, 0, 0, 0, 0, 0},
+		{2, 0, 0, PullResp},
+		append([]byte{2, 0, 0, PushData, 0, 0, 0, 0, 0, 0, 0, 0}, `{"rxpk":[`...),
+		append([]byte{2, 0, 0, PushData, 0, 0, 0, 0, 0, 0, 0, 0}, `{"rXpk":[]}`...),
+	}
+	var sc ParseScratch
+	if _, err := DecodePacketInto(good, &sc); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	for i, buf := range bad {
+		if p, err := DecodePacketInto(buf, &sc); err == nil || p != nil {
+			t.Errorf("bad datagram %d: scratch decode returned %+v, %v", i, p, err)
+		}
+		if p, err := DecodePacket(buf); err == nil || p != nil {
+			t.Errorf("bad datagram %d: DecodePacket returned %+v, %v", i, p, err)
+		}
+	}
+	// The scratch still decodes cleanly after every rejection.
+	if _, err := DecodePacketInto(good, &sc); err != nil {
+		t.Fatalf("scratch poisoned by rejected datagrams: %v", err)
+	}
+}
+
+// BenchmarkDecodePushData compares the fresh-storage and scratch-reusing
+// decode paths on a realistic 8-uplink PUSH_DATA datagram.
+func BenchmarkDecodePushData(b *testing.B) {
+	eui := [8]byte{0xAA, 0x55, 1, 2, 3, 4, 5, 6}
+	rxpks := make([]RXPK, 8)
+	for i := range rxpks {
+		rxpks[i] = RXPK{
+			Tmst: uint64(1000 * i), Freq: 868.1, Chan: i, Stat: 1,
+			Modu: "LORA", Datr: "SF7BW125", Codr: "4/7",
+			RSSI: -100, LSNR: 2.5, Size: 4, Data: "3q2+7w==",
+		}
+	}
+	buf, err := EncodePushData(7, eui, rxpks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodePacket(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		var sc ParseScratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodePacketInto(buf, &sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

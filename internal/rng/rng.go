@@ -99,6 +99,17 @@ func (r *RNG) RayleighPowerGain() float64 {
 	return r.ExpFloat64()
 }
 
+// RayleighPowerGains fills dst with independent Rayleigh-fading power
+// gains, consuming exactly len(dst) draws. It is bit-identical to
+// calling RayleighPowerGain once per element — the batch schedule
+// builders use it to fade a whole window in one pass without changing
+// the random stream.
+func (r *RNG) RayleighPowerGains(dst []float64) {
+	for i := range dst {
+		dst[i] = -math.Log(1 - float64(r.Uint64()>>11)/(1<<53))
+	}
+}
+
 // NormFloat64 returns a standard normal variate using the Marsaglia polar
 // method.
 func (r *RNG) NormFloat64() float64 {

@@ -7,6 +7,7 @@ import (
 	"eflora/internal/lora"
 	"eflora/internal/model"
 	"eflora/internal/rng"
+	"eflora/internal/slab"
 )
 
 // ConfirmedConfig extends Config for confirmed (acknowledged) uplink
@@ -333,25 +334,25 @@ func RunConfirmed(net *model.Network, p model.Params, a model.Allocation, cfg Co
 	c.starts = c.starts[:0]
 	c.ends = c.ends[:0]
 	c.trace = c.trace[:0]
-	c.eng = grow(c.eng, g)
+	c.eng = slab.Grow(c.eng, g)
 	engCfg := engineConfig(p, captureLin, noiseMW, cfg.Capture, cfg.HalfDuplexAcks)
 	for k := range c.eng {
 		c.eng[k].Reset(engCfg)
 	}
 
 	res := &c.res
-	res.Attempts = growZero(res.Attempts, n)
-	res.Delivered = growZero(res.Delivered, n)
-	res.PRR = grow(res.PRR, n)
-	res.TxEnergyJ = grow(res.TxEnergyJ, n)
-	res.TotalEnergyJ = grow(res.TotalEnergyJ, n)
-	res.EE = growZero(res.EE, n)
-	res.AvgPowerW = grow(res.AvgPowerW, n)
-	res.RetxAvgPowerW = grow(res.RetxAvgPowerW, n)
+	res.Attempts = slab.GrowZero(res.Attempts, n)
+	res.Delivered = slab.GrowZero(res.Delivered, n)
+	res.PRR = slab.Grow(res.PRR, n)
+	res.TxEnergyJ = slab.Grow(res.TxEnergyJ, n)
+	res.TotalEnergyJ = slab.Grow(res.TotalEnergyJ, n)
+	res.EE = slab.GrowZero(res.EE, n)
+	res.AvgPowerW = slab.Grow(res.AvgPowerW, n)
+	res.RetxAvgPowerW = slab.Grow(res.RetxAvgPowerW, n)
 	res.SimTimeS = simEnd
 	res.CollisionLosses, res.CapacityDrops, res.SensitivityMisses = 0, 0, 0
 	res.Trace, res.MaxSNRdB = nil, nil
-	res.Generated = growZero(res.Generated, n)
+	res.Generated = slab.GrowZero(res.Generated, n)
 	res.Retransmissions, res.Abandoned, res.AckBlocked = 0, 0, 0
 
 	// Initial schedule: one packet per device per period, jittered so a

@@ -10,7 +10,7 @@ import (
 // reuse one arena instead of re-allocating the schedule, the fading
 // matrix, the per-gateway replay buffers and the Result slices each
 // time. A zero Scratch is ready to use; buffers grow to the high-water
-// mark of the runs they serve and stay there.
+// mark of the runs they serve and stay there (the slab.Grow contract).
 //
 // Ownership contract: the *Result (or *ConfirmedResult) returned by a
 // run with a Scratch aliases the scratch's buffers. It is valid until
@@ -23,11 +23,17 @@ type Scratch struct {
 	toa, tpMW, interval []float64
 	packets             []int
 
-	// The shared transmission schedule and the flattened
-	// per-transmission×gateway fading matrix (row t, column k at
-	// fading[t*g+k]). The streaming path leaves both untouched — that is
-	// the whole point — and uses the window buffers below instead.
-	txs    []transmission
+	// The shared transmission schedule in struct-of-arrays form (the
+	// columnar window the batch kernel consumes), the unsorted
+	// schedule-build columns plus their (start, dev) argsort
+	// permutation, and the flattened per-transmission×gateway fading
+	// matrix (row t, column k at fading[t*g+k]). The streaming path
+	// leaves all of these untouched — that is the whole point — and
+	// uses the window buffers below instead.
+	win    engine.Window
+	ustart []float64
+	udev   []int32
+	perm   []int32
 	fading []float64
 
 	// Per-gateway replay state, one slot per gateway; each slot's
@@ -48,32 +54,16 @@ type Scratch struct {
 
 	// Streaming-mode state: per-device generator streams (an RNG
 	// snapshot, the next emission and a merge heap) plus the current
-	// window's transmissions/fading and the pending-verdict ring. All
-	// O(devices + active window).
+	// window's transmission columns/fading and the pending-verdict
+	// ring. All O(devices + active window).
 	devRng    []rng.RNG
 	nextStart []float64
 	nextM     []int
 	devHeap   []int32
-	wtxs      []engine.Transmission
+	wwin      engine.Window
 	wfading   []float64
 	pend      []pendTx
 
 	// Confirmed-path event-loop state (RunConfirmed).
 	crun confirmedRun
-}
-
-// grow returns buf resized to n, reallocating only when capacity is
-// insufficient. Contents are unspecified; callers overwrite or clear.
-func grow[T any](buf []T, n int) []T {
-	if cap(buf) < n {
-		return make([]T, n)
-	}
-	return buf[:n]
-}
-
-// growZero returns buf resized to n with every element zeroed.
-func growZero[T any](buf []T, n int) []T {
-	buf = grow(buf, n)
-	clear(buf)
-	return buf
 }

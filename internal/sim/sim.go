@@ -38,6 +38,7 @@ import (
 	"eflora/internal/model"
 	"eflora/internal/par"
 	"eflora/internal/rng"
+	"eflora/internal/slab"
 )
 
 // Config controls a simulation run.
@@ -141,14 +142,12 @@ type Result struct {
 	MaxSNRdB []float64
 }
 
-// transmission is one packet in the air.
-type transmission struct {
-	dev        int
-	start, end float64
-	sf         lora.SF
-	ch         int
-	tpMW       float64
-}
+// The transmission schedule lives in struct-of-arrays form
+// (engine.Window): parallel columns instead of an array of structs, so
+// the batch kernel's passes stream through contiguous memory. The
+// columns are built unsorted in device order (preserving the jitter
+// RNG stream), argsorted by (start, dev) via a permutation, and
+// gathered into the sorted window.
 
 // engineConfig assembles the shared receiver state machine's parameters
 // from this package's knobs. halfDuplex is on only for confirmed traffic.
@@ -171,10 +170,10 @@ func engineConfig(p model.Params, captureLin, noiseMW float64, capture, halfDupl
 // correctly send proportionally more.
 func deviceSchedule(sc *Scratch, net *model.Network, p model.Params, a model.Allocation, packetsPerDevice int) (simEnd float64, total int) {
 	n := net.N()
-	toa := grow(sc.toa, n)
-	tpMW := grow(sc.tpMW, n)
-	interval := grow(sc.interval, n)
-	packets := grow(sc.packets, n)
+	toa := slab.Grow(sc.toa, n)
+	tpMW := slab.Grow(sc.tpMW, n)
+	interval := slab.Grow(sc.interval, n)
+	packets := slab.Grow(sc.packets, n)
 	sc.toa, sc.tpMW, sc.interval, sc.packets = toa, tpMW, interval, packets
 	for i := 0; i < n; i++ {
 		toa[i] = p.TimeOnAir(a.SF[i])
@@ -200,14 +199,14 @@ func deviceSchedule(sc *Scratch, net *model.Network, p model.Params, a model.All
 // their option is on).
 func initResult(sc *Scratch, n int, simEnd float64, measureSNR bool) *Result {
 	res := &sc.res
-	res.Attempts = grow(res.Attempts, n)
-	res.Delivered = growZero(res.Delivered, n)
-	res.PRR = grow(res.PRR, n)
-	res.TxEnergyJ = grow(res.TxEnergyJ, n)
-	res.TotalEnergyJ = grow(res.TotalEnergyJ, n)
-	res.EE = growZero(res.EE, n)
-	res.AvgPowerW = grow(res.AvgPowerW, n)
-	res.RetxAvgPowerW = grow(res.RetxAvgPowerW, n)
+	res.Attempts = slab.Grow(res.Attempts, n)
+	res.Delivered = slab.GrowZero(res.Delivered, n)
+	res.PRR = slab.Grow(res.PRR, n)
+	res.TxEnergyJ = slab.Grow(res.TxEnergyJ, n)
+	res.TotalEnergyJ = slab.Grow(res.TotalEnergyJ, n)
+	res.EE = slab.GrowZero(res.EE, n)
+	res.AvgPowerW = slab.Grow(res.AvgPowerW, n)
+	res.RetxAvgPowerW = slab.Grow(res.RetxAvgPowerW, n)
 	res.SimTimeS = simEnd
 	res.CollisionLosses, res.CapacityDrops, res.SensitivityMisses = 0, 0, 0
 	res.Trace = nil
@@ -216,7 +215,7 @@ func initResult(sc *Scratch, n int, simEnd float64, measureSNR bool) *Result {
 		res.Attempts[i] = sc.packets[i]
 	}
 	if measureSNR {
-		sc.maxSNR = grow(sc.maxSNR, n)
+		sc.maxSNR = slab.Grow(sc.maxSNR, n)
 		res.MaxSNRdB = sc.maxSNR
 		for i := range res.MaxSNRdB {
 			res.MaxSNRdB[i] = math.Inf(-1)
@@ -289,8 +288,10 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 	// per-cycle Poisson send times) — a fixed per-device phase would lock
 	// pairs of same-group devices into colliding either every cycle or
 	// never.
-	txs := grow(sc.txs, total)
-	sc.txs = txs
+	ustart := slab.Grow(sc.ustart, total)
+	udev := slab.Grow(sc.udev, total)
+	perm := slab.Grow(sc.perm, total)
+	sc.ustart, sc.udev, sc.perm = ustart, udev, perm
 	ti := 0
 	for i := 0; i < n; i++ {
 		// Jitter within [0, interval-ToA] so a device never overlaps its
@@ -300,33 +301,38 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 			slack = 0
 		}
 		for m := 0; m < packets[i]; m++ {
-			start := float64(m)*interval[i] + r.Float64()*slack
-			txs[ti] = transmission{
-				dev:   i,
-				start: start,
-				end:   start + toa[i],
-				sf:    a.SF[i],
-				ch:    a.Channel[i],
-				tpMW:  tpMW[i],
-			}
+			ustart[ti] = float64(m)*interval[i] + r.Float64()*slack
+			udev[ti] = int32(i)
+			perm[ti] = int32(ti)
 			ti++
 		}
 	}
-	sort.Slice(txs, func(x, y int) bool {
-		if txs[x].start != txs[y].start {
-			return txs[x].start < txs[y].start
+	// Argsort by (start, dev) — a unique total order (a device's starts
+	// strictly increase), so any sort algorithm yields the same
+	// permutation — then gather the sorted columns.
+	sort.Slice(perm, func(x, y int) bool {
+		px, py := perm[x], perm[y]
+		if ustart[px] != ustart[py] {
+			return ustart[px] < ustart[py]
 		}
-		return txs[x].dev < txs[y].dev
+		return udev[px] < udev[py]
 	})
+	w := &sc.win
+	w.Reset(0)
+	w.Grow(total)
+	for _, pi := range perm {
+		d := udev[pi]
+		start := ustart[pi]
+		w.Append(int(d), a.SF[d], a.Channel[d], start, start+toa[d], tpMW[d])
+	}
 
 	// Pre-draw Rayleigh fading per transmission and gateway so gateway
 	// processing order cannot change the random stream. The matrix is
-	// flattened row-major (transmission t, gateway k at t*g+k).
-	fading := grow(sc.fading, total*g)
+	// flattened row-major (transmission t, gateway k at t*g+k), filled
+	// by one bulk draw over the whole run.
+	fading := slab.Grow(sc.fading, total*g)
 	sc.fading = fading
-	for f := range fading {
-		fading[f] = r.RayleighPowerGain()
-	}
+	r.RayleighPowerGains(fading)
 
 	res := initResult(sc, n, simEnd, cfg.MeasureSNR)
 
@@ -334,19 +340,19 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 	// its buffers, so the replays are independent and run concurrently;
 	// the merge below folds them back in ascending gateway order, which
 	// makes the result identical to a sequential k = 0..g-1 loop.
-	replays := grow(sc.replays, g)
+	replays := slab.Grow(sc.replays, g)
 	sc.replays = replays
 	par.For(cfg.Parallelism, g, func(k int) {
-		simulateGateway(k, txs, fading, g, gains, engCfg, cfg, &replays[k])
+		simulateGateway(k, w, fading, g, gains, engCfg, cfg, &replays[k])
 	})
 
-	delivered := growZero(sc.delivered, len(txs))
+	delivered := slab.GrowZero(sc.delivered, total)
 	sc.delivered = delivered
 	var outcome []Outcome
 	var outGw []int
 	if cfg.Trace {
-		outcome = growZero(sc.outcome, len(txs))
-		outGw = grow(sc.outGw, len(txs))
+		outcome = slab.GrowZero(sc.outcome, total)
+		outGw = slab.Grow(sc.outGw, total)
 		sc.outcome, sc.outGw = outcome, outGw
 		for i := range outGw {
 			outGw[i] = -1
@@ -376,19 +382,19 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 		}
 		if cfg.MeasureSNR {
 			for t := range rp.snrDB {
-				if rp.delivered[t] && rp.snrDB[t] > res.MaxSNRdB[txs[t].dev] {
-					res.MaxSNRdB[txs[t].dev] = rp.snrDB[t]
+				if rp.delivered[t] && rp.snrDB[t] > res.MaxSNRdB[w.Dev[t]] {
+					res.MaxSNRdB[w.Dev[t]] = rp.snrDB[t]
 				}
 			}
 		}
 	}
 	if cfg.Trace {
-		sc.trace = grow(sc.trace, len(txs))
+		sc.trace = slab.Grow(sc.trace, total)
 		res.Trace = sc.trace
-		for t := range txs {
+		for t := 0; t < total; t++ {
 			res.Trace[t] = PacketRecord{
-				Device:  txs[t].dev,
-				StartS:  txs[t].start,
+				Device:  int(w.Dev[t]),
+				StartS:  w.StartS[t],
 				Outcome: outcome[t],
 				Gateway: outGw[t],
 			}
@@ -397,7 +403,7 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 
 	for t, ok := range delivered {
 		if ok {
-			res.Delivered[txs[t].dev]++
+			res.Delivered[w.Dev[t]]++
 		}
 	}
 	finishResult(res, p, a, toa, simEnd)
@@ -411,8 +417,11 @@ func Run(net *model.Network, p model.Params, a model.Allocation, cfg Config) (*R
 // under Config.MeasureSNR. The streaming path reuses eng and done (its
 // per-window event list) and leaves the schedule-length arrays nil.
 type gwReplay struct {
-	eng       engine.Gateway
-	done      []engine.Done
+	eng  engine.Gateway
+	done []engine.Done
+	// rxBuf is the per-gateway received-power column handed to the batch
+	// kernel, parallel to the window being replayed.
+	rxBuf     []float64
 	delivered []bool
 	// outcome and snrDB are nil when their option is off; outcomeBuf and
 	// snrBuf retain the backing arrays across runs either way.
@@ -443,45 +452,39 @@ func (rp *gwReplay) apply(done []engine.Done) {
 
 // simulateGateway replays the transmission schedule at gateway k into
 // rp, reusing rp's buffers from previous runs. It reads only shared
-// immutable state (schedule, flattened fading, gains), so concurrent
-// calls for different gateways are safe. The reception physics lives in
-// rp.eng (engine.Gateway); this driver feeds it arrivals in schedule
-// order and records the verdicts.
+// immutable state (schedule columns, flattened fading, gains), so
+// concurrent calls for different gateways are safe. The reception
+// physics lives in rp.eng (engine.Gateway); this driver builds the
+// gateway's received-power column and hands the whole window to the
+// batch kernel in one call.
 //
 //eflora:hotpath
 func simulateGateway(
-	k int, txs []transmission, fading []float64, g int, gains [][]float64,
+	k int, w *engine.Window, fading []float64, g int, gains [][]float64,
 	engCfg engine.Config, cfg Config, rp *gwReplay,
 ) {
-	rp.delivered = growZero(rp.delivered, len(txs))
+	total := w.Len()
+	rp.delivered = slab.GrowZero(rp.delivered, total)
 	rp.outcome, rp.snrDB = nil, nil
 	if cfg.Trace {
-		rp.outcomeBuf = growZero(rp.outcomeBuf, len(txs))
+		rp.outcomeBuf = slab.GrowZero(rp.outcomeBuf, total)
 		rp.outcome = rp.outcomeBuf
 	}
 	if cfg.MeasureSNR {
-		rp.snrBuf = grow(rp.snrBuf, len(txs))
+		rp.snrBuf = slab.Grow(rp.snrBuf, total)
 		rp.snrDB = rp.snrBuf
 	}
 	rp.eng.Reset(engCfg)
-	done := rp.done[:0]
-	for t := range txs {
-		tx := &txs[t]
-		done = rp.eng.FinishUpTo(tx.start, done[:0])
-		rp.apply(done)
-		rxMW := tx.tpMW * gains[tx.dev][k] * fading[t*g+k]
-		switch rp.eng.Arrive(t, tx.dev, tx.sf, tx.ch, tx.start, tx.end, rxMW) {
-		case engine.VerdictNoSignal:
-			if rp.outcome != nil {
-				rp.outcome[t] = OutcomeNoSignal
-			}
-		case engine.VerdictNoCapacity:
-			if rp.outcome != nil {
-				rp.outcome[t] = OutcomeCapacity
-			}
-		}
+	rx := slab.Grow(rp.rxBuf, total)
+	rp.rxBuf = rx
+	for t := 0; t < total; t++ {
+		rx[t] = w.TpMW[t] * gains[w.Dev[t]][k] * fading[t*g+k]
 	}
-	done = rp.eng.FinishUpTo(math.Inf(1), done[:0])
+	// Batch emits exactly one Done per window entry here (cut = +Inf, no
+	// carry-over after Reset); pre-growing skips the append-doubling
+	// churn on the first, cold run.
+	rp.done = slab.Grow(rp.done, total)
+	done := rp.eng.Batch(w, rx, math.Inf(1), rp.done[:0])
 	rp.apply(done)
 	rp.done = done[:0]
 	rp.collisionLosses = rp.eng.Counters.CollisionLosses

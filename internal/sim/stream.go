@@ -8,6 +8,7 @@ import (
 	"eflora/internal/model"
 	"eflora/internal/par"
 	"eflora/internal/rng"
+	"eflora/internal/slab"
 )
 
 // The streaming path replays exactly the batch schedule without ever
@@ -60,9 +61,9 @@ type scheduleSource struct {
 // master RNG. After it returns, r sits exactly where the batch path
 // starts drawing fading.
 func newScheduleSource(sc *Scratch, a model.Allocation, r *rng.RNG, n int) *scheduleSource {
-	devRng := grow(sc.devRng, n)
-	nextStart := grow(sc.nextStart, n)
-	nextM := growZero(sc.nextM, n)
+	devRng := slab.Grow(sc.devRng, n)
+	nextStart := slab.Grow(sc.nextStart, n)
+	nextM := slab.GrowZero(sc.nextM, n)
 	sc.devRng, sc.nextStart, sc.nextM = devRng, nextStart, nextM
 	for i := 0; i < n; i++ {
 		devRng[i] = *r
@@ -130,21 +131,14 @@ func (s *scheduleSource) down(h []int32, i, n int) {
 // NextWindow implements engine.Source.
 //
 //eflora:hotpath
-func (s *scheduleSource) NextWindow(untilS float64, dst []engine.Transmission) ([]engine.Transmission, bool) {
+func (s *scheduleSource) NextWindow(untilS float64, w *engine.Window) bool {
 	sc := s.sc
+	w.Reset(s.next)
 	h := sc.devHeap
 	for len(h) > 0 && sc.nextStart[h[0]] < untilS {
 		i := h[0]
 		start := sc.nextStart[i]
-		dst = append(dst, engine.Transmission{
-			Tok:    s.next,
-			Dev:    int(i),
-			Ch:     s.ch[i],
-			SF:     s.sf[i],
-			StartS: start,
-			EndS:   start + sc.toa[i],
-			TpMW:   sc.tpMW[i],
-		})
+		w.Append(int(i), s.sf[i], s.ch[i], start, start+sc.toa[i], sc.tpMW[i])
 		s.next++
 		sc.nextM[i]++
 		if m := sc.nextM[i]; m < sc.packets[i] {
@@ -160,7 +154,7 @@ func (s *scheduleSource) NextWindow(untilS float64, dst []engine.Transmission) (
 		}
 	}
 	sc.devHeap = h
-	return dst, len(h) > 0
+	return len(h) > 0
 }
 
 // runStreaming is Run's time-windowed mode: same validation, same
@@ -186,7 +180,7 @@ func runStreaming(net *model.Network, p model.Params, a model.Allocation, cfg Co
 		sc.trace = sc.trace[:0]
 	}
 
-	replays := grow(sc.replays, g)
+	replays := slab.Grow(sc.replays, g)
 	sc.replays = replays
 	for k := range replays {
 		replays[k].eng.Reset(engCfg)
@@ -197,31 +191,26 @@ func runStreaming(net *model.Network, p model.Params, a model.Allocation, cfg Co
 	var src engine.Source = newScheduleSource(sc, a, r, n)
 	pend := sc.pend[:0]
 	pendBase := 0
-	wtxs := sc.wtxs[:0]
+	wwin := &sc.wwin
 	wfading := sc.wfading[:0]
 	var cut float64
 	// Each gateway consumes the current window against its persistent
 	// engine state (the cross-window carry-over) and reports verdicts into
 	// its private event list; the fan-out barrier makes the merge below
-	// identical to a sequential k = 0..g-1 loop. Hoisted out of the window
-	// loop (capturing the per-window state by reference) so the closure
-	// allocates once per run, not once per window.
+	// identical to a sequential k = 0..g-1 loop. The batch kernel emits
+	// the failure verdicts (NoSignal, Capacity) itself, so the event list
+	// is the one Done stream. Hoisted out of the window loop (capturing
+	// the per-window state by reference) so the closure allocates once
+	// per run, not once per window.
 	gwWindow := func(k int) {
 		rp := &replays[k]
-		ev := rp.done[:0]
-		for t := range wtxs {
-			tx := &wtxs[t]
-			ev = rp.eng.FinishUpTo(tx.StartS, ev)
-			rxMW := tx.TpMW * gains[tx.Dev][k] * wfading[t*g+k]
-			if rp.eng.Arrive(tx.Tok, tx.Dev, tx.SF, tx.Ch, tx.StartS, tx.EndS, rxMW) == engine.VerdictNoCapacity {
-				// The only arrival verdict that can win the outcome
-				// merge: NoSignal is the zero value and Blocked
-				// cannot happen without half-duplex ACKs.
-				ev = append(ev, engine.Done{Tok: tx.Tok, Outcome: OutcomeCapacity})
-			}
+		wn := wwin.Len()
+		rx := slab.Grow(rp.rxBuf, wn)
+		rp.rxBuf = rx
+		for t := 0; t < wn; t++ {
+			rx[t] = wwin.TpMW[t] * gains[wwin.Dev[t]][k] * wfading[t*g+k]
 		}
-		ev = rp.eng.FinishUpTo(cut, ev)
-		rp.done = ev
+		rp.done = rp.eng.Batch(wwin, rx, cut, rp.done[:0])
 	}
 	more := true
 	for w1 := cfg.StreamWindowS; ; w1 += cfg.StreamWindowS {
@@ -231,19 +220,16 @@ func runStreaming(net *model.Network, p model.Params, a model.Allocation, cfg Co
 			// carried-over receptions.
 			cut = math.Inf(1)
 		}
-		wtxs, more = src.NextWindow(cut, wtxs[:0])
+		more = src.NextWindow(cut, wwin)
 		// Fading draws happen at emission, in merge order — the batch
-		// fading order — flattened like the batch matrix (t*g+k).
-		wfading = wfading[:0]
-		for range wtxs {
-			for k := 0; k < g; k++ {
-				wfading = append(wfading, r.RayleighPowerGain())
-			}
-		}
-		for t := range wtxs {
+		// fading order — flattened like the batch matrix (t*g+k): one
+		// bulk draw per window.
+		wfading = slab.Grow(wfading, wwin.Len()*g)
+		r.RayleighPowerGains(wfading)
+		for t := 0; t < wwin.Len(); t++ {
 			pend = append(pend, pendTx{
-				dev: wtxs[t].Dev, outGw: -1,
-				start: wtxs[t].StartS, end: wtxs[t].EndS,
+				dev: int(wwin.Dev[t]), outGw: -1,
+				start: wwin.StartS[t], end: wwin.EndS[t],
 			})
 		}
 		//eflora:alloc-ok worker goroutine spawn is amortized over a whole gateway window, not per packet
@@ -295,7 +281,6 @@ func runStreaming(net *model.Network, p model.Params, a model.Allocation, cfg Co
 		}
 	}
 	sc.pend = pend[:0]
-	sc.wtxs = wtxs[:0]
 	sc.wfading = wfading[:0]
 
 	for k := 0; k < g; k++ {

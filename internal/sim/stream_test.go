@@ -75,13 +75,13 @@ func TestStreamingWindowMemory(t *testing.T) {
 	for _, m := range sc.packets {
 		total += m
 	}
-	if cap(sc.txs) != 0 || cap(sc.fading) != 0 {
-		t.Errorf("streaming run materialized the batch schedule: cap(txs)=%d cap(fading)=%d",
-			cap(sc.txs), cap(sc.fading))
+	if cap(sc.win.StartS) != 0 || cap(sc.fading) != 0 {
+		t.Errorf("streaming run materialized the batch schedule: cap(win)=%d cap(fading)=%d",
+			cap(sc.win.StartS), cap(sc.fading))
 	}
-	if lim := total / 10; cap(sc.wtxs) > lim || cap(sc.pend) > lim {
-		t.Errorf("window buffers not O(window): cap(wtxs)=%d cap(pend)=%d, total=%d",
-			cap(sc.wtxs), cap(sc.pend), total)
+	if lim := total / 10; cap(sc.wwin.StartS) > lim || cap(sc.pend) > lim {
+		t.Errorf("window buffers not O(window): cap(wwin)=%d cap(pend)=%d, total=%d",
+			cap(sc.wwin.StartS), cap(sc.pend), total)
 	}
 }
 
@@ -131,9 +131,9 @@ func BenchmarkRunStreaming(b *testing.B) {
 		if _, err := Run(net, p, a, cfg); err != nil {
 			b.Fatal(err)
 		}
-		if cap(sc.txs) != 0 || cap(sc.wtxs) > total/4 {
-			b.Fatalf("streaming memory not O(window): cap(txs)=%d cap(wtxs)=%d total=%d",
-				cap(sc.txs), cap(sc.wtxs), total)
+		if cap(sc.win.StartS) != 0 || cap(sc.wwin.StartS) > total/4 {
+			b.Fatalf("streaming memory not O(window): cap(win)=%d cap(wwin)=%d total=%d",
+				cap(sc.win.StartS), cap(sc.wwin.StartS), total)
 		}
 	}
 }

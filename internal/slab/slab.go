@@ -1,0 +1,29 @@
+// Package slab holds the tiny buffer-reuse helpers every arena in this
+// repository leans on: resize-without-realloc slice growth with the
+// high-water-capacity retention contract the Scratch arenas (sim), the
+// batch receiver kernel (engine) and the live parse scratch (ingest)
+// all share. One implementation instead of a hand-rolled copy per
+// package, so the aliasing rules are stated — and tested — once.
+//
+// The contract: Grow and GrowZero return a slice of length n backed by
+// buf's array whenever cap(buf) >= n, so a warmed buffer is never
+// re-allocated and pointers into it stay valid across calls that shrink
+// and re-grow it. Callers own the backing array; two live slices from
+// the same buffer alias.
+package slab
+
+// Grow returns buf resized to length n, reallocating only when capacity
+// is insufficient. Contents are unspecified; callers overwrite or clear.
+func Grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// GrowZero returns buf resized to length n with every element zeroed.
+func GrowZero[T any](buf []T, n int) []T {
+	buf = Grow(buf, n)
+	clear(buf)
+	return buf
+}

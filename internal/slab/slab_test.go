@@ -1,0 +1,50 @@
+package slab
+
+import "testing"
+
+func TestGrowReusesCapacity(t *testing.T) {
+	buf := make([]int, 0, 16)
+	a := Grow(buf, 8)
+	if len(a) != 8 {
+		t.Fatalf("len = %d, want 8", len(a))
+	}
+	if &a[0] != &buf[:1][0] {
+		t.Error("Grow reallocated despite sufficient capacity")
+	}
+	b := Grow(a, 32)
+	if len(b) != 32 {
+		t.Fatalf("len = %d, want 32", len(b))
+	}
+	if cap(b) < 32 {
+		t.Fatalf("cap = %d, want >= 32", cap(b))
+	}
+	// Shrink then re-grow within the new high-water mark: no realloc.
+	c := Grow(b[:0], 20)
+	if &c[0] != &b[0] {
+		t.Error("Grow reallocated a warmed buffer")
+	}
+}
+
+func TestGrowZero(t *testing.T) {
+	buf := []float64{1, 2, 3, 4}
+	z := GrowZero(buf, 3)
+	for i, v := range z {
+		if v != 0 {
+			t.Errorf("z[%d] = %v, want 0", i, v)
+		}
+	}
+	if &z[0] != &buf[0] {
+		t.Error("GrowZero reallocated despite sufficient capacity")
+	}
+}
+
+func TestGrowAllocFree(t *testing.T) {
+	buf := make([]byte, 0, 1024)
+	got := testing.AllocsPerRun(100, func() {
+		buf = Grow(buf[:0], 512)
+		buf = GrowZero(buf, 1024)
+	})
+	if got != 0 {
+		t.Errorf("warm Grow/GrowZero allocate %v per run, want 0", got)
+	}
+}
